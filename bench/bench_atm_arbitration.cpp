@@ -1,0 +1,96 @@
+// E13 — ATM internal busses (sections 3.2 and 5): destructive Ethernet
+// collisions versus non-destructive wired-OR arbitration with deadlines as
+// priorities, on the same PHY and workload.
+//
+// Expected shape: arbitration removes every tree-search epoch (a collision
+// slot resolves directly to the earliest-deadline message), cutting
+// contention overhead and inversions to zero while destructive mode pays
+// xi-bounded search slots per epoch.
+#include <cstdio>
+
+#include "analysis/feasibility.hpp"
+#include "analysis/feasibility_atm.hpp"
+#include "core/ddcr_network.hpp"
+#include "traffic/fc_adapter.hpp"
+#include "traffic/workload.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hrtdm;
+
+  std::printf("%s", util::banner(
+      "E13: destructive collisions vs ATM wired-OR arbitration "
+      "(air traffic control)").c_str());
+  util::TextTable out({"z", "mode", "delivered", "misses", "collisions",
+                       "arb wins", "epochs", "inversions", "mean lat us",
+                       "worst lat us", "util %"});
+  for (const int z : {4, 8, 16}) {
+    const traffic::Workload wl = traffic::air_traffic_control(z);
+    for (const auto mode : {net::CollisionMode::kDestructive,
+                            net::CollisionMode::kArbitration}) {
+      core::DdcrRunOptions options;
+      options.phy = net::PhyConfig::atm_internal_bus();
+      options.collision_mode = mode;
+      options.ddcr.m_time = 2;
+      options.ddcr.m_static = 2;
+      options.ddcr.F = 64;
+      options.ddcr.q = 64;
+      options.ddcr.class_width_c = core::DdcrConfig::class_width_for(
+          wl.max_deadline(), options.ddcr.F);
+      options.ddcr.alpha = options.ddcr.class_width_c * 2;
+      options.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
+      options.arrival_horizon = sim::SimTime::from_ns(40'000'000);
+      options.drain_cap = sim::SimTime::from_ns(150'000'000);
+      const auto result = core::run_ddcr(wl, options);
+      std::int64_t epochs = 0;
+      for (const auto& station : result.per_station) {
+        epochs += station.epochs;
+      }
+      out.add_row(
+          {util::TextTable::cell(static_cast<std::int64_t>(z)),
+           mode == net::CollisionMode::kDestructive ? "destructive"
+                                                    : "wired-OR",
+           util::TextTable::cell(result.metrics.delivered),
+           util::TextTable::cell(result.metrics.misses),
+           util::TextTable::cell(result.channel.collision_slots),
+           util::TextTable::cell(result.channel.arbitration_wins),
+           util::TextTable::cell(epochs / static_cast<std::int64_t>(
+                                              result.per_station.size())),
+           util::TextTable::cell(result.metrics.deadline_inversions),
+           util::TextTable::cell(result.metrics.mean_latency_s * 1e6, 1),
+           util::TextTable::cell(result.metrics.worst_latency_s * 1e6, 1),
+           util::TextTable::cell(result.utilization * 100.0, 2)});
+    }
+  }
+  std::printf("%s", out.str().c_str());
+
+  // Analytic counterpart: the ATM-mode bound B_ATM (one arbitration slot
+  // per interferer, no tree terms, explicit non-preemptive blocking)
+  // against the section 4.3 bound B_DDCR evaluated at the same PHY.
+  std::printf("%s", util::banner(
+      "E13: analytic bounds on the ATM bus (z = 8)").c_str());
+  {
+    const traffic::Workload wl = traffic::air_traffic_control(8);
+    traffic::FcAdapterOptions fc;
+    fc.psi_bps = 622e6;
+    fc.slot_s = 16e-9;
+    fc.overhead_bits = 40;
+    fc.trees = analysis::FcTreeParams{2, 64, 2, 64};
+    const auto system = traffic::to_fc_system(wl, fc);
+    const auto ddcr = analysis::check_feasibility(system);
+    const auto atm = analysis::check_feasibility_atm(system);
+    util::TextTable bounds({"class", "B_DDCR (us)", "B_ATM (us)",
+                            "d (us)"});
+    for (std::size_t i = 0; i < 2 && i < atm.classes.size(); ++i) {
+      bounds.add_row({atm.classes[i].klass,
+                      util::TextTable::cell(ddcr.classes[i].b_ddcr_s * 1e6,
+                                            2),
+                      util::TextTable::cell(atm.classes[i].b_atm_s * 1e6, 2),
+                      util::TextTable::cell(atm.classes[i].d_s * 1e6, 2)});
+    }
+    std::printf("%s", bounds.str().c_str());
+    std::printf("(at x = 16 ns the bounds nearly coincide: tree search is "
+                "essentially free on an ATM internal bus)\n");
+  }
+  return 0;
+}

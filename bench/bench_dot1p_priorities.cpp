@@ -1,0 +1,69 @@
+// E21 — Section 5's standards story: "Classes-of-Service are naturally
+// defined via task deadlines D, transformed into message deadlines d,
+// which can be passed on to the CSMA/DDCR layer via the standard
+// conformant priority field" (IEEE 802.1Q/802.1p).
+//
+// The 802.1p field has 3 bits, so deadline arbitration through it is
+// quantised to 8 classes. Sweep the arbitration quantum on a wired-OR
+// bus (exact EDF keys -> coarse priority classes) and measure the
+// deadline inversions and latency the quantisation introduces — the same
+// trade-off the time tree's class width c embodies on the Ethernet side.
+#include <cstdio>
+
+#include "core/ddcr_network.hpp"
+#include "traffic/workload.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hrtdm;
+  const traffic::Workload wl = traffic::stock_exchange(10);
+
+  std::printf("%s", util::banner(
+      "E21: deadline arbitration granularity on a wired-OR bus "
+      "(stock exchange, z = 10)").c_str());
+  util::TextTable out({"arb quantum", "delivered", "misses", "inversions",
+                       "mean lat us", "p99 lat us", "worst lat us"});
+  // Quantum 0 = exact EDF keys; the others mimic priority fields of
+  // decreasing resolution (the 12.5 ms quantum leaves ~8 usable classes
+  // over this workload's 100 ms deadline range — the 802.1p regime).
+  const struct {
+    const char* label;
+    std::int64_t quantum_ns;
+  } sweeps[] = {{"exact (ns)", 0},
+                {"100 us", 100'000},
+                {"1 ms", 1'000'000},
+                {"12.5 ms (3-bit)", 12'500'000},
+                {"50 ms (1-bit)", 50'000'000}};
+  for (const auto& sweep : sweeps) {
+    core::DdcrRunOptions options;
+    options.phy = net::PhyConfig::atm_internal_bus();
+    options.collision_mode = net::CollisionMode::kArbitration;
+    options.ddcr.m_time = 2;
+    options.ddcr.m_static = 2;
+    options.ddcr.class_width_c =
+        core::DdcrConfig::class_width_for(wl.max_deadline(), options.ddcr.F);
+    options.ddcr.alpha = options.ddcr.class_width_c * 2;
+    options.ddcr.arb_priority_quantum =
+        util::Duration::nanoseconds(sweep.quantum_ns);
+    options.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
+    options.arrival_horizon = sim::SimTime::from_ns(30'000'000);
+    options.drain_cap = sim::SimTime::from_ns(120'000'000);
+    const auto result = core::run_ddcr(wl, options);
+    out.add_row({sweep.label,
+                 util::TextTable::cell(result.metrics.delivered),
+                 util::TextTable::cell(result.metrics.misses),
+                 util::TextTable::cell(result.metrics.deadline_inversions),
+                 util::TextTable::cell(result.metrics.mean_latency_s * 1e6,
+                                       1),
+                 util::TextTable::cell(result.metrics.p99_latency_s * 1e6,
+                                       1),
+                 util::TextTable::cell(result.metrics.worst_latency_s * 1e6,
+                                       1)});
+  }
+  std::printf("%s", out.str().c_str());
+  std::printf("\nreading: coarser priority fields trade EDF fidelity "
+              "(inversions grow) for standards compatibility; misses stay "
+              "at zero while the workload's slack absorbs the "
+              "quantisation.\n");
+  return 0;
+}

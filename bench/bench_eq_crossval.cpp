@@ -1,0 +1,50 @@
+// E3 — Cross-validation of the paper's xi characterisations: the defining
+// recursion (Eq. 1, via DP), the divide-and-conquer recursion (Eq. 2/3/4)
+// and the closed form (Eq. 9/10) over a sweep of tree shapes.
+//
+// Prints one row per shape with the number of k values checked and the
+// maximal absolute disagreement (expected: 0 everywhere).
+#include <cstdio>
+
+#include "analysis/xi.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hrtdm;
+
+  std::printf("%s", util::banner(
+      "E3: Eq.1 (exact DP) vs Eq.2/3 (divide&conquer) vs Eq.9/10 (closed)")
+      .c_str());
+  util::TextTable out({"m", "n", "t", "k checked", "dnc mismatches",
+                       "closed mismatches"});
+  bool all_ok = true;
+  struct Shape { int m; int n; };
+  const Shape shapes[] = {{2, 1}, {2, 4}, {2, 8},  {2, 11}, {3, 2}, {3, 5},
+                          {3, 7}, {4, 2}, {4, 5},  {4, 6},  {5, 3}, {5, 4},
+                          {6, 3}, {7, 3}, {8, 3},  {9, 3},  {16, 2}};
+  for (const auto& [m, n] : shapes) {
+    analysis::XiExactTable table(m, n);
+    std::int64_t dnc_bad = 0;
+    std::int64_t closed_bad = 0;
+    for (std::int64_t k = 0; k <= table.t(); ++k) {
+      const std::int64_t exact = table.xi(k);
+      if (analysis::xi_dnc(m, table.t(), k) != exact) {
+        ++dnc_bad;
+      }
+      if (analysis::xi_closed(m, table.t(), k) != exact) {
+        ++closed_bad;
+      }
+    }
+    all_ok = all_ok && dnc_bad == 0 && closed_bad == 0;
+    out.add_row({util::TextTable::cell(static_cast<std::int64_t>(m)),
+                 util::TextTable::cell(static_cast<std::int64_t>(n)),
+                 util::TextTable::cell(table.t()),
+                 util::TextTable::cell(table.t() + 1),
+                 util::TextTable::cell(dnc_bad),
+                 util::TextTable::cell(closed_bad)});
+  }
+  std::printf("%s", out.str().c_str());
+  std::printf("\nall characterisations agree: %s\n", all_ok ? "YES" : "NO");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// E4 — The paper's special values and structural identities:
+//   Eq. 5: xi(2, t)      = m log_m t - 1
+//   Eq. 6: xi(2t/m, t)   = (t-1)/(m-1) + (t - 2t/m)
+//   Eq. 7: xi(t, t)      = (t-1)/(m-1)
+//   Eq. 8: xi(2p+2, t) - xi(2p, t) = m(log_m t - floor(log_m m p)) - 2
+//   Eq. 15: xi(k, t)     = (mt-1)/(m-1) - k     on [2t/m, t]
+// Each block prints formula vs exact DP values.
+#include <cstdio>
+
+#include "analysis/xi.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hrtdm;
+
+  std::printf("%s",
+              util::banner("E4: special values Eq.5/6/7 per shape").c_str());
+  {
+    util::TextTable out({"m", "t", "xi(2,t)", "Eq.5", "xi(2t/m,t)", "Eq.6",
+                         "xi(t,t)", "Eq.7"});
+    struct Shape { int m; int n; };
+    for (const auto& [m, n] :
+         {Shape{2, 6}, {2, 10}, {3, 4}, {4, 3}, {4, 5}, {5, 3}, {8, 2}}) {
+      analysis::XiExactTable table(m, n);
+      const std::int64_t t = table.t();
+      out.add_row({util::TextTable::cell(static_cast<std::int64_t>(m)),
+                   util::TextTable::cell(t),
+                   util::TextTable::cell(table.xi(2)),
+                   util::TextTable::cell(analysis::xi_two(m, t)),
+                   util::TextTable::cell(table.xi(2 * t / m)),
+                   util::TextTable::cell(analysis::xi_two_t_over_m(m, t)),
+                   util::TextTable::cell(table.xi(t)),
+                   util::TextTable::cell(analysis::xi_full(m, t))});
+    }
+    std::printf("%s", out.str().c_str());
+  }
+
+  std::printf("%s", util::banner(
+      "E4: discrete derivative Eq.8, m = 4, t = 256 (sampled p)").c_str());
+  {
+    analysis::XiExactTable table(4, 4);
+    const std::int64_t t = table.t();
+    util::TextTable out({"p", "xi(2p+2)-xi(2p) measured", "Eq.8"});
+    for (std::int64_t p = 1; p <= t / 2 - 1; p = p < 8 ? p + 1 : p * 2) {
+      out.add_row({util::TextTable::cell(p),
+                   util::TextTable::cell(table.xi(2 * p + 2) -
+                                         table.xi(2 * p)),
+                   util::TextTable::cell(
+                       analysis::xi_even_derivative(4, t, p))});
+    }
+    std::printf("%s", out.str().c_str());
+  }
+
+  std::printf("%s", util::banner(
+      "E4: linear tail Eq.15, m = 4, t = 64, k in [32, 64]").c_str());
+  {
+    analysis::XiExactTable table(4, 3);
+    util::TextTable out({"k", "xi exact", "Eq.15 line"});
+    for (std::int64_t k = 32; k <= 64; k += 4) {
+      out.add_row({util::TextTable::cell(k),
+                   util::TextTable::cell(table.xi(k)),
+                   util::TextTable::cell(
+                       analysis::xi_linear_tail(4, 64, k))});
+    }
+    std::printf("%s", out.str().c_str());
+  }
+  return 0;
+}

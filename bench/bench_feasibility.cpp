@@ -1,0 +1,111 @@
+// E7 — Feasibility conditions (section 4.3) on the reference workloads:
+// per-class r(M), u(M), v(M), S1, S2 and B_DDCR, plus a feasibility
+// frontier: the largest load multiplier at which each workload's FCs still
+// hold (bisection on Workload::scaled_load).
+#include <cstdio>
+
+#include "analysis/feasibility.hpp"
+#include "traffic/fc_adapter.hpp"
+#include "traffic/workload.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hrtdm;
+
+traffic::FcAdapterOptions gigabit_fc() {
+  traffic::FcAdapterOptions options;
+  options.psi_bps = 1e9;
+  options.slot_s = 4.096e-6;
+  options.overhead_bits = 160;
+  options.trees = analysis::FcTreeParams{4, 64, 4, 64};
+  return options;
+}
+
+void print_fc_table(const traffic::Workload& wl) {
+  const auto report =
+      analysis::check_feasibility(traffic::to_fc_system(wl, gigabit_fc()));
+  std::printf("%s", util::banner("E7: FCs for workload `" + wl.name +
+                                 "` (z = " + std::to_string(wl.z()) + ")")
+                        .c_str());
+  util::TextTable out({"source", "class", "r", "u", "v", "S1", "S2",
+                       "B_DDCR(ms)", "d(ms)", "feasible"});
+  // One row per class of the first source (classes repeat across sources)
+  // plus any source whose numbers differ.
+  for (std::size_t i = 0; i < report.classes.size(); ++i) {
+    const auto& cls = report.classes[i];
+    if (i >= wl.sources[0].classes.size() &&
+        cls.klass.substr(0, cls.klass.find('-')) ==
+            report.classes[i - wl.sources[0].classes.size()].klass.substr(
+                0, report.classes[i - wl.sources[0].classes.size()]
+                       .klass.find('-'))) {
+      continue;  // identical to the same class on source 0
+    }
+    out.add_row({cls.source, cls.klass, util::TextTable::cell(cls.r),
+                 util::TextTable::cell(cls.u), util::TextTable::cell(cls.v),
+                 util::TextTable::cell(cls.s1_slots, 1),
+                 util::TextTable::cell(cls.s2_slots, 1),
+                 util::TextTable::cell(cls.b_ddcr_s * 1e3, 3),
+                 util::TextTable::cell(cls.d_s * 1e3, 3),
+                 cls.feasible ? "yes" : "NO"});
+  }
+  std::printf("%s", out.str().c_str());
+  std::printf("offered load %.2f%%, worst margin %.3f ms, verdict %s\n",
+              report.offered_load * 100.0, report.worst_margin_s * 1e3,
+              report.feasible ? "FEASIBLE" : "INFEASIBLE");
+}
+
+double feasibility_frontier(const traffic::Workload& wl) {
+  double lo = 0.1;
+  double hi = 64.0;
+  // Expand lo if even 0.1 is infeasible.
+  const auto feasible_at = [&wl](double factor) {
+    const auto system =
+        traffic::to_fc_system(wl.scaled_load(factor), gigabit_fc());
+    return analysis::check_feasibility(system).feasible;
+  };
+  if (!feasible_at(lo)) {
+    return 0.0;
+  }
+  while (feasible_at(hi)) {
+    hi *= 2.0;
+    if (hi > 1e6) {
+      return hi;
+    }
+  }
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (feasible_at(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  const traffic::Workload workloads[] = {
+      traffic::quickstart(8), traffic::videoconference(8),
+      traffic::air_traffic_control(6), traffic::stock_exchange(8)};
+
+  for (const auto& wl : workloads) {
+    print_fc_table(wl);
+  }
+
+  std::printf("%s", util::banner(
+      "E7: feasibility frontier (max load multiplier with FCs intact)")
+      .c_str());
+  util::TextTable out({"workload", "z", "frontier multiplier",
+                       "offered load at frontier"});
+  for (const auto& wl : workloads) {
+    const double frontier = feasibility_frontier(wl);
+    const double load_at =
+        wl.scaled_load(std::max(frontier, 1e-9))
+            .offered_load_bits_per_second() /
+        1e9 * 100.0;
+    out.add_row({wl.name, util::TextTable::cell(static_cast<std::int64_t>(wl.z())),
+                 util::TextTable::cell(frontier, 2),
+                 util::TextTable::cell(load_at, 2) + "%"});
+  }
+  std::printf("%s", out.str().c_str());
+  return 0;
+}

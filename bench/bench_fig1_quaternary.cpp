@@ -1,0 +1,58 @@
+// E1 — Paper Fig. 1: "Worst-case search times for a 64-leaf balanced
+// quaternary tree".
+//
+// Regenerates the figure's two series for k in [0, 64]:
+//   xi(k, 64)   — exact worst-case search time (staircase), Eq. 10
+//   xi~(k, 64)  — the concave asymptote, Eq. 11 (defined on [2, 2t/m];
+//                 beyond 2t/m the exact function is the Eq. 15 line, so the
+//                 asymptote column is still printed for comparison)
+// Expected shape (paper): the staircase rises to a single maximum around
+// k = 2t/m = 32 and then decreases linearly; the asymptote hugs it from
+// above and touches at k = 2 * 4^i.
+#include <cstdio>
+
+#include "analysis/xi.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hrtdm;
+  const int m = 4;
+  const int n = 3;  // t = 64
+  analysis::XiExactTable table(m, n);
+  const std::int64_t t = table.t();
+
+  std::printf("%s", util::banner(
+      "E1 / Fig. 1: worst-case search times, 64-leaf quaternary tree").c_str());
+  util::TextTable out({"k", "xi(k,64) exact", "xi~(k,64) asymptote",
+                       "gap", "touch"});
+  for (std::int64_t k = 0; k <= t; ++k) {
+    std::string asym = "-";
+    std::string gap = "-";
+    std::string touch = "";
+    if (k >= 2) {
+      const double a = analysis::xi_asymptotic(m, static_cast<double>(t),
+                                               static_cast<double>(k));
+      asym = util::TextTable::cell(a, 2);
+      gap = util::TextTable::cell(a - static_cast<double>(table.xi(k)), 2);
+      // Touch points k = 2 m^i.
+      for (std::int64_t touch_k = 2; touch_k <= t; touch_k *= m) {
+        if (k == touch_k) {
+          touch = "*";
+        }
+      }
+    }
+    out.add_row({util::TextTable::cell(k), util::TextTable::cell(table.xi(k)),
+                 asym, gap, touch});
+  }
+  std::printf("%s", out.str().c_str());
+
+  std::printf("\nanchors: xi(2,64) = %lld (paper: m log_m t - 1 = 11), "
+              "xi(32,64) = %lld (Eq. 6: 53), xi(64,64) = %lld (Eq. 7: 21)\n",
+              static_cast<long long>(table.xi(2)),
+              static_cast<long long>(table.xi(32)),
+              static_cast<long long>(table.xi(64)));
+  std::printf("peak of the staircase: k = 2t/m = %lld, xi = %lld\n",
+              static_cast<long long>(2 * t / m),
+              static_cast<long long>(table.xi(2 * t / m)));
+  return 0;
+}

@@ -1,0 +1,144 @@
+// E15 — google-benchmark microbenchmarks: throughput of the analysis
+// kernels (exact DP, closed form, P2 DP, feasibility evaluation), the
+// tree-search engine, the event loop and a full protocol run.
+#include <benchmark/benchmark.h>
+
+#include "analysis/feasibility.hpp"
+#include "analysis/p2.hpp"
+#include "analysis/xi.hpp"
+#include "core/ddcr_network.hpp"
+#include "core/tree_search.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/fc_adapter.hpp"
+#include "traffic/workload.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hrtdm;
+
+void BM_XiExactTableBuild(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    analysis::XiExactTable table(m, n);
+    benchmark::DoNotOptimize(table.xi(table.t() / 2));
+  }
+  state.SetLabel("t=" + std::to_string(util::ipow(m, n)));
+}
+BENCHMARK(BM_XiExactTableBuild)
+    ->Args({2, 8})
+    ->Args({2, 10})
+    ->Args({4, 5})
+    ->Args({4, 6});
+
+void BM_XiClosedForm(benchmark::State& state) {
+  const std::int64_t t = 4096;
+  std::int64_t k = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::xi_closed(4, t, k));
+    k = k % t + 1;
+    if (k < 2) {
+      k = 2;
+    }
+  }
+}
+BENCHMARK(BM_XiClosedForm);
+
+void BM_XiAsymptote(benchmark::State& state) {
+  double k = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::xi_asymptotic(4, 4096.0, k));
+    k = k < 2000.0 ? k + 1.37 : 2.0;
+  }
+}
+BENCHMARK(BM_XiAsymptote);
+
+void BM_P2ExhaustiveDp(benchmark::State& state) {
+  analysis::XiExactTable table(4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::p2_exhaustive(table, 100, 4));
+  }
+}
+BENCHMARK(BM_P2ExhaustiveDp);
+
+void BM_FeasibilityCheck(benchmark::State& state) {
+  const auto wl = traffic::videoconference(static_cast<int>(state.range(0)));
+  traffic::FcAdapterOptions options;
+  options.trees = analysis::FcTreeParams{4, 64, 4, 64};
+  const auto system = traffic::to_fc_system(wl, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::check_feasibility(system));
+  }
+}
+BENCHMARK(BM_FeasibilityCheck)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TreeSearchEngine(benchmark::State& state) {
+  const auto leaves_count = state.range(0);
+  util::Rng rng(42);
+  analysis::XiExactTable table(4, 3);
+  const auto leaves =
+      analysis::worst_case_leaves(table, leaves_count);
+  for (auto _ : state) {
+    core::TreeSearchEngine engine(4, 64);
+    engine.begin();
+    std::vector<std::int64_t> active(leaves.begin(), leaves.end());
+    while (engine.active()) {
+      const auto interval = engine.current();
+      int inside = 0;
+      for (const auto leaf : active) {
+        inside += interval.contains(leaf) ? 1 : 0;
+      }
+      if (inside == 0) {
+        engine.feedback(core::TreeSearchEngine::Feedback::kSilence);
+      } else if (inside == 1) {
+        engine.feedback(core::TreeSearchEngine::Feedback::kSuccess);
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          if (interval.contains(active[i])) {
+            active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+      } else {
+        engine.feedback(core::TreeSearchEngine::Feedback::kCollision);
+      }
+    }
+    benchmark::DoNotOptimize(engine.search_slots());
+  }
+}
+BENCHMARK(BM_TreeSearchEngine)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t fired = 0;
+    std::function<void()> tick = [&] {
+      if (++fired < 10'000) {
+        sim.schedule_after(util::Duration::nanoseconds(10), tick);
+      }
+    };
+    sim.schedule_at(sim::SimTime::zero(), tick);
+    sim.run_to_completion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorEventLoop);
+
+void BM_FullDdcrRun(benchmark::State& state) {
+  const auto wl = traffic::quickstart(static_cast<int>(state.range(0)));
+  core::DdcrRunOptions options;
+  options.ddcr.class_width_c =
+      core::DdcrConfig::class_width_for(wl.max_deadline(), options.ddcr.F);
+  options.ddcr.alpha = options.ddcr.class_width_c * 2;
+  options.arrival_horizon = sim::SimTime::from_ns(10'000'000);  // 10 ms
+  options.drain_cap = sim::SimTime::from_ns(50'000'000);
+  for (auto _ : state) {
+    const auto result = core::run_ddcr(wl, options);
+    benchmark::DoNotOptimize(result.metrics.delivered);
+  }
+}
+BENCHMARK(BM_FullDdcrRun)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,117 @@
+// E14 — Optimal branching degree (end of section 4.1): "optimal m is
+// derived from the general expression of xi".
+//
+// Part 1: analytic study — for required leaf counts, xi over candidate m,
+// dominance, and the argmin by worst-case and by mean.
+// Part 2: simulation confirmation — the same adversarial collision run
+// through CSMA/DDCR networks with different branching degrees; epoch
+// length in slots should rank the same way as the analysis.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/optimal_m.hpp"
+#include "analysis/xi.hpp"
+#include "core/ddcr_network.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hrtdm;
+
+std::int64_t measured_epoch_slots(int m, std::int64_t F, std::int64_t k) {
+  core::DdcrRunOptions options;
+  options.phy.slot_x = util::Duration::nanoseconds(100);
+  options.phy.overhead_bits = 0;
+  options.ddcr.m_time = m;
+  options.ddcr.F = F;
+  options.ddcr.m_static = m;
+  std::int64_t q = m;
+  while (q < k) {
+    q *= m;
+  }
+  options.ddcr.q = q;
+  options.ddcr.class_width_c = util::Duration::milliseconds(1);
+  options.ddcr.alpha = util::Duration::nanoseconds(0);
+
+  analysis::XiExactTable table(m, static_cast<int>(util::ilog_floor(m, F)));
+  const auto leaves = analysis::worst_case_leaves(table, k);
+
+  core::DdcrTestbed bed(static_cast<int>(k), options);
+  const std::int64_t c = options.ddcr.class_width_c.ns();
+  for (std::int64_t s = 0; s < k; ++s) {
+    traffic::Message msg;
+    msg.uid = s;
+    msg.class_id = static_cast<int>(s);
+    msg.source = static_cast<int>(s);
+    msg.l_bits = 100;
+    msg.arrival = sim::SimTime::zero();
+    msg.absolute_deadline = sim::SimTime::from_ns(
+        100 + leaves[static_cast<std::size_t>(s)] * c + c / 2);
+    bed.inject(static_cast<int>(s), msg);
+  }
+  bed.run_until_delivered(k, sim::SimTime::from_ns(400'000'000));
+  return bed.station(0).counters().search_slots_time + 1;  // + root probe
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s", util::banner(
+      "E14: branching-degree study, 64 leaves required (cf. Fig. 2)")
+      .c_str());
+  {
+    const auto study = analysis::compare_branching_degrees(64, 8);
+    util::TextTable out({"m", "t", "worst xi", "mean xi", "dominated"});
+    for (const auto& cand : study.candidates) {
+      out.add_row({util::TextTable::cell(static_cast<std::int64_t>(cand.m)),
+                   util::TextTable::cell(cand.t),
+                   util::TextTable::cell(cand.worst_xi),
+                   util::TextTable::cell(cand.mean_xi, 2),
+                   cand.dominated ? "yes" : "no"});
+    }
+    std::printf("%s", out.str().c_str());
+    std::printf("best m by worst case: %d, by mean: %d (k range [2, %lld])\n",
+                study.best_m_worst_case, study.best_m_mean,
+                static_cast<long long>(study.k_max));
+  }
+
+  std::printf("%s", util::banner(
+      "E14: branching-degree study, 4096 leaves required").c_str());
+  {
+    const auto study = analysis::compare_branching_degrees(4096, 8, 256);
+    util::TextTable out({"m", "t", "worst xi", "mean xi", "dominated"});
+    for (const auto& cand : study.candidates) {
+      out.add_row({util::TextTable::cell(static_cast<std::int64_t>(cand.m)),
+                   util::TextTable::cell(cand.t),
+                   util::TextTable::cell(cand.worst_xi),
+                   util::TextTable::cell(cand.mean_xi, 2),
+                   cand.dominated ? "yes" : "no"});
+    }
+    std::printf("%s", out.str().c_str());
+    std::printf("best m by worst case: %d, by mean: %d (k range [2, %lld])\n",
+                study.best_m_worst_case, study.best_m_mean,
+                static_cast<long long>(study.k_max));
+  }
+
+  std::printf("%s", util::banner(
+      "E14: simulated adversarial epoch length, 64-leaf time trees").c_str());
+  {
+    util::TextTable out({"k", "slots m=2", "slots m=4", "slots m=8",
+                         "xi m=2", "xi m=4", "xi m=8"});
+    analysis::XiExactTable t2(2, 6);
+    analysis::XiExactTable t4(4, 3);
+    analysis::XiExactTable t8(8, 2);
+    for (const std::int64_t k : {2LL, 4LL, 6LL, 8LL, 12LL}) {
+      out.add_row({util::TextTable::cell(k),
+                   util::TextTable::cell(measured_epoch_slots(2, 64, k)),
+                   util::TextTable::cell(measured_epoch_slots(4, 64, k)),
+                   util::TextTable::cell(measured_epoch_slots(8, 64, k)),
+                   util::TextTable::cell(t2.xi(k)),
+                   util::TextTable::cell(t4.xi(k)),
+                   util::TextTable::cell(t8.xi(k))});
+    }
+    std::printf("%s", out.str().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E6 — Problem P2 (Eq. 16-19): worst-case searches over v consecutive
+// t-leaf trees.
+//
+// For sampled (m, t, v, u): the exhaustive maximum of sum_i xi(k_i, t) over
+// compositions (DP over the exact table), the paper's bound
+// v xi~(u/v, t) = xi~(u, tv) - (v-1)/(m-1), the dominance check, and one
+// worst composition (note how the adversary splits as evenly as integer
+// parts allow — the concavity argument behind Eq. 18).
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/p2.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hrtdm;
+
+  std::printf("%s", util::banner(
+      "E6: multi-tree worst case vs P2 bound (Eq. 19)").c_str());
+  util::TextTable out({"m", "t", "v", "u", "exhaustive max", "P2 bound",
+                       "bound ok", "slack", "worst composition"});
+  struct Case { int m; int n; int v; };
+  const Case cases[] = {{2, 4, 2}, {2, 4, 4}, {2, 5, 3}, {3, 3, 2},
+                        {3, 3, 4}, {4, 2, 3}, {4, 3, 2}, {4, 3, 4},
+                        {4, 3, 6}, {5, 2, 5}};
+  bool all_ok = true;
+  for (const auto& [m, n, v] : cases) {
+    analysis::XiExactTable table(m, n);
+    const std::int64_t t = table.t();
+    const std::int64_t vt = static_cast<std::int64_t>(v) * t;
+    for (std::int64_t u : {std::int64_t{2} * v, (2 * v + vt) / 2,
+                           vt - v / 2, vt}) {
+      if (u < 2 * v || u > v * t) {
+        continue;
+      }
+      const std::int64_t exact = analysis::p2_exhaustive(table, u, v);
+      const double bound = analysis::p2_bound(
+          m, static_cast<double>(t), static_cast<double>(u),
+          static_cast<double>(v));
+      const bool ok = static_cast<double>(exact) <= bound + 1e-9;
+      all_ok = all_ok && ok;
+      std::ostringstream comp;
+      for (const std::int64_t part :
+           analysis::p2_worst_composition(table, u, v)) {
+        comp << part << " ";
+      }
+      out.add_row({util::TextTable::cell(static_cast<std::int64_t>(m)),
+                   util::TextTable::cell(t),
+                   util::TextTable::cell(static_cast<std::int64_t>(v)),
+                   util::TextTable::cell(u), util::TextTable::cell(exact),
+                   util::TextTable::cell(bound, 2), ok ? "yes" : "NO",
+                   util::TextTable::cell(bound - static_cast<double>(exact), 2),
+                   comp.str()});
+    }
+  }
+  std::printf("%s", out.str().c_str());
+  std::printf("\nEq. 18 identity check: v xi~(u/v, t) - (xi~(u, tv) - (v-1)/(m-1)) "
+              "= %.2e (m=4, t=64, u=80, v=4)\n",
+              analysis::p2_bound(4, 64, 80, 4) -
+                  analysis::p2_bound_alt(4, 64, 80, 4));
+  std::printf("bound dominates exhaustive maximum everywhere: %s\n",
+              all_ok ? "YES" : "NO");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Slot-level anatomy of one CSMA/DDCR epoch, rendered as an ASCII
+// timeline. Five stations collide; the trace shows the initial collision
+// (X), the time-tree descent (X/. probes), the successful transmissions
+// (#) and the return to silence — exactly the slot sequence the paper's
+// xi analysis counts.
+//
+// Build & run:  ./build/examples/collision_trace
+#include <cstdio>
+
+#include "core/ddcr_network.hpp"
+#include "net/trace.hpp"
+#include "traffic/message.hpp"
+
+int main() {
+  using namespace hrtdm;
+
+  core::DdcrRunOptions options;
+  options.phy.slot_x = util::Duration::nanoseconds(100);
+  options.phy.psi_bps = 1e9;
+  options.phy.overhead_bits = 0;
+  options.ddcr.m_time = 2;
+  options.ddcr.F = 16;
+  options.ddcr.m_static = 2;
+  options.ddcr.q = 16;
+  options.ddcr.class_width_c = util::Duration::microseconds(1);
+  options.ddcr.alpha = util::Duration::nanoseconds(0);
+
+  core::DdcrTestbed bed(5, options);
+  net::TraceRecorder trace;
+  bed.channel().add_observer(trace);
+
+  // Five messages: three distinct deadline classes plus a same-class pair
+  // that will need the static tie-break.
+  const std::int64_t deadlines_us[] = {5, 5, 8, 11, 14};
+  for (int s = 0; s < 5; ++s) {
+    traffic::Message msg;
+    msg.uid = s;
+    msg.class_id = s;
+    msg.source = s;
+    msg.l_bits = 200;  // 200 ns = 2 slots of transmission
+    msg.arrival = sim::SimTime::zero();
+    msg.absolute_deadline =
+        sim::SimTime::from_ns(deadlines_us[s] * 1'000);
+    bed.inject(s, msg);
+  }
+  bed.run_until_delivered(5, sim::SimTime::from_ns(1'000'000));
+  bed.run(bed.simulator().now() + options.phy.slot_x * 6);  // trailing idle
+
+  std::printf("5 stations, deadlines {5, 5, 8, 11, 14} us, c = 1 us\n");
+  std::printf("legend: X collision   . silence   # transmission\n\n");
+  std::printf("%s\n", trace.ascii_timeline(64).c_str());
+
+  std::printf("delivery order (expect EDF, station 0/1 tie broken by "
+              "static index):\n");
+  for (const auto& tx : bed.metrics().log()) {
+    std::printf("  t=%6lld ns  station %d  (deadline %lld us)\n",
+                static_cast<long long>(tx.completed.ns()), tx.source,
+                static_cast<long long>(tx.deadline.ns() / 1000));
+  }
+
+  const auto& counters = bed.station(0).counters();
+  std::printf("\nepochs: %lld, time tree searches: %lld, static searches: "
+              "%lld\n",
+              static_cast<long long>(counters.epochs),
+              static_cast<long long>(counters.tts_runs),
+              static_cast<long long>(counters.sts_runs));
+  std::printf("time-tree search slots heard: %lld, static: %lld\n",
+              static_cast<long long>(counters.search_slots_time),
+              static_cast<long long>(counters.search_slots_static));
+  std::printf("\nCSV trace (first 3 rows):\n");
+  const std::string csv = trace.csv();
+  std::size_t pos = 0;
+  for (int i = 0; i < 4 && pos != std::string::npos; ++i) {
+    const std::size_t next = csv.find('\n', pos);
+    std::printf("  %s\n", csv.substr(pos, next - pos).c_str());
+    pos = next == std::string::npos ? next : next + 1;
+  }
+  return 0;
+}

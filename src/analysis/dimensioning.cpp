@@ -1,0 +1,128 @@
+#include "analysis/dimensioning.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hrtdm::analysis {
+
+namespace {
+
+FcSystem build_system(const DimensioningRequest& request,
+                      const FcTreeParams& trees,
+                      const std::vector<std::int64_t>& nu) {
+  FcSystem system;
+  system.phy = request.phy;
+  system.trees = trees;
+  system.sources = request.sources;
+  for (std::size_t s = 0; s < system.sources.size(); ++s) {
+    system.sources[s].nu = nu[s];
+  }
+  return system;
+}
+
+/// Index of the source owning the class with the smallest margin d - B.
+std::size_t worst_source(const FcReport& report,
+                         const std::vector<FcSource>& sources) {
+  double worst = std::numeric_limits<double>::infinity();
+  std::string worst_name;
+  for (const auto& cls : report.classes) {
+    const double margin = cls.d_s - cls.b_ddcr_s;
+    if (margin < worst) {
+      worst = margin;
+      worst_name = cls.source;
+    }
+  }
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    if (sources[s].name == worst_name) {
+      return s;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+DimensioningResult dimension(const DimensioningRequest& request) {
+  HRTDM_EXPECT(!request.sources.empty(), "need at least one source");
+  HRTDM_EXPECT(request.m >= 2, "branching degree must be >= 2");
+  HRTDM_EXPECT(util::is_power_of(request.m, request.F),
+               "F must be a power of m");
+  const auto z = static_cast<std::int64_t>(request.sources.size());
+  HRTDM_EXPECT(request.max_q >= z, "max_q cannot be below the source count");
+
+  DimensioningResult result;
+  result.trees.m_static = request.m;
+  result.trees.m_time = request.m;
+  result.trees.F = request.F;
+
+  // Smallest power-of-m static tree that seats every source.
+  std::int64_t q = util::ipow(request.m, util::ilog_ceil(request.m, z));
+  std::vector<std::int64_t> nu(static_cast<std::size_t>(z), 1);
+
+  const auto log_step = [&result](const std::string& text) {
+    result.steps.push_back(text);
+  };
+
+  // Fast-fail: no tree shape can help past raw channel capacity.
+  {
+    FcSystem probe = build_system(request, result.trees, nu);
+    probe.trees.q = q;
+    const double load = probe.slot_limited_load();
+    if (load >= 1.0) {
+      std::ostringstream oss;
+      oss << "slot-limited offered load " << load
+          << " >= 1: beyond channel capacity, no configuration exists";
+      log_step(oss.str());
+      result.trees.q = q;
+      result.nu = nu;
+      result.report = check_feasibility(probe);
+      return result;
+    }
+  }
+
+  for (int step = 0; step < request.max_steps; ++step) {
+    result.trees.q = q;
+    result.nu = nu;
+    const FcSystem system = build_system(request, result.trees, nu);
+    result.report = check_feasibility(system);
+    if (result.report.feasible) {
+      result.feasible = true;
+      std::ostringstream oss;
+      oss << "feasible with q=" << q << ", total nu="
+          << std::accumulate(nu.begin(), nu.end(), std::int64_t{0});
+      log_step(oss.str());
+      return result;
+    }
+
+    // Escalate: one more static index for the source with the binding
+    // class; grow the static tree when the index budget is exhausted.
+    const std::int64_t total_nu =
+        std::accumulate(nu.begin(), nu.end(), std::int64_t{0});
+    const std::size_t target = worst_source(result.report, request.sources);
+    if (total_nu < q) {
+      ++nu[target];
+      std::ostringstream oss;
+      oss << "margin " << result.report.worst_margin_s << " s: grant index #"
+          << nu[target] << " to source " << request.sources[target].name;
+      log_step(oss.str());
+    } else if (q * request.m <= request.max_q) {
+      q *= request.m;
+      ++nu[target];
+      std::ostringstream oss;
+      oss << "index budget exhausted: grow static tree to q=" << q;
+      log_step(oss.str());
+    } else {
+      log_step("budgets exhausted; instance appears infeasible at this PHY");
+      return result;
+    }
+  }
+  log_step("step budget exhausted");
+  return result;
+}
+
+}  // namespace hrtdm::analysis

@@ -1,0 +1,42 @@
+// Dimensioning assistant: the paper positions the feasibility conditions
+// as the tool "for an end user or a technology provider who has to assign
+// numerical values" — this module automates the assignment. Given the
+// message classes and the PHY, it searches tree shapes (q) and static-index
+// allocations (nu_i) until every class satisfies B_DDCR <= d, escalating
+// the remedies an engineer would: more static indices for the sources
+// whose local backlog drives v(M), then a larger static tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/feasibility.hpp"
+
+namespace hrtdm::analysis {
+
+struct DimensioningRequest {
+  FcPhy phy;
+  std::vector<FcSource> sources;  ///< nu fields are ignored (chosen here)
+  int m = 4;                      ///< branching degree for both trees
+  std::int64_t F = 64;            ///< time-tree leaves (power of m)
+  std::int64_t max_q = 4096;      ///< static-tree growth budget
+  int max_steps = 200;            ///< escalation budget
+};
+
+struct DimensioningResult {
+  bool feasible = false;
+  FcTreeParams trees;
+  std::vector<std::int64_t> nu;  ///< chosen static indices per source
+  FcReport report;               ///< FC evaluation of the chosen config
+  std::vector<std::string> steps;  ///< escalation log (human-readable)
+};
+
+/// Searches for a feasible (q, nu) assignment. Starts from the smallest
+/// power-of-m static tree holding z sources with one index each; while the
+/// FCs fail, grants an extra index to the source owning the class with the
+/// worst margin (v(M) shrinks), growing q by a factor of m whenever the
+/// index budget is exhausted. Gives up when the budgets run out and
+/// returns the best attempt.
+DimensioningResult dimension(const DimensioningRequest& request);
+
+}  // namespace hrtdm::analysis

@@ -1,0 +1,33 @@
+#include "analysis/efficiency.hpp"
+
+#include "analysis/xi.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::analysis {
+
+double per_message_overhead_slots(int m, std::int64_t t, std::int64_t k) {
+  HRTDM_EXPECT(k >= 1 && k <= t, "k must lie in [1, t]");
+  if (k == 1) {
+    return 0.0;  // a lone transmission needs no resolution
+  }
+  return (static_cast<double>(xi_closed(m, t, k)) + 1.0) /
+         static_cast<double>(k);
+}
+
+double worst_case_efficiency(int m, std::int64_t t, std::int64_t k,
+                             double tx_seconds, double slot_seconds) {
+  HRTDM_EXPECT(tx_seconds > 0.0 && slot_seconds > 0.0,
+               "times must be positive");
+  const double payload = static_cast<double>(k) * tx_seconds;
+  const double overhead =
+      per_message_overhead_slots(m, t, k) * static_cast<double>(k) *
+      slot_seconds;
+  return payload / (payload + overhead);
+}
+
+double saturated_overhead_slots(int m) {
+  HRTDM_EXPECT(m >= 2, "branching degree must be >= 2");
+  return 1.0 / (static_cast<double>(m) - 1.0);
+}
+
+}  // namespace hrtdm::analysis

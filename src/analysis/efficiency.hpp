@@ -1,0 +1,32 @@
+// Channel-utilisation analysis for tree collision resolution.
+//
+// Section 3.1 motivates tree protocols by their near-optimal channel
+// utilisation. These helpers quantify it for CSMA/DDCR: a k-way collision
+// costs xi(k, t) + 1 slots (search plus the triggering collision) to
+// deliver k frames, so the worst-case efficiency is
+//
+//     eta(k) = k T_tx / (k T_tx + (xi(k, t) + 1) x).
+//
+// The per-message overhead (xi + 1)/k falls toward its floor as the tree
+// saturates: at k = t, (xi(t,t) + 1)/t -> 1/(m-1) slots per message.
+#pragma once
+
+#include <cstdint>
+
+namespace hrtdm::analysis {
+
+/// Worst-case search slots per delivered message for a k-way collision,
+/// including the triggering collision: (xi(k, t) + 1) / k.
+double per_message_overhead_slots(int m, std::int64_t t, std::int64_t k);
+
+/// Worst-case channel efficiency for k contenders with transmission time
+/// tx_seconds and slot time slot_seconds. Requires k >= 1 (k = 1 has no
+/// collision and is fully efficient).
+double worst_case_efficiency(int m, std::int64_t t, std::int64_t k,
+                             double tx_seconds, double slot_seconds);
+
+/// The saturation floor of the per-message overhead: 1/(m-1) slots, the
+/// k = t limit of per_message_overhead_slots (plus the vanishing 1/t).
+double saturated_overhead_slots(int m);
+
+}  // namespace hrtdm::analysis

@@ -1,0 +1,163 @@
+#include "analysis/feasibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/xi.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hrtdm::analysis {
+
+namespace {
+
+/// ceil(x / w) clamped below at 0: the number of sliding windows of length w
+/// that fit arrivals inside an interval of (possibly negative) length x.
+std::int64_t window_count(double x, double w) {
+  HRTDM_EXPECT(w > 0.0, "arrival window must be positive");
+  if (x <= 0.0) {
+    return 0;
+  }
+  return static_cast<std::int64_t>(std::ceil(x / w));
+}
+
+double l_prime_bits(const FcPhy& phy, const FcMessageClass& cls) {
+  return static_cast<double>(cls.l_bits + phy.overhead_bits);
+}
+
+}  // namespace
+
+void FcSystem::validate() const {
+  HRTDM_EXPECT(phy.psi_bps > 0.0, "throughput must be positive");
+  HRTDM_EXPECT(phy.slot_s > 0.0, "slot time must be positive");
+  HRTDM_EXPECT(phy.overhead_bits >= 0, "framing overhead cannot be negative");
+  HRTDM_EXPECT(trees.m_static >= 2 && trees.m_time >= 2,
+               "branching degrees must be >= 2");
+  HRTDM_EXPECT(util::is_power_of(trees.m_static, trees.q),
+               "q must be a power of m_static");
+  HRTDM_EXPECT(util::is_power_of(trees.m_time, trees.F),
+               "F must be a power of m_time");
+  HRTDM_EXPECT(!sources.empty(), "need at least one source");
+  HRTDM_EXPECT(trees.q >= static_cast<std::int64_t>(sources.size()),
+               "q must be at least the number of sources z");
+  std::int64_t total_nu = 0;
+  for (const auto& src : sources) {
+    HRTDM_EXPECT(src.nu >= 1, "every source needs at least one static index");
+    total_nu += src.nu;
+    for (const auto& cls : src.classes) {
+      HRTDM_EXPECT(cls.l_bits > 0, "message length must be positive");
+      HRTDM_EXPECT(cls.d_s > 0.0, "deadline must be positive");
+      HRTDM_EXPECT(cls.a >= 1, "arrival count bound must be >= 1");
+      HRTDM_EXPECT(cls.w_s > 0.0, "arrival window must be positive");
+    }
+  }
+  HRTDM_EXPECT(total_nu <= trees.q,
+               "static indices cannot exceed static-tree leaves");
+}
+
+double FcSystem::offered_load() const {
+  double load = 0.0;
+  for (const auto& src : sources) {
+    for (const auto& cls : src.classes) {
+      load += static_cast<double>(cls.a) / cls.w_s *
+              (l_prime_bits(phy, cls) / phy.psi_bps);
+    }
+  }
+  return load;
+}
+
+double FcSystem::slot_limited_load() const {
+  double load = 0.0;
+  for (const auto& src : sources) {
+    for (const auto& cls : src.classes) {
+      const double tx = l_prime_bits(phy, cls) / phy.psi_bps;
+      load += static_cast<double>(cls.a) / cls.w_s * std::max(tx, phy.slot_s);
+    }
+  }
+  return load;
+}
+
+FcClassReport evaluate_class(const FcSystem& system, std::size_t source_idx,
+                             std::size_t class_idx) {
+  HRTDM_EXPECT(source_idx < system.sources.size(), "source index out of range");
+  const FcSource& source = system.sources[source_idx];
+  HRTDM_EXPECT(class_idx < source.classes.size(), "class index out of range");
+  const FcMessageClass& M = source.classes[class_idx];
+
+  FcClassReport report;
+  report.source = source.name;
+  report.klass = M.name;
+  report.d_s = M.d_s;
+
+  // r(M): messages of MSG_i that can be serviced before M. A message msg can
+  // precede M only if it arrives in [T(M) - d(msg), T(M) + d(M) - d(msg)],
+  // an interval of length d(M); the density bound caps arrivals per class.
+  std::int64_t r = -1;  // the -1 removes M itself
+  for (const auto& cls : source.classes) {
+    r += window_count(M.d_s, cls.w_s) * cls.a;
+  }
+  report.r = std::max<std::int64_t>(r, 0);
+
+  // u(M): messages transmitted by all sources over I(M) = [T, T + d(M)).
+  const double tx_of_m = l_prime_bits(system.phy, M) / system.phy.psi_bps;
+  std::int64_t u = 0;
+  double tx_sum = 0.0;
+  for (const auto& src : system.sources) {
+    for (const auto& cls : src.classes) {
+      const std::int64_t count =
+          window_count(M.d_s + cls.d_s - tx_of_m, cls.w_s) * cls.a;
+      u += count;
+      tx_sum += static_cast<double>(count) *
+                (l_prime_bits(system.phy, cls) / system.phy.psi_bps);
+    }
+  }
+  report.u = u;
+  report.tx_time_s = tx_sum;
+
+  // v(M): static trees searched while M waits, given nu_i indices per STs.
+  report.v = 1 + util::floor_div(report.r, source.nu);
+
+  // S1: P2 bound over v consecutive static trees; the asymptote is defined
+  // on k in (0, q], and the paper's adversary uses k_i in [2, q], so the
+  // per-tree average u/v is clamped into that range.
+  const double q = static_cast<double>(system.trees.q);
+  double k_avg = static_cast<double>(report.u) / static_cast<double>(report.v);
+  if (k_avg < 2.0 || k_avg > q) {
+    report.k_clamped = true;
+    k_avg = std::clamp(k_avg, 2.0, q);
+  }
+  report.s1_slots = static_cast<double>(report.v) *
+                    xi_asymptotic(system.trees.m_static, q, k_avg);
+
+  // S2: isolating v time-tree leaves; 2 active leaves per time tree is the
+  // worst case, so ceil(v/2) trees each contribute xi(2, F) slots.
+  report.s2_slots =
+      static_cast<double>(util::ceil_div(report.v, 2)) *
+      static_cast<double>(xi_two(system.trees.m_time, system.trees.F));
+
+  report.b_ddcr_s = report.tx_time_s +
+                    system.phy.slot_s * (report.s1_slots + report.s2_slots);
+  report.feasible = report.b_ddcr_s <= M.d_s;
+  return report;
+}
+
+FcReport check_feasibility(const FcSystem& system) {
+  system.validate();
+  FcReport report;
+  report.feasible = true;
+  report.worst_margin_s = std::numeric_limits<double>::infinity();
+  report.offered_load = system.offered_load();
+  for (std::size_t s = 0; s < system.sources.size(); ++s) {
+    for (std::size_t c = 0; c < system.sources[s].classes.size(); ++c) {
+      FcClassReport cls = evaluate_class(system, s, c);
+      report.feasible = report.feasible && cls.feasible;
+      report.worst_margin_s =
+          std::min(report.worst_margin_s, cls.d_s - cls.b_ddcr_s);
+      report.classes.push_back(std::move(cls));
+    }
+  }
+  return report;
+}
+
+}  // namespace hrtdm::analysis

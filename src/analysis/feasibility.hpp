@@ -1,0 +1,109 @@
+// Feasibility conditions for HRTDM under CSMA/DDCR (section 4.3).
+//
+// For every message class M of source s_i the paper derives a computable
+// upper bound B_DDCR(s_i, M) on successful-transmission latency under
+// peak-load (density-saturating) conditions:
+//
+//   r(M) = sum_{m in MSG_i} ceil(d(M)/w(m)) a(m) - 1          (local rank)
+//   u(M) = sum_{m in MSG}  ceil((d(M)+d(m)-l'(M)/psi)/w(m)) a(m)
+//                                                   (global interference)
+//   v(M) = 1 + floor(r(M)/nu_i)                (static trees to search)
+//   S1   = v(M) xi~(u(M)/v(M), q)              (P2 bound, static trees)
+//   S2   = ceil(v(M)/2) xi(2, F)               (time-tree overhead)
+//   B    = sum_{m in MSG} ceil(...) a(m) l'(m)/psi + x (S1 + S2)
+//
+// The instantiation is feasible iff B_DDCR(s_i, M) <= d(M) for every source
+// and class. All analysis-side quantities are double seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hrtdm::analysis {
+
+/// One message class: every instance has the same length, deadline and
+/// arrival-density bound (the unimodal arbitrary model: at most `a` arrivals
+/// in any sliding window of `w_s` seconds).
+struct FcMessageClass {
+  std::string name;
+  std::int64_t l_bits = 0;  ///< data-link PDU length l(msg), bits
+  double d_s = 0.0;         ///< relative deadline d(msg), seconds
+  std::int64_t a = 1;       ///< max arrivals per window
+  double w_s = 0.0;         ///< sliding window w(msg), seconds
+};
+
+/// A source and the subset MSG_i mapped onto it.
+struct FcSource {
+  std::string name;
+  std::vector<FcMessageClass> classes;
+  std::int64_t nu = 1;  ///< static indices allocated to this source (nu_i)
+};
+
+/// Physical-layer model: throughput psi, slot time x, and the framing
+/// overhead that turns l into l' = l + overhead.
+struct FcPhy {
+  double psi_bps = 1e9;          ///< nominal throughput (bits per second)
+  double slot_s = 4.096e-6;      ///< slot time x (seconds)
+  std::int64_t overhead_bits = 0;  ///< l'(msg) - l(msg)
+};
+
+/// Tree-shape parameters of CSMA/DDCR.
+struct FcTreeParams {
+  int m_static = 4;       ///< static-tree branching degree
+  std::int64_t q = 64;    ///< static-tree leaves (power of m_static, >= z)
+  int m_time = 4;         ///< time-tree branching degree
+  std::int64_t F = 64;    ///< time-tree leaves (power of m_time)
+};
+
+/// A fully quantified HRTDM instantiation.
+struct FcSystem {
+  FcPhy phy;
+  FcTreeParams trees;
+  std::vector<FcSource> sources;
+
+  /// Validates the structural constraints (powers of m, q >= z,
+  /// sum nu_i <= q, positive densities). Contract-fails on violation.
+  void validate() const;
+
+  /// Long-run offered load sum a/w * l'/psi (must be < 1 for any protocol).
+  double offered_load() const;
+
+  /// Slot-limited offered load: every frame occupies at least one slot x
+  /// on a CSMA medium, so sum a/w * max(l'/psi, x) < 1 is a *necessary*
+  /// capacity condition regardless of protocol — a cheap screen before
+  /// evaluating the full FCs.
+  double slot_limited_load() const;
+};
+
+/// Per-class evaluation of the bound.
+struct FcClassReport {
+  std::string source;
+  std::string klass;
+  std::int64_t r = 0;       ///< local rank bound r(M)
+  std::int64_t u = 0;       ///< global interference bound u(M)
+  std::int64_t v = 0;       ///< static-tree count v(M)
+  double tx_time_s = 0.0;   ///< physical transmission time component
+  double s1_slots = 0.0;    ///< P2 static-tree search bound (slots)
+  double s2_slots = 0.0;    ///< time-tree search bound (slots)
+  double b_ddcr_s = 0.0;    ///< the latency bound B_DDCR(s_i, M)
+  double d_s = 0.0;         ///< the class deadline
+  bool feasible = false;    ///< B <= d
+  bool k_clamped = false;   ///< u/v fell outside [2, q] and was clamped
+};
+
+struct FcReport {
+  std::vector<FcClassReport> classes;
+  bool feasible = false;      ///< conjunction over classes
+  double worst_margin_s = 0;  ///< min over classes of d - B (negative if infeasible)
+  double offered_load = 0.0;
+};
+
+/// Evaluates the feasibility conditions of section 4.3 for every class.
+FcReport check_feasibility(const FcSystem& system);
+
+/// Evaluates B_DDCR for a single class of a single source (index-based).
+FcClassReport evaluate_class(const FcSystem& system, std::size_t source_idx,
+                             std::size_t class_idx);
+
+}  // namespace hrtdm::analysis

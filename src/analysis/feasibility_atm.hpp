@@ -1,0 +1,54 @@
+// Feasibility conditions for CSMA/DDCR over an ATM internal bus
+// (section 3.2: "It is reasonably straightforward to derive an analysis of
+// the CSMA/DDCR protocol in the case of ATM switches from the analysis
+// presented below").
+//
+// On such a bus the exclusive-OR logic makes collisions non-destructive:
+// a contention slot resolves by wired-OR arbitration to the contender with
+// the smallest key (here: the earliest absolute deadline). Consequently
+//  - no tree searches exist: every interfering message costs at most one
+//    arbitration slot x plus its transmission time, and
+//  - the protocol is exactly non-preemptive EDF, so the only blocking is
+//    one lower-priority message already on the wire.
+//
+// The latency bound for message M of source s_i therefore becomes
+//
+//   B_ATM(M) = max_(m in MSG) l'(m)/psi            (non-preemptive block)
+//            + sum_(m in MSG, precedes M) count_m (l'(m)/psi + x)
+//            + l'(M)/psi + x
+//
+// where count_m is the same peak-density window count as in section 4.3
+// but restricted to messages that can precede M under EDF (deadline no
+// later than M's, using the d(M) + d(m) interference window).
+#pragma once
+
+#include "analysis/feasibility.hpp"
+
+namespace hrtdm::analysis {
+
+struct AtmClassReport {
+  std::string source;
+  std::string klass;
+  std::int64_t u = 0;        ///< interfering messages over I(M)
+  double blocking_s = 0.0;   ///< non-preemptive blocking term
+  double b_atm_s = 0.0;      ///< the bound B_ATM(M)
+  double d_s = 0.0;
+  bool feasible = false;
+};
+
+struct AtmReport {
+  std::vector<AtmClassReport> classes;
+  bool feasible = false;
+  double worst_margin_s = 0.0;
+};
+
+/// Evaluates the arbitration-mode bound for every class. Tree parameters
+/// of `system` are ignored (there are no trees on an arbitrated bus).
+AtmReport check_feasibility_atm(const FcSystem& system);
+
+/// Single-class evaluation (index-based, mirrors evaluate_class).
+AtmClassReport evaluate_class_atm(const FcSystem& system,
+                                  std::size_t source_idx,
+                                  std::size_t class_idx);
+
+}  // namespace hrtdm::analysis

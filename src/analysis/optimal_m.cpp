@@ -1,0 +1,97 @@
+#include "analysis/optimal_m.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "analysis/xi.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hrtdm::analysis {
+
+BranchingStudy compare_branching_degrees(std::int64_t leaves_required,
+                                         int m_max, std::int64_t k_max) {
+  HRTDM_EXPECT(leaves_required >= 2, "need at least two leaves");
+  HRTDM_EXPECT(m_max >= 2, "m_max must be >= 2");
+
+  BranchingStudy study;
+  study.leaves_required = leaves_required;
+
+  // Smallest t_m per candidate, and the smallest t across candidates (the
+  // range on which all candidates are comparable).
+  std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> t_of_m;
+  for (int m = 2; m <= m_max; ++m) {
+    const std::int64_t n = util::ilog_ceil(m, leaves_required);
+    const std::int64_t t = util::ipow(m, n);
+    t_of_m.push_back(t);
+    t_min = std::min(t_min, t);
+  }
+  study.k_max = (k_max <= 0) ? t_min : std::min(k_max, t_min);
+  HRTDM_EXPECT(study.k_max >= 2, "comparable k range is empty");
+
+  // Evaluate each candidate over the shared k range via the closed form.
+  std::vector<std::vector<std::int64_t>> values;
+  for (int m = 2; m <= m_max; ++m) {
+    const std::int64_t t = t_of_m[static_cast<std::size_t>(m - 2)];
+    BranchingCandidate cand;
+    cand.m = m;
+    cand.t = t;
+    std::vector<std::int64_t> vals;
+    vals.reserve(static_cast<std::size_t>(study.k_max - 1));
+    double sum = 0.0;
+    for (std::int64_t k = 2; k <= study.k_max; ++k) {
+      const std::int64_t v = xi_closed(m, t, k);
+      vals.push_back(v);
+      cand.worst_xi = std::max(cand.worst_xi, v);
+      sum += static_cast<double>(v);
+    }
+    cand.mean_xi = sum / static_cast<double>(study.k_max - 1);
+    values.push_back(std::move(vals));
+    study.candidates.push_back(cand);
+  }
+
+  // Dominance: candidate i is dominated if some j is <= pointwise and
+  // strictly < somewhere.
+  for (std::size_t i = 0; i < study.candidates.size(); ++i) {
+    for (std::size_t j = 0; j < study.candidates.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      bool le_everywhere = true;
+      bool lt_somewhere = false;
+      for (std::size_t k = 0; k < values[i].size(); ++k) {
+        if (values[j][k] > values[i][k]) {
+          le_everywhere = false;
+          break;
+        }
+        if (values[j][k] < values[i][k]) {
+          lt_somewhere = true;
+        }
+      }
+      if (le_everywhere && lt_somewhere) {
+        study.candidates[i].dominated = true;
+        break;
+      }
+    }
+  }
+
+  const auto best_by = [&](auto key) {
+    int best_m = study.candidates.front().m;
+    auto best_val = key(study.candidates.front());
+    for (const auto& cand : study.candidates) {
+      if (key(cand) < best_val) {
+        best_val = key(cand);
+        best_m = cand.m;
+      }
+    }
+    return best_m;
+  };
+  study.best_m_worst_case =
+      best_by([](const BranchingCandidate& c) { return c.worst_xi; });
+  study.best_m_mean = best_by(
+      [](const BranchingCandidate& c) { return c.mean_xi; });
+  return study;
+}
+
+}  // namespace hrtdm::analysis

@@ -1,0 +1,38 @@
+// Optimal branching degree selection (end of section 4.1).
+//
+// The paper observes that for 64 leaves a quaternary tree dominates a binary
+// tree for every k in [2, 64], and notes that "optimal m is derived from the
+// general expression of xi". These helpers make that derivation concrete:
+// given a required leaf count, compare candidate degrees m over the k range
+// of interest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hrtdm::analysis {
+
+struct BranchingCandidate {
+  int m = 0;
+  std::int64_t t = 0;           ///< smallest power of m >= required leaves
+  std::int64_t worst_xi = 0;    ///< max over the evaluated k range
+  double mean_xi = 0.0;         ///< mean over the evaluated k range
+  bool dominated = false;       ///< some other candidate is <= for every k
+};
+
+struct BranchingStudy {
+  std::int64_t leaves_required = 0;
+  std::int64_t k_max = 0;
+  std::vector<BranchingCandidate> candidates;  ///< sorted by m
+  int best_m_worst_case = 0;  ///< argmin of worst_xi (ties -> smaller m)
+  int best_m_mean = 0;        ///< argmin of mean_xi (ties -> smaller m)
+};
+
+/// Evaluates xi(k, t_m) for each m in [2, m_max] with t_m the smallest power
+/// of m >= leaves_required, over k in [2, min(k_max, t_min)] where t_min is
+/// the smallest of the t_m (so every candidate is defined on the range).
+/// k_max <= 0 means "the full comparable range".
+BranchingStudy compare_branching_degrees(std::int64_t leaves_required,
+                                         int m_max, std::int64_t k_max = 0);
+
+}  // namespace hrtdm::analysis

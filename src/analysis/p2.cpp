@@ -1,0 +1,95 @@
+#include "analysis/p2.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hrtdm::analysis {
+
+namespace {
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min() / 4;
+
+/// best[j][s]: maximal sum of xi over j parts (each in [2, t]) summing to s.
+std::vector<std::vector<std::int64_t>> p2_dp(const XiExactTable& table,
+                                             std::int64_t u, int v) {
+  HRTDM_EXPECT(v >= 1, "need at least one tree");
+  HRTDM_EXPECT(u >= 2 * v && u <= v * table.t(),
+               "u must admit a composition with parts in [2, t]");
+  const std::int64_t t = table.t();
+  std::vector<std::vector<std::int64_t>> best(
+      static_cast<std::size_t>(v) + 1,
+      std::vector<std::int64_t>(static_cast<std::size_t>(u) + 1, kNegInf));
+  best[0][0] = 0;
+  for (int j = 1; j <= v; ++j) {
+    for (std::int64_t s = 2 * j; s <= std::min<std::int64_t>(u, j * t); ++s) {
+      std::int64_t b = kNegInf;
+      const std::int64_t lo = std::max<std::int64_t>(2, s - (j - 1) * t);
+      const std::int64_t hi = std::min(t, s - 2 * (j - 1));
+      for (std::int64_t k = lo; k <= hi; ++k) {
+        const std::int64_t prev =
+            best[static_cast<std::size_t>(j - 1)][static_cast<std::size_t>(s - k)];
+        if (prev != kNegInf) {
+          b = std::max(b, prev + table.xi(k));
+        }
+      }
+      best[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] = b;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+double p2_bound(int m, double t, double u, double v) {
+  HRTDM_EXPECT(v >= 1.0, "need at least one tree");
+  HRTDM_EXPECT(u > 0.0 && u / v <= t, "u/v must lie in (0, t]");
+  return v * xi_asymptotic(m, t, u / v);
+}
+
+double p2_bound_alt(int m, double t, double u, double v) {
+  HRTDM_EXPECT(v >= 1.0, "need at least one tree");
+  HRTDM_EXPECT(u > 0.0 && u / v <= t, "u/v must lie in (0, t]");
+  return xi_asymptotic(m, t * v, u) - (v - 1.0) / (static_cast<double>(m) - 1.0);
+}
+
+std::int64_t p2_exhaustive(const XiExactTable& table, std::int64_t u, int v) {
+  const auto best = p2_dp(table, u, v);
+  const std::int64_t result =
+      best[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)];
+  HRTDM_ENSURE(result != kNegInf, "no valid composition found");
+  return result;
+}
+
+std::vector<std::int64_t> p2_worst_composition(const XiExactTable& table,
+                                               std::int64_t u, int v) {
+  const auto best = p2_dp(table, u, v);
+  const std::int64_t t = table.t();
+  std::vector<std::int64_t> parts;
+  parts.reserve(static_cast<std::size_t>(v));
+  std::int64_t s = u;
+  for (int j = v; j >= 1; --j) {
+    const std::int64_t target =
+        best[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+    HRTDM_ENSURE(target != kNegInf, "no valid composition found");
+    const std::int64_t lo = std::max<std::int64_t>(2, s - (j - 1) * t);
+    const std::int64_t hi = std::min(t, s - 2 * (j - 1));
+    bool found = false;
+    for (std::int64_t k = lo; k <= hi; ++k) {
+      const std::int64_t prev =
+          best[static_cast<std::size_t>(j - 1)][static_cast<std::size_t>(s - k)];
+      if (prev != kNegInf && prev + table.xi(k) == target) {
+        parts.push_back(k);
+        s -= k;
+        found = true;
+        break;
+      }
+    }
+    HRTDM_ENSURE(found, "composition reconstruction failed");
+  }
+  HRTDM_ENSURE(s == 0, "composition does not sum to u");
+  std::sort(parts.begin(), parts.end());
+  return parts;
+}
+
+}  // namespace hrtdm::analysis

@@ -1,0 +1,34 @@
+// Problem P2 of the paper: worst-case searches over multiple consecutive
+// balanced m-ary trees (section 4.2).
+//
+// The adversary distributes u messages over v consecutive t-leaf trees
+// (k_i in [2, t] per tree) to maximise the total search cost
+// sum_i xi(k_i, t). The paper bounds this (Eq. 17–19) by the concave
+// asymptote evaluated at the equal split:
+//
+//   max sum xi(k_i, t)  <=  v xi~(u/v, t)  =  xi~(u, t v) - (v-1)/(m-1).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/xi.hpp"
+
+namespace hrtdm::analysis {
+
+/// Eq. 18 left form: v * xi~(u/v, t). Requires v >= 1 and u/v in (0, t].
+double p2_bound(int m, double t, double u, double v);
+
+/// Eq. 18 right form: xi~(u, t v) - (v-1)/(m-1). Equal to p2_bound by the
+/// paper's identity; both are exposed so tests can confirm the identity.
+double p2_bound_alt(int m, double t, double u, double v);
+
+/// Exact maximum of sum_i xi(k_i, t) over compositions u = k_1 + ... + k_v
+/// with every k_i in [2, t], by dynamic programming over the exact table.
+/// Requires 2 v <= u <= v t. O(v * u * t) time.
+std::int64_t p2_exhaustive(const XiExactTable& table, std::int64_t u, int v);
+
+/// One maximising composition (same DP, with reconstruction).
+std::vector<std::int64_t> p2_worst_composition(const XiExactTable& table,
+                                               std::int64_t u, int v);
+
+}  // namespace hrtdm::analysis

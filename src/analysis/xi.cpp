@@ -1,0 +1,378 @@
+#include "analysis/xi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hrtdm::analysis {
+
+using hrtdm::util::ilog_floor;
+using hrtdm::util::ilog_ceil;
+using hrtdm::util::ilog_floor_rational;
+using hrtdm::util::ipow;
+using hrtdm::util::is_power_of;
+
+namespace {
+
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int64_t>::min() / 4;
+
+void check_tree_shape(int m, std::int64_t t) {
+  HRTDM_EXPECT(m >= 2, "branching degree m must be >= 2");
+  HRTDM_EXPECT(t >= 1 && is_power_of(m, t), "t must be a power of m");
+}
+
+/// Max-plus convolution: c[s] = max_{i+j=s} a[i] + b[j].
+std::vector<std::int64_t> maxplus(const std::vector<std::int64_t>& a,
+                                  const std::vector<std::int64_t>& b) {
+  std::vector<std::int64_t> c(a.size() + b.size() - 1, kNegInf);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      c[i + j] = std::max(c[i + j], a[i] + b[j]);
+    }
+  }
+  return c;
+}
+
+/// r-fold max-plus power of `row` for r = 1..m (index r-1).
+std::vector<std::vector<std::int64_t>> maxplus_powers(
+    const std::vector<std::int64_t>& row, int m) {
+  std::vector<std::vector<std::int64_t>> powers;
+  powers.reserve(static_cast<std::size_t>(m));
+  powers.push_back(row);
+  for (int r = 2; r <= m; ++r) {
+    powers.push_back(maxplus(powers.back(), row));
+  }
+  return powers;
+}
+
+}  // namespace
+
+XiExactTable::XiExactTable(int m, int n) : m_(m), n_(n) {
+  HRTDM_EXPECT(m >= 2, "branching degree m must be >= 2");
+  HRTDM_EXPECT(n >= 0, "tree height n must be >= 0");
+  t_ = ipow(m, n);
+  // Level 0 (a single leaf): probing an empty leaf costs one silent slot,
+  // probing an occupied leaf is a free successful transmission.
+  levels_.push_back({1, 0});
+  for (int level = 1; level <= n; ++level) {
+    const auto conv = maxplus_powers(levels_.back(), m).back();
+    const auto size = static_cast<std::size_t>(ipow(m, level)) + 1;
+    HRTDM_ENSURE(conv.size() == size, "convolution width mismatch");
+    std::vector<std::int64_t> row(size);
+    row[0] = 1;  // empty subtree: one silent slot
+    if (size > 1) {
+      row[1] = 0;  // lone active leaf: free transmission
+    }
+    for (std::size_t k = 2; k < size; ++k) {
+      // Eq. 1: a collision slot at the root, then the adversary splits the
+      // k active leaves across the m subtrees to maximise total cost.
+      row[k] = 1 + conv[k];
+    }
+    levels_.push_back(std::move(row));
+  }
+}
+
+std::int64_t XiExactTable::xi(std::int64_t k) const {
+  return xi_at_level(n_, k);
+}
+
+std::int64_t XiExactTable::xi_at_level(int level, std::int64_t k) const {
+  HRTDM_EXPECT(level >= 0 && level <= n_, "level out of range");
+  const auto& row = levels_[static_cast<std::size_t>(level)];
+  HRTDM_EXPECT(k >= 0 && k < static_cast<std::int64_t>(row.size()),
+               "k out of range for this level");
+  return row[static_cast<std::size_t>(k)];
+}
+
+std::int64_t xi_dnc(int m, std::int64_t t, std::int64_t k) {
+  check_tree_shape(m, t);
+  HRTDM_EXPECT(k >= 0 && k <= t, "k must lie in [0, t]");
+
+  // Memo shared across calls, keyed by (m, t, k).
+  static std::map<std::tuple<int, std::int64_t, std::int64_t>, std::int64_t>
+      memo;
+
+  struct Solver {
+    int m;
+    std::int64_t eval(std::int64_t t, std::int64_t k) {
+      if (k % 2 == 1) {
+        return eval(t, k - 1) - 1;  // Eq. 3
+      }
+      if (k == 0) {
+        return 1;  // Eq. 2, p = 0
+      }
+      if (t == m) {
+        return 1 + m - k;  // Eq. 4 (k = 2p even here)
+      }
+      const auto key = std::make_tuple(m, t, k);
+      if (const auto it = memo.find(key); it != memo.end()) {
+        return it->second;
+      }
+      const std::int64_t p = k / 2;
+      const std::int64_t s = t / m;
+      std::int64_t sum = 1;
+      for (std::int64_t i = 0; i < m; ++i) {
+        sum += eval(s, 2 * ((std::min(p, s) + i) / m));
+      }
+      sum -= 2 * std::max<std::int64_t>(0, p - s);
+      memo[key] = sum;
+      return sum;
+    }
+  };
+
+  if (t == 1) {
+    return k == 0 ? 1 : 0;
+  }
+  return Solver{m}.eval(t, k);
+}
+
+std::int64_t xi_closed(int m, std::int64_t t, std::int64_t k) {
+  check_tree_shape(m, t);
+  HRTDM_EXPECT(k >= 0 && k <= t, "k must lie in [0, t]");
+  if (k == 0) {
+    return 1;
+  }
+  if (k == 1) {
+    return 0;
+  }
+  // Eq. 10 with p = floor(k/2):
+  //   (m^ceil(log_m(mp)) - 1)/(m-1) + m p floor(log_m(t/(m p))) - (k - m p)
+  const std::int64_t p = k / 2;
+  const std::int64_t term1 = (ipow(m, ilog_ceil(m, m * p)) - 1) / (m - 1);
+  const std::int64_t term2 = m * p * ilog_floor_rational(m, t, m * p);
+  const std::int64_t term3 = -(k - m * p);
+  return term1 + term2 + term3;
+}
+
+std::int64_t xi_two(int m, std::int64_t t) {
+  check_tree_shape(m, t);
+  HRTDM_EXPECT(t >= 2, "xi_two needs at least two leaves");
+  return m * ilog_floor(m, t) - 1;  // Eq. 5
+}
+
+std::int64_t xi_two_t_over_m(int m, std::int64_t t) {
+  check_tree_shape(m, t);
+  HRTDM_EXPECT(t >= m, "xi_two_t_over_m needs t >= m");
+  return (t - 1) / (m - 1) + (t - 2 * t / m);  // Eq. 6
+}
+
+std::int64_t xi_full(int m, std::int64_t t) {
+  check_tree_shape(m, t);
+  return (t - 1) / (m - 1);  // Eq. 7
+}
+
+std::int64_t xi_even_derivative(int m, std::int64_t t, std::int64_t p) {
+  check_tree_shape(m, t);
+  HRTDM_EXPECT(p >= 1 && p <= t / 2 - 1, "p must lie in [1, t/2 - 1]");
+  // Eq. 8: m (log_m t - floor(log_m(m p))) - 2.
+  return m * (ilog_floor(m, t) - ilog_floor(m, m * p)) - 2;
+}
+
+std::int64_t xi_linear_tail(int m, std::int64_t t, std::int64_t k) {
+  check_tree_shape(m, t);
+  HRTDM_EXPECT(k >= 2 * t / m && k <= t, "Eq. 15 holds on [2t/m, t] only");
+  return (m * t - 1) / (m - 1) - k;  // Eq. 15
+}
+
+double xi_asymptotic(int m, double t, double k) {
+  HRTDM_EXPECT(m >= 2, "branching degree m must be >= 2");
+  HRTDM_EXPECT(t > 0.0 && k > 0.0, "xi~ needs positive t and k");
+  const double md = static_cast<double>(m);
+  const double half = md * k / 2.0;
+  return (half - 1.0) / (md - 1.0) +
+         half * std::log(2.0 * t / k) / std::log(md) - k;  // Eq. 11
+}
+
+double tightness_bound_factor(int m) {
+  HRTDM_EXPECT(m >= 2, "branching degree m must be >= 2");
+  const double md = static_cast<double>(m);
+  // Eq. 13: m^(1/(m-1)) / (e ln m) - 1/(m-1).
+  return std::pow(md, 1.0 / (md - 1.0)) /
+             (std::exp(1.0) * std::log(md)) -
+         1.0 / (md - 1.0);
+}
+
+double tightness_bound_universal() {
+  // Eq. 14: attained at m = 9, i.e. 3^(1/4) / (2 e ln 3) - 1/8 ~ 0.09537.
+  return tightness_bound_factor(9);
+}
+
+GapReport max_asymptote_gap(const XiExactTable& table) {
+  const std::int64_t t = table.t();
+  const int m = table.m();
+  HRTDM_EXPECT(t >= m, "gap report needs at least one full level");
+  GapReport report;
+  report.bound = tightness_bound_factor(m) * static_cast<double>(t);
+  for (std::int64_t k = 2; k <= 2 * t / m; ++k) {
+    const double gap =
+        xi_asymptotic(m, static_cast<double>(t), static_cast<double>(k)) -
+        static_cast<double>(table.xi(k));
+    if (gap > report.max_gap) {
+      report.max_gap = gap;
+      report.argmax_k = k;
+    }
+    if (k % 2 == 0 && gap > report.max_gap_even) {
+      report.max_gap_even = gap;
+      report.argmax_k_even = k;
+    }
+  }
+  return report;
+}
+
+std::int64_t search_cost_for_leaves(int m, std::int64_t t,
+                                    std::span<const std::int64_t> leaves) {
+  check_tree_shape(m, t);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    HRTDM_EXPECT(leaves[i] >= 0 && leaves[i] < t, "leaf index out of range");
+    if (i > 0) {
+      HRTDM_EXPECT(leaves[i - 1] < leaves[i],
+                   "leaves must be sorted and distinct");
+    }
+  }
+  // Recursive DFS cost over [lo, lo + size) using binary search to count
+  // active leaves per interval.
+  struct Visitor {
+    int m;
+    std::span<const std::int64_t> leaves;
+    std::int64_t cost(std::int64_t lo, std::int64_t size) const {
+      const auto first = std::lower_bound(leaves.begin(), leaves.end(), lo);
+      const auto last = std::lower_bound(leaves.begin(), leaves.end(), lo + size);
+      const auto k = static_cast<std::int64_t>(last - first);
+      if (k == 0) {
+        return 1;
+      }
+      if (k == 1) {
+        return 0;
+      }
+      std::int64_t total = 1;
+      const std::int64_t child = size / m;
+      for (int i = 0; i < m; ++i) {
+        total += cost(lo + i * child, child);
+      }
+      return total;
+    }
+  };
+  return Visitor{m, leaves}.cost(0, t);
+}
+
+std::int64_t xi_exhaustive_subsets(int m, std::int64_t t, std::int64_t k) {
+  check_tree_shape(m, t);
+  HRTDM_EXPECT(k >= 0 && k <= t, "k must lie in [0, t]");
+  HRTDM_EXPECT(t <= 20, "exhaustive oracle is exponential; keep t small");
+  if (k == 0) {
+    return 1;
+  }
+  // Enumerate k-subsets of [0, t) in lexicographic order.
+  std::vector<std::int64_t> subset(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) {
+    subset[static_cast<std::size_t>(i)] = i;
+  }
+  std::int64_t best = kNegInf;
+  while (true) {
+    best = std::max(best, search_cost_for_leaves(m, t, subset));
+    // Advance to the next combination.
+    std::int64_t i = k - 1;
+    while (i >= 0 && subset[static_cast<std::size_t>(i)] == t - k + i) {
+      --i;
+    }
+    if (i < 0) {
+      break;
+    }
+    ++subset[static_cast<std::size_t>(i)];
+    for (std::int64_t j = i + 1; j < k; ++j) {
+      subset[static_cast<std::size_t>(j)] =
+          subset[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  return best;
+}
+
+std::vector<std::int64_t> worst_case_leaves(const XiExactTable& table,
+                                            std::int64_t k) {
+  HRTDM_EXPECT(k >= 0 && k <= table.t(), "k must lie in [0, t]");
+  const int m = table.m();
+
+  // Lazily built r-fold max-plus powers per level, shared by the recursion.
+  std::vector<std::vector<std::vector<std::int64_t>>> powers(
+      static_cast<std::size_t>(table.n()) + 1);
+  auto powers_at = [&](int level) -> const std::vector<std::vector<std::int64_t>>& {
+    auto& slot = powers[static_cast<std::size_t>(level)];
+    if (slot.empty()) {
+      std::vector<std::int64_t> row(
+          static_cast<std::size_t>(util::ipow(m, level)) + 1);
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        row[i] = table.xi_at_level(level, static_cast<std::int64_t>(i));
+      }
+      slot = maxplus_powers(row, m);
+    }
+    return slot;
+  };
+
+  std::vector<std::int64_t> result;
+  result.reserve(static_cast<std::size_t>(k));
+
+  // Descend, at each node re-deriving a maximising composition.
+  using PowersAt = decltype(powers_at);
+  struct Placer {
+    const XiExactTable& table;
+    int m;
+    PowersAt& get_powers;
+    std::vector<std::int64_t>& out;
+
+    void place(int level, std::int64_t base, std::int64_t k) {
+      if (k == 0) {
+        return;
+      }
+      if (level == 0) {
+        out.push_back(base);
+        return;
+      }
+      if (k == 1) {
+        out.push_back(base);  // leftmost leaf of this subtree
+        return;
+      }
+      const auto& pw = get_powers(level - 1);
+      const std::int64_t child = util::ipow(m, level - 1);
+      std::int64_t remaining = k;
+      for (int part = 0; part < m; ++part) {
+        const int rest = m - part - 1;
+        std::int64_t chosen = remaining;  // default: all into this child
+        if (rest > 0) {
+          const auto& rest_pw = pw[static_cast<std::size_t>(rest - 1)];
+          const std::int64_t target =
+              pw[static_cast<std::size_t>(rest)]
+                [static_cast<std::size_t>(remaining)];
+          const std::int64_t lo =
+              std::max<std::int64_t>(0, remaining - rest * child);
+          const std::int64_t hi = std::min(child, remaining);
+          for (std::int64_t c = lo; c <= hi; ++c) {
+            if (table.xi_at_level(level - 1, c) +
+                    rest_pw[static_cast<std::size_t>(remaining - c)] ==
+                target) {
+              chosen = c;
+              break;
+            }
+          }
+        }
+        place(level - 1, base + part * child, chosen);
+        remaining -= chosen;
+      }
+      HRTDM_ENSURE(remaining == 0, "composition reconstruction failed");
+    }
+  };
+
+  Placer{table, m, powers_at, result}.place(table.n(), 0, k);
+  std::sort(result.begin(), result.end());
+  HRTDM_ENSURE(static_cast<std::int64_t>(result.size()) == k,
+               "worst-case placement size mismatch");
+  HRTDM_ENSURE(search_cost_for_leaves(m, table.t(), result) == table.xi(k),
+               "reconstructed placement does not achieve xi(k)");
+  return result;
+}
+
+}  // namespace hrtdm::analysis

@@ -1,0 +1,123 @@
+// Problem P1 of the paper: worst-case deterministic search cost for a
+// balanced m-ary tree (section 4.1).
+//
+// xi(k, t) is the worst case, over all binomial(t, k) placements of k active
+// leaves in a t-leaf balanced m-ary tree (t = m^n), of the number of
+// *non-transmission* channel slots consumed by the collision-resolution
+// DFS: each collision slot (node with >= 2 active leaves below it) and each
+// empty slot (node with none) counts 1; a successful transmission (node with
+// exactly 1) counts 0.
+//
+// The paper gives five computable characterisations, all implemented here
+// and cross-validated in the test suite:
+//   Eq. 1      — defining max-plus recursion           -> XiExactTable
+//   Eq. 2/3/4  — divide-and-conquer recursion          -> xi_dnc
+//   Eq. 9/10   — closed form                           -> xi_closed
+//   Eq. 5/6/7/8/15 — special values / derivative / linear tail
+//   Eq. 11     — real-valued concave asymptote xi~     -> xi_asymptotic
+//   Eq. 12/13/14 — tightness of xi~ over [2, 2t/m]
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hrtdm::analysis {
+
+/// Exact worst-case search costs via the defining recursion (Eq. 1),
+/// evaluated bottom-up with capped max-plus convolutions. Builds every level
+/// 1, m, m^2, ..., m^n so sub-tree tables are available too.
+class XiExactTable {
+ public:
+  /// Requires m >= 2, n >= 0. Cost O(n * m * t^2) time, O(t) per level.
+  XiExactTable(int m, int n);
+
+  int m() const { return m_; }
+  int n() const { return n_; }
+  std::int64_t t() const { return t_; }
+
+  /// xi(k, t) for k in [0, t].
+  std::int64_t xi(std::int64_t k) const;
+
+  /// xi(k, m^level) for level in [0, n], k in [0, m^level].
+  std::int64_t xi_at_level(int level, std::int64_t k) const;
+
+  /// The full level-n row (index k).
+  std::span<const std::int64_t> row() const { return levels_.back(); }
+
+ private:
+  int m_;
+  int n_;
+  std::int64_t t_;
+  std::vector<std::vector<std::int64_t>> levels_;
+};
+
+/// Divide-and-conquer recursion, Eq. 2 (even k), Eq. 3 (odd k), Eq. 4
+/// (t = m base case). Memoised internally per (m, t, k). Requires t = m^n.
+std::int64_t xi_dnc(int m, std::int64_t t, std::int64_t k);
+
+/// Closed form, Eq. 10 (equivalently Eq. 9 plus Eq. 3). Requires t = m^n.
+std::int64_t xi_closed(int m, std::int64_t t, std::int64_t k);
+
+/// Eq. 5: xi(2, t) = m log_m t - 1.
+std::int64_t xi_two(int m, std::int64_t t);
+
+/// Eq. 6: xi(2t/m, t) = (t-1)/(m-1) + (t - 2t/m).
+std::int64_t xi_two_t_over_m(int m, std::int64_t t);
+
+/// Eq. 7: xi(t, t) = (t-1)/(m-1).
+std::int64_t xi_full(int m, std::int64_t t);
+
+/// Eq. 8: xi(2p+2, t) - xi(2p, t) for p in [1, t/2 - 1].
+std::int64_t xi_even_derivative(int m, std::int64_t t, std::int64_t p);
+
+/// Eq. 15: xi(k, t) = (mt-1)/(m-1) - k, valid for k in [2t/m, t].
+std::int64_t xi_linear_tail(int m, std::int64_t t, std::int64_t k);
+
+/// Eq. 11: the concave asymptote
+///   xi~(k, t) = (mk/2 - 1)/(m-1) + (mk/2) log_m(2t/k) - k.
+/// Real-valued in both k and t (the feasibility conditions evaluate it at
+/// fractional k = u/v). Requires k > 0, t > 0.
+double xi_asymptotic(int m, double t, double k);
+
+/// Eq. 13: coefficient g(m) with max_{k in [2, 2t/m]} (xi~ - xi) <= g(m) t.
+double tightness_bound_factor(int m);
+
+/// Eq. 14: the universal constant sup_m g(m) = g(9) = 3^(1/4)/(2 e ln 3) - 1/8
+/// ~ 0.0954 (the "9.54% t" of the paper).
+double tightness_bound_universal();
+
+/// Measured tightness of the asymptote against an exact table.
+///
+/// Reproduction note: Eq. 13 as printed holds verbatim when the max is
+/// taken over *even* k (the parity in which Eq. 9/11 are derived — the
+/// touch points are k = 2 m^i). Over all integer k the odd values, which
+/// sit one slot below their even neighbour (Eq. 3) while the asymptote
+/// does not dip, exceed the bound by an additive term that converges to
+/// m/2 as t grows (measured; see bench_tightness / EXPERIMENTS.md).
+struct GapReport {
+  std::int64_t argmax_k = 0;       ///< k in [2, 2t/m] maximising xi~ - xi
+  double max_gap = 0.0;            ///< max difference over all k, in slots
+  std::int64_t argmax_k_even = 0;  ///< argmax restricted to even k
+  double max_gap_even = 0.0;       ///< the Eq. 13 quantity
+  double bound = 0.0;              ///< Eq. 13 bound g(m) * t
+};
+GapReport max_asymptote_gap(const XiExactTable& table);
+
+/// Exact DFS search cost for one concrete placement of active leaves
+/// (sorted, distinct, each in [0, t)). This is the quantity the simulator's
+/// tree-search engine realises; xi(k, t) is its max over placements.
+std::int64_t search_cost_for_leaves(int m, std::int64_t t,
+                                    std::span<const std::int64_t> leaves);
+
+/// Ground-truth worst case by enumerating all binomial(t, k) subsets and
+/// evaluating search_cost_for_leaves. Only for small t (<= ~16 leaves);
+/// used by tests as an implementation-independent oracle.
+std::int64_t xi_exhaustive_subsets(int m, std::int64_t t, std::int64_t k);
+
+/// A placement of k leaves achieving the worst case xi(k, t), reconstructed
+/// from the Eq. 1 recursion (used to drive the simulator adversarially).
+std::vector<std::int64_t> worst_case_leaves(const XiExactTable& table,
+                                            std::int64_t k);
+
+}  // namespace hrtdm::analysis

@@ -1,0 +1,86 @@
+#include "analysis/xi_expected.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/xi.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::analysis {
+
+namespace {
+
+double log_choose(std::int64_t n, std::int64_t r) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(r) + 1.0) -
+         std::lgamma(static_cast<double>(n - r) + 1.0);
+}
+
+}  // namespace
+
+double hypergeometric_pmf(std::int64_t t, std::int64_t k, std::int64_t s,
+                          std::int64_t j) {
+  HRTDM_EXPECT(t >= 1 && k >= 0 && k <= t, "need 0 <= k <= t");
+  HRTDM_EXPECT(s >= 0 && s <= t, "need 0 <= s <= t");
+  if (j < 0 || j > s || j > k || k - j > t - s) {
+    return 0.0;
+  }
+  return std::exp(log_choose(s, j) + log_choose(t - s, k - j) -
+                  log_choose(t, k));
+}
+
+double xi_expected(int m, std::int64_t t, std::int64_t k) {
+  HRTDM_EXPECT(m >= 2, "branching degree must be >= 2");
+  HRTDM_EXPECT(util::is_power_of(m, t), "t must be a power of m");
+  HRTDM_EXPECT(k >= 0 && k <= t, "k must lie in [0, t]");
+  // Root probe: a collision for k >= 2, a silent slot for k = 0, free for
+  // the lone-transmitter case.
+  double expected = (k == 1) ? 0.0 : 1.0;
+  if (k <= 1) {
+    return expected;  // nothing below the root is ever probed
+  }
+  const std::int64_t n = util::ilog_floor(m, t);
+  for (std::int64_t level = 1; level <= n; ++level) {
+    const std::int64_t s = t / util::ipow(m, level);  // subtree size
+    const std::int64_t ps = m * s;                    // parent size
+    // P(node probed and non-success)
+    //   = 1 - P(node holds exactly 1)
+    //       - P(parent holds 0) - P(parent holds 1, outside this node).
+    const double p = 1.0 - hypergeometric_pmf(t, k, s, 1) -
+                     hypergeometric_pmf(t, k, ps, 0) -
+                     hypergeometric_pmf(t, k, ps, 1) *
+                         (static_cast<double>(m) - 1.0) /
+                         static_cast<double>(m);
+    expected += static_cast<double>(util::ipow(m, level)) * p;
+  }
+  return expected;
+}
+
+double xi_expected_monte_carlo(int m, std::int64_t t, std::int64_t k,
+                               int trials, std::uint64_t seed) {
+  HRTDM_EXPECT(trials >= 1, "need at least one trial");
+  HRTDM_EXPECT(k >= 0 && k <= t, "k must lie in [0, t]");
+  util::Rng rng(seed);
+  double total = 0.0;
+  std::vector<std::int64_t> pool(static_cast<std::size_t>(t));
+  for (std::int64_t i = 0; i < t; ++i) {
+    pool[static_cast<std::size_t>(i)] = i;
+  }
+  for (int trial = 0; trial < trials; ++trial) {
+    // Partial Fisher-Yates: the first k entries become the placement.
+    for (std::int64_t i = 0; i < k; ++i) {
+      const std::int64_t j = rng.uniform_i64(i, t - 1);
+      std::swap(pool[static_cast<std::size_t>(i)],
+                pool[static_cast<std::size_t>(j)]);
+    }
+    std::vector<std::int64_t> leaves(pool.begin(), pool.begin() + k);
+    std::sort(leaves.begin(), leaves.end());
+    total += static_cast<double>(search_cost_for_leaves(m, t, leaves));
+  }
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace hrtdm::analysis

@@ -1,0 +1,40 @@
+// Exact expected search cost over uniformly random leaf placements.
+//
+// The paper (and its FCs) work with the adversarial worst case xi(k, t);
+// the random-access literature it cites ([15]-[19]) studies averages. For
+// k active leaves placed uniformly at random the expected number of
+// non-transmission slots has a closed combinatorial form:
+//
+// A node v (subtree of s leaves) is probed iff its parent collided, i.e.
+// iff the parent subtree (of ps = m s leaves) holds >= 2 of the k active
+// leaves; a probed node costs one slot iff it holds 0 or >= 2 actives.
+// The root probe is the epoch-triggering collision (cost 1 iff k >= 2, or
+// a silent slot iff k = 0). By symmetry all nodes of one level share the
+// same probability, and the counts follow the hypergeometric law, so
+//
+//   E[cost] = [k != 1] + sum_levels  n_level *
+//             P(parent >= 2  and  node not exactly 1)
+//
+// computed exactly with hypergeometric joint probabilities.
+#pragma once
+
+#include <cstdint>
+
+namespace hrtdm::analysis {
+
+/// P[exactly j of the k active leaves fall in a fixed s-leaf subtree],
+/// hypergeometric over t leaves. Exposed for testing.
+double hypergeometric_pmf(std::int64_t t, std::int64_t k, std::int64_t s,
+                          std::int64_t j);
+
+/// Exact expected search cost (collision + empty slots, including the
+/// triggering root probe) for k uniformly random active leaves in a
+/// t-leaf balanced m-ary tree. 0 <= k <= t, t = m^n.
+double xi_expected(int m, std::int64_t t, std::int64_t k);
+
+/// Monte-Carlo estimate of the same quantity (used by tests and benches
+/// to cross-check the closed form). Deterministic for a given seed.
+double xi_expected_monte_carlo(int m, std::int64_t t, std::int64_t k,
+                               int trials, std::uint64_t seed);
+
+}  // namespace hrtdm::analysis

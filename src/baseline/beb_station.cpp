@@ -1,0 +1,72 @@
+#include "baseline/beb_station.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hrtdm::baseline {
+
+BebStation::BebStation(int id, Config config, std::uint64_t seed)
+    : id_(id), config_(config), rng_(seed) {
+  HRTDM_EXPECT(id >= 0, "station id must be non-negative");
+  HRTDM_EXPECT(config.backoff_cap >= 1 && config.backoff_cap <= 20,
+               "backoff cap out of range");
+  HRTDM_EXPECT(config.max_attempts >= 0, "max_attempts cannot be negative");
+}
+
+std::optional<Frame> BebStation::poll_intent(SimTime now) {
+  (void)now;
+  attempted_this_slot_ = false;
+  if (backoff_slots_ > 0) {
+    return std::nullopt;  // deferring
+  }
+  const auto head = queue_.head();
+  if (!head.has_value()) {
+    return std::nullopt;
+  }
+  attempted_this_slot_ = true;
+  Frame frame;
+  frame.source = id_;
+  frame.msg_uid = head->uid;
+  frame.class_id = head->class_id;
+  frame.l_bits = head->l_bits;
+  frame.enqueue_time = head->arrival;
+  frame.absolute_deadline = head->absolute_deadline;
+  frame.arb_key = head->absolute_deadline.ns();
+  return frame;
+}
+
+void BebStation::observe(const SlotObservation& obs) {
+  const bool mine = obs.frame.has_value() && obs.frame->source == id_;
+  if (obs.kind == net::SlotKind::kSuccess && mine) {
+    const bool removed = queue_.remove(obs.frame->msg_uid);
+    HRTDM_ENSURE(removed, "delivered frame was not queued");
+    attempts_ = 0;
+    return;
+  }
+  if (obs.kind == net::SlotKind::kCollision && attempted_this_slot_) {
+    ++attempts_;
+    if (config_.max_attempts > 0 && attempts_ >= config_.max_attempts) {
+      // Ethernet gives up; HRTDM never would, but the policy is modelled
+      // for comparison honesty.
+      if (const auto head = queue_.head()) {
+        queue_.remove(head->uid);
+        ++dropped_;
+      }
+      attempts_ = 0;
+      backoff_slots_ = 0;
+      return;
+    }
+    const int exponent = std::min(attempts_, config_.backoff_cap);
+    const std::int64_t window = util::ipow(2, exponent) - 1;
+    backoff_slots_ = window > 0 ? rng_.uniform_i64(0, window) : 0;
+    return;
+  }
+  // Any other slot outcome lets a deferring station count down.
+  if (backoff_slots_ > 0) {
+    --backoff_slots_;
+  }
+}
+
+}  // namespace hrtdm::baseline

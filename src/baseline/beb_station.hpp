@@ -1,0 +1,55 @@
+// Standard CSMA-CD with truncated binary exponential backoff (the classic
+// Ethernet MAC the paper's deterministic protocol replaces). Local queueing
+// is EDF, like CSMA/DDCR, so protocol comparisons isolate the collision-
+// resolution policy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/edf_queue.hpp"
+#include "net/station.hpp"
+#include "traffic/message.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::baseline {
+
+using core::EdfQueue;
+using net::Frame;
+using net::SlotObservation;
+using traffic::Message;
+using util::SimTime;
+
+class BebStation final : public net::Station {
+ public:
+  struct Config {
+    /// Backoff window cap: window = 2^min(attempts, cap) - 1 slots.
+    int backoff_cap = 10;
+    /// Attempts after which a frame is dropped (0 = never drop; HRTDM
+    /// semantics favour late delivery over loss, so 0 is the default).
+    int max_attempts = 0;
+  };
+
+  BebStation(int id, Config config, std::uint64_t seed);
+
+  void enqueue(const Message& msg) { queue_.push(msg); }
+
+  int id() const override { return id_; }
+  std::optional<Frame> poll_intent(SimTime now) override;
+  void observe(const SlotObservation& obs) override;
+
+  const EdfQueue& queue() const { return queue_; }
+  std::int64_t dropped() const { return dropped_; }
+
+ private:
+  int id_;
+  Config config_;
+  util::Rng rng_;
+  EdfQueue queue_;
+  int attempts_ = 0;
+  std::int64_t backoff_slots_ = 0;  ///< defer this many more slots
+  bool attempted_this_slot_ = false;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace hrtdm::baseline

@@ -1,0 +1,98 @@
+#include "baseline/dcr_station.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hrtdm::baseline {
+
+DcrStation::DcrStation(int id, Config config,
+                       std::vector<std::int64_t> static_indices)
+    : id_(id),
+      config_(config),
+      my_indices_(std::move(static_indices)),
+      engine_(config.m, config.q, config.infer_last_child) {
+  HRTDM_EXPECT(id >= 0, "station id must be non-negative");
+  HRTDM_EXPECT(!my_indices_.empty(), "a source needs >= 1 static index");
+  HRTDM_EXPECT(std::is_sorted(my_indices_.begin(), my_indices_.end()),
+               "static indices must be ranked increasing");
+  HRTDM_EXPECT(my_indices_.front() >= 0 && my_indices_.back() < config.q,
+               "static indices must lie in [0, q)");
+}
+
+Frame DcrStation::make_frame(const Message& msg) const {
+  Frame frame;
+  frame.source = id_;
+  frame.msg_uid = msg.uid;
+  frame.class_id = msg.class_id;
+  frame.l_bits = msg.l_bits;
+  frame.enqueue_time = msg.arrival;
+  frame.absolute_deadline = msg.absolute_deadline;
+  frame.arb_key = msg.absolute_deadline.ns();
+  return frame;
+}
+
+std::optional<Frame> DcrStation::poll_intent(SimTime now) {
+  (void)now;
+  const auto head = queue_.head();
+  if (!head.has_value()) {
+    return std::nullopt;
+  }
+  if (!engine_.active()) {
+    return make_frame(*head);  // plain CSMA-CD while no resolution pending
+  }
+  if (index_pos_ >= my_indices_.size()) {
+    return std::nullopt;  // exhausted my indices for this resolution
+  }
+  if (!engine_.current().contains(my_indices_[index_pos_])) {
+    return std::nullopt;
+  }
+  return make_frame(*head);
+}
+
+void DcrStation::observe(const SlotObservation& obs) {
+  const bool mine = obs.frame.has_value() && obs.frame->source == id_;
+  if (obs.kind == net::SlotKind::kSuccess && mine) {
+    const bool removed = queue_.remove(obs.frame->msg_uid);
+    HRTDM_ENSURE(removed, "delivered frame was not queued");
+  }
+  if (obs.in_burst) {
+    return;  // bursts never advance resolution state
+  }
+
+  if (!engine_.active()) {
+    if (obs.kind == net::SlotKind::kCollision) {
+      // Enter deterministic resolution; the collision is the root probe.
+      engine_.begin();
+      index_pos_ = 0;
+    }
+    return;
+  }
+
+  TreeSearchEngine::Feedback fb;
+  switch (obs.kind) {
+    case net::SlotKind::kSilence:
+      fb = TreeSearchEngine::Feedback::kSilence;
+      break;
+    case net::SlotKind::kSuccess:
+      fb = TreeSearchEngine::Feedback::kSuccess;
+      if (mine) {
+        ++index_pos_;
+      }
+      break;
+    case net::SlotKind::kCollision:
+      fb = TreeSearchEngine::Feedback::kCollision;
+      break;
+    default:
+      HRTDM_ENSURE(false, "unreachable slot kind");
+      return;
+  }
+  const auto probed = engine_.current();
+  const auto result = engine_.feedback(fb);
+  if (result == TreeSearchEngine::StepResult::kLeafCollision) {
+    // Unique indices: only channel noise can collide a leaf — retry it.
+    engine_.requeue(probed);
+  }
+}
+
+}  // namespace hrtdm::baseline

@@ -1,0 +1,60 @@
+// CSMA/DCR — the 802.3D protocol of Le Lann & Rolin (section 5): the
+// deterministic *static* tree collision resolution that predates CSMA/DDCR.
+// On a collision, all sources resolve via an m-ary search over their static
+// indices, with no deadline-driven time tree: resolution order is index
+// order, not EDF order. CSMA/DDCR's improvement is precisely the TTs layer,
+// so DCR is the paper's natural deterministic baseline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/edf_queue.hpp"
+#include "core/tree_search.hpp"
+#include "net/station.hpp"
+#include "traffic/message.hpp"
+
+namespace hrtdm::baseline {
+
+using core::EdfQueue;
+using core::TreeSearchEngine;
+using net::Frame;
+using net::SlotObservation;
+using traffic::Message;
+using util::SimTime;
+
+class DcrStation final : public net::Station {
+ public:
+  struct Config {
+    int m = 2;             ///< branching degree (802.3D used binary trees)
+    std::int64_t q = 64;   ///< static-tree leaves (power of m, >= z)
+    bool infer_last_child = false;  ///< classic last-child skip
+  };
+
+  /// `static_indices` is this source's ranked subset of [0, q).
+  DcrStation(int id, Config config,
+             std::vector<std::int64_t> static_indices);
+
+  void enqueue(const Message& msg) { queue_.push(msg); }
+
+  int id() const override { return id_; }
+  std::optional<Frame> poll_intent(SimTime now) override;
+  void observe(const SlotObservation& obs) override;
+
+  const EdfQueue& queue() const { return queue_; }
+  bool in_resolution() const { return engine_.active(); }
+  std::uint64_t protocol_digest() const { return engine_.digest(); }
+
+ private:
+  Frame make_frame(const Message& msg) const;
+
+  int id_;
+  Config config_;
+  std::vector<std::int64_t> my_indices_;
+  EdfQueue queue_;
+  TreeSearchEngine engine_;
+  std::size_t index_pos_ = 0;  ///< next of my indices usable this search
+};
+
+}  // namespace hrtdm::baseline

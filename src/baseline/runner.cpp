@@ -1,0 +1,164 @@
+#include "baseline/runner.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "baseline/beb_station.hpp"
+#include "baseline/dcr_station.hpp"
+#include "baseline/stack_station.hpp"
+#include "baseline/tdma_station.hpp"
+#include "core/ddcr_config.hpp"
+#include "core/metrics.hpp"
+#include "net/channel.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::baseline {
+
+std::string protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kDdcr: return "CSMA/DDCR";
+    case Protocol::kBeb:  return "CSMA-CD/BEB";
+    case Protocol::kDcr:  return "CSMA/DCR";
+    case Protocol::kTdma: return "TDMA";
+    case Protocol::kStack: return "Stack-CRA";
+  }
+  return "?";
+}
+
+double ProtocolRunResult::miss_ratio() const {
+  if (generated == 0) {
+    return 0.0;
+  }
+  const std::int64_t late =
+      metrics.misses + undelivered + dropped;
+  return static_cast<double>(late) / static_cast<double>(generated);
+}
+
+namespace {
+
+/// Shared skeleton: builds sim + channel + the given stations, injects the
+/// workload, runs with drain, and collects metrics.
+template <typename StationT>
+ProtocolRunResult run_with_stations(
+    Protocol protocol, const traffic::Workload& workload,
+    const ProtocolRunOptions& options,
+    std::vector<std::unique_ptr<StationT>> stations) {
+  sim::Simulator simulator;
+  net::BroadcastChannel channel(simulator, options.base.phy,
+                                options.base.collision_mode);
+  for (auto& station : stations) {
+    channel.attach(*station);
+  }
+  core::MetricsCollector metrics;
+  channel.add_observer(metrics);
+
+  const auto traffic = traffic::generate_traffic(
+      workload, options.base.arrivals, options.base.arrival_horizon,
+      options.base.seed);
+  for (std::size_t s = 0; s < traffic.per_source.size(); ++s) {
+    StationT* station = stations[s].get();
+    for (const traffic::Message& msg : traffic.per_source[s]) {
+      simulator.schedule_at(msg.arrival,
+                            [station, msg] { station->enqueue(msg); },
+                            "arrival");
+    }
+  }
+
+  channel.start();
+  simulator.run_until(options.base.arrival_horizon);
+  auto queued = [&stations] {
+    std::int64_t total = 0;
+    for (const auto& station : stations) {
+      total += static_cast<std::int64_t>(station->queue().size());
+    }
+    return total;
+  };
+  const util::Duration drain_step = options.base.phy.slot_x * 1024;
+  while (queued() > 0 && simulator.now() < options.base.drain_cap) {
+    simulator.run_until(simulator.now() + drain_step);
+  }
+  channel.stop();
+
+  ProtocolRunResult result;
+  result.protocol = protocol;
+  result.metrics = metrics.summarize();
+  result.channel = channel.stats();
+  result.generated = traffic.total_messages;
+  result.undelivered = queued();
+  result.utilization = channel.utilization();
+  if constexpr (std::is_same_v<StationT, BebStation>) {
+    for (const auto& station : stations) {
+      result.dropped += station->dropped();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ProtocolRunResult run_protocol(Protocol protocol,
+                               const traffic::Workload& workload,
+                               const ProtocolRunOptions& options) {
+  workload.validate();
+  const int z = workload.z();
+
+  switch (protocol) {
+    case Protocol::kDdcr: {
+      const core::DdcrRunResult ddcr = core::run_ddcr(workload, options.base);
+      ProtocolRunResult result;
+      result.protocol = protocol;
+      result.metrics = ddcr.metrics;
+      result.channel = ddcr.channel;
+      result.generated = ddcr.generated;
+      result.undelivered = ddcr.undelivered;
+      result.utilization = ddcr.utilization;
+      return result;
+    }
+    case Protocol::kBeb: {
+      std::vector<std::unique_ptr<BebStation>> stations;
+      BebStation::Config config;
+      config.backoff_cap = options.beb_backoff_cap;
+      for (int s = 0; s < z; ++s) {
+        stations.push_back(std::make_unique<BebStation>(
+            s, config, options.base.seed * 1000003ULL + static_cast<std::uint64_t>(s)));
+      }
+      return run_with_stations(protocol, workload, options,
+                               std::move(stations));
+    }
+    case Protocol::kDcr: {
+      DcrStation::Config config;
+      config.m = options.dcr_m;
+      config.q = options.dcr_q;
+      const auto indices = core::DdcrConfig::one_index_per_source(z, config.q);
+      std::vector<std::unique_ptr<DcrStation>> stations;
+      for (int s = 0; s < z; ++s) {
+        stations.push_back(std::make_unique<DcrStation>(
+            s, config, indices[static_cast<std::size_t>(s)]));
+      }
+      return run_with_stations(protocol, workload, options,
+                               std::move(stations));
+    }
+    case Protocol::kTdma: {
+      std::vector<std::unique_ptr<TdmaStation>> stations;
+      for (int s = 0; s < z; ++s) {
+        stations.push_back(std::make_unique<TdmaStation>(s, z));
+      }
+      return run_with_stations(protocol, workload, options,
+                               std::move(stations));
+    }
+    case Protocol::kStack: {
+      std::vector<std::unique_ptr<StackStation>> stations;
+      for (int s = 0; s < z; ++s) {
+        stations.push_back(std::make_unique<StackStation>(
+            s, options.base.seed * 7919ULL + static_cast<std::uint64_t>(s)));
+      }
+      return run_with_stations(protocol, workload, options,
+                               std::move(stations));
+    }
+  }
+  HRTDM_ENSURE(false, "unreachable protocol");
+  return {};
+}
+
+}  // namespace hrtdm::baseline

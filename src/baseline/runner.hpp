@@ -1,0 +1,43 @@
+// One harness to run any of the four MAC protocols on the same workload,
+// channel model and metrics — the engine behind the protocol-comparison
+// benches (E10) and the baseline tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ddcr_network.hpp"
+#include "traffic/workload.hpp"
+
+namespace hrtdm::baseline {
+
+enum class Protocol { kDdcr, kBeb, kDcr, kTdma, kStack };
+
+std::string protocol_name(Protocol protocol);
+
+struct ProtocolRunOptions {
+  core::DdcrRunOptions base;  ///< phy, collision mode, ddcr config, arrivals,
+                              ///< horizons, seed (ddcr part used by kDdcr)
+  int beb_backoff_cap = 10;
+  int dcr_m = 2;
+  std::int64_t dcr_q = 64;
+};
+
+struct ProtocolRunResult {
+  Protocol protocol = Protocol::kDdcr;
+  core::MetricsSummary metrics;
+  net::ChannelStats channel;
+  std::int64_t generated = 0;
+  std::int64_t undelivered = 0;
+  std::int64_t dropped = 0;  ///< BEB only (when max_attempts > 0)
+  double utilization = 0.0;
+  /// Deadline-miss ratio over generated messages; undelivered messages
+  /// count as misses (they are certainly late by the end of the run).
+  double miss_ratio() const;
+};
+
+ProtocolRunResult run_protocol(Protocol protocol,
+                               const traffic::Workload& workload,
+                               const ProtocolRunOptions& options);
+
+}  // namespace hrtdm::baseline

@@ -1,0 +1,98 @@
+#include "baseline/stack_station.hpp"
+
+#include "util/check.hpp"
+
+namespace hrtdm::baseline {
+
+StackStation::StackStation(int id, std::uint64_t seed)
+    : id_(id), rng_(seed) {
+  HRTDM_EXPECT(id >= 0, "station id must be non-negative");
+}
+
+Frame StackStation::make_frame(const Message& msg) const {
+  Frame frame;
+  frame.source = id_;
+  frame.msg_uid = msg.uid;
+  frame.class_id = msg.class_id;
+  frame.l_bits = msg.l_bits;
+  frame.enqueue_time = msg.arrival;
+  frame.absolute_deadline = msg.absolute_deadline;
+  frame.arb_key = msg.absolute_deadline.ns();
+  return frame;
+}
+
+std::optional<Frame> StackStation::poll_intent(SimTime now) {
+  (void)now;
+  attempted_this_slot_ = false;
+  if (depth_ > 0) {
+    // CRA in progress: only the level-0 participants transmit; blocked
+    // newcomers and deeper levels stay silent.
+    if (level_ != 0) {
+      return std::nullopt;
+    }
+    const auto head = queue_.head();
+    HRTDM_ENSURE(head.has_value(), "participant with an empty queue");
+    attempted_this_slot_ = true;
+    return make_frame(*head);
+  }
+  // Free access.
+  const auto head = queue_.head();
+  if (!head.has_value()) {
+    return std::nullopt;
+  }
+  attempted_this_slot_ = true;
+  return make_frame(*head);
+}
+
+void StackStation::observe(const SlotObservation& obs) {
+  const bool mine = obs.frame.has_value() && obs.frame->source == id_;
+  if (obs.kind == net::SlotKind::kSuccess && mine) {
+    const bool removed = queue_.remove(obs.frame->msg_uid);
+    HRTDM_ENSURE(removed, "delivered frame was not queued");
+  }
+  if (obs.in_burst) {
+    return;  // bursts do not advance resolution state
+  }
+
+  if (depth_ == 0) {
+    // Free access: a collision opens a CRA; the colliders flip the first
+    // coin, everyone else is blocked until the stack drains.
+    if (obs.kind == net::SlotKind::kCollision) {
+      depth_ = 2;
+      ++cra_count_;
+      level_ = attempted_this_slot_ ? (rng_.bernoulli(0.5) ? 0 : 1) : -1;
+    }
+    return;
+  }
+
+  switch (obs.kind) {
+    case net::SlotKind::kCollision:
+      // The top group splits: its members re-flip; deeper groups are
+      // pushed down one position.
+      ++depth_;
+      if (level_ == 0) {
+        level_ = rng_.bernoulli(0.5) ? 0 : 1;
+      } else if (level_ > 0) {
+        ++level_;
+      }
+      break;
+    case net::SlotKind::kSuccess:
+    case net::SlotKind::kSilence:
+      // The top group is resolved; the stack pops.
+      --depth_;
+      if (level_ == 0) {
+        // My transmission succeeded (a level-0 station alone on top): I
+        // leave the CRA; further queued messages wait for free access.
+        level_ = -1;
+      } else if (level_ > 0) {
+        --level_;
+      }
+      break;
+  }
+  HRTDM_ENSURE(depth_ >= 0, "stack depth went negative");
+  if (depth_ == 0) {
+    level_ = -1;
+  }
+}
+
+}  // namespace hrtdm::baseline

@@ -1,0 +1,62 @@
+// The classic randomized (Capetanakis / Tsybakov-Mikhailov) binary stack
+// collision-resolution algorithm with blocked access — the probabilistic
+// tree protocol family analysed by the random-access literature the paper
+// cites ([15]-[19]). CSMA/DDCR replaces the coin flips with deterministic
+// index splits; this baseline quantifies what that determinism buys
+// (bounded worst case) and costs (no statistical early-exit).
+//
+// Distributed state per station, driven by the shared channel feedback:
+//  - depth: the replicated stack size. The collision that starts a CRA
+//    leaves two pending groups (depth = 2); every further collision splits
+//    the top group (+1); every success/silence resolves it (-1); the CRA
+//    ends at depth = 0.
+//  - level: this station's position in the stack (participants only).
+//    Level 0 transmits; on a collision the level-0 stations flip a fair
+//    coin to stay on top or drop to level 1 while everyone deeper is
+//    pushed down; on success/silence everyone moves up one.
+//  - Blocked access: messages arriving during a CRA wait for it to end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/edf_queue.hpp"
+#include "net/station.hpp"
+#include "traffic/message.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::baseline {
+
+using core::EdfQueue;
+using net::Frame;
+using net::SlotObservation;
+using traffic::Message;
+using util::SimTime;
+
+class StackStation final : public net::Station {
+ public:
+  StackStation(int id, std::uint64_t seed);
+
+  void enqueue(const Message& msg) { queue_.push(msg); }
+
+  int id() const override { return id_; }
+  std::optional<Frame> poll_intent(SimTime now) override;
+  void observe(const SlotObservation& obs) override;
+
+  const EdfQueue& queue() const { return queue_; }
+  bool in_cra() const { return depth_ > 0; }
+  std::int64_t cra_count() const { return cra_count_; }
+
+ private:
+  Frame make_frame(const Message& msg) const;
+
+  int id_;
+  util::Rng rng_;
+  EdfQueue queue_;
+  std::int64_t depth_ = 0;       ///< replicated stack size (0 = no CRA)
+  std::int64_t level_ = -1;      ///< my stack level; -1 = not participating
+  bool attempted_this_slot_ = false;
+  std::int64_t cra_count_ = 0;   ///< resolutions initiated (diagnostics)
+};
+
+}  // namespace hrtdm::baseline

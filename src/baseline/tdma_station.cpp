@@ -1,0 +1,46 @@
+#include "baseline/tdma_station.hpp"
+
+#include "util/check.hpp"
+
+namespace hrtdm::baseline {
+
+TdmaStation::TdmaStation(int id, int stations)
+    : id_(id), stations_(stations) {
+  HRTDM_EXPECT(id >= 0 && id < stations, "station id out of range");
+}
+
+std::optional<Frame> TdmaStation::poll_intent(SimTime now) {
+  (void)now;
+  if (round_ % stations_ != id_) {
+    return std::nullopt;
+  }
+  const auto head = queue_.head();
+  if (!head.has_value()) {
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.source = id_;
+  frame.msg_uid = head->uid;
+  frame.class_id = head->class_id;
+  frame.l_bits = head->l_bits;
+  frame.enqueue_time = head->arrival;
+  frame.absolute_deadline = head->absolute_deadline;
+  frame.arb_key = head->absolute_deadline.ns();
+  return frame;
+}
+
+void TdmaStation::observe(const SlotObservation& obs) {
+  const bool mine = obs.frame.has_value() && obs.frame->source == id_;
+  if (obs.kind == net::SlotKind::kSuccess && mine) {
+    const bool removed = queue_.remove(obs.frame->msg_uid);
+    HRTDM_ENSURE(removed, "delivered frame was not queued");
+  }
+  // A collision observation under TDMA can only be channel noise that
+  // destroyed the slot owner's frame (ownership is collision-free by
+  // construction); the owner keeps the message and retries next round.
+  if (!obs.in_burst) {
+    ++round_;
+  }
+}
+
+}  // namespace hrtdm::baseline

@@ -1,0 +1,41 @@
+// Fixed TDMA round-robin: station i may transmit only in slots where
+// round_counter % z == i. Collision-free by construction and trivially
+// analysable, but pays an entire silent round for every idle owner — the
+// latency/utilisation foil to contention protocols in the comparison bench.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/edf_queue.hpp"
+#include "net/station.hpp"
+#include "traffic/message.hpp"
+
+namespace hrtdm::baseline {
+
+using core::EdfQueue;
+using net::Frame;
+using net::SlotObservation;
+using traffic::Message;
+using util::SimTime;
+
+class TdmaStation final : public net::Station {
+ public:
+  TdmaStation(int id, int stations);
+
+  void enqueue(const Message& msg) { queue_.push(msg); }
+
+  int id() const override { return id_; }
+  std::optional<Frame> poll_intent(SimTime now) override;
+  void observe(const SlotObservation& obs) override;
+
+  const EdfQueue& queue() const { return queue_; }
+
+ private:
+  int id_;
+  int stations_;
+  std::int64_t round_ = 0;  ///< slot counter, identical at all stations
+  EdfQueue queue_;
+};
+
+}  // namespace hrtdm::baseline

@@ -1,0 +1,126 @@
+#include "core/ddcr_config.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hrtdm::core {
+
+Duration DdcrConfig::theta() const {
+  HRTDM_EXPECT(theta_factor >= 0.0, "theta factor cannot be negative");
+  return Duration::nanoseconds(static_cast<std::int64_t>(
+      std::llround(theta_factor * static_cast<double>(class_width_c.ns()))));
+}
+
+void DdcrConfig::validate(int z) const {
+  HRTDM_EXPECT(z >= 1, "need at least one source");
+  HRTDM_EXPECT(m_time >= 2 && m_static >= 2, "branching degrees must be >= 2");
+  HRTDM_EXPECT(util::is_power_of(m_time, F), "F must be a power of m_time");
+  HRTDM_EXPECT(util::is_power_of(m_static, q), "q must be a power of m_static");
+  HRTDM_EXPECT(q >= z, "q must be at least the number of sources");
+  HRTDM_EXPECT(class_width_c > Duration::nanoseconds(0),
+               "class width c must be positive");
+  HRTDM_EXPECT(!alpha.is_negative(), "alpha cannot be negative");
+  HRTDM_EXPECT(theta_factor >= 0.0, "theta factor cannot be negative");
+  // In perpetual mode reft is only ever advanced by successes and by
+  // compressed time; with theta = 0 an idle network freezes reft while
+  // physical time runs on, pushing every future arrival beyond the
+  // scheduling horizon for good (livelock).
+  HRTDM_EXPECT(epoch_mode != EpochMode::kPerpetual || theta_factor > 0.0,
+               "perpetual epoch mode requires compressed time (theta > 0)");
+  HRTDM_EXPECT(max_empty_tts >= 0, "max_empty_tts cannot be negative");
+  HRTDM_EXPECT(static_cast<int>(static_indices.size()) == z,
+               "static_indices must cover every source");
+  std::set<std::int64_t> seen;
+  for (const auto& indices : static_indices) {
+    HRTDM_EXPECT(!indices.empty(), "every source needs >= 1 static index");
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      HRTDM_EXPECT(indices[i] >= 0 && indices[i] < q,
+                   "static index out of [0, q)");
+      HRTDM_EXPECT(seen.insert(indices[i]).second,
+                   "static indices must be disjoint across sources");
+      if (i > 0) {
+        HRTDM_EXPECT(indices[i - 1] < indices[i],
+                     "static indices must be ranked increasing");
+      }
+    }
+  }
+}
+
+std::vector<std::vector<std::int64_t>> DdcrConfig::spread_indices(
+    int z, std::int64_t q, const std::vector<std::int64_t>& nu) {
+  HRTDM_EXPECT(z >= 1, "need at least one source");
+  HRTDM_EXPECT(static_cast<int>(nu.size()) == z, "nu must have z entries");
+  std::int64_t total = 0;
+  for (const std::int64_t n : nu) {
+    HRTDM_EXPECT(n >= 1, "every source needs >= 1 static index");
+    total += n;
+  }
+  HRTDM_EXPECT(total <= q, "sum of nu_i cannot exceed q");
+
+  // Round-robin over sources that still need indices, walking the leaf
+  // range left to right: sources end up maximally interleaved.
+  std::vector<std::vector<std::int64_t>> result(static_cast<std::size_t>(z));
+  std::vector<std::int64_t> remaining = nu;
+  std::int64_t next_leaf = 0;
+  // Stride the assignment across the whole range when it fits evenly.
+  const std::int64_t stride = std::max<std::int64_t>(q / total, 1);
+  int s = 0;
+  while (total > 0) {
+    if (remaining[static_cast<std::size_t>(s)] > 0) {
+      result[static_cast<std::size_t>(s)].push_back(next_leaf);
+      --remaining[static_cast<std::size_t>(s)];
+      --total;
+      // With stride = floor(q/total0) and exactly total0 assignments the
+      // positions 0, stride, 2*stride, ... never reach q, so indices are
+      // distinct by construction.
+      next_leaf += stride;
+      HRTDM_ENSURE(total == 0 || next_leaf < q, "static index allocation overflow");
+    }
+    s = (s + 1) % z;
+  }
+  for (auto& indices : result) {
+    std::sort(indices.begin(), indices.end());
+  }
+  return result;
+}
+
+std::vector<std::vector<std::int64_t>> DdcrConfig::one_index_per_source(
+    int z, std::int64_t q) {
+  return spread_indices(z, q, std::vector<std::int64_t>(
+                                  static_cast<std::size_t>(z), 1));
+}
+
+std::int64_t DdcrConfig::resync_silence_threshold() const {
+  HRTDM_EXPECT(epoch_mode == EpochMode::kCsmaCdFallback,
+               "quiet-period resync is only sound in fallback mode");
+  HRTDM_EXPECT(theta_factor == 0.0 || max_empty_tts > 0,
+               "unbounded compressed-time chains make in-epoch silence "
+               "streaks unbounded; cap max_empty_tts for resync");
+  // Longest silent run a live epoch can produce: the remaining (all-silent)
+  // DFS stacks of a nested static + time search, plus the capped chain of
+  // empty time tree searches, plus one slot of margin.
+  const std::int64_t time_stack =
+      (m_time - 1) * util::ilog_floor(m_time, F) + 1;
+  const std::int64_t static_stack =
+      (m_static - 1) * util::ilog_floor(m_static, q) + 1;
+  const std::int64_t empty_chains =
+      static_cast<std::int64_t>(max_empty_tts) * m_time;
+  return time_stack + static_stack + empty_chains + 2;
+}
+
+Duration DdcrConfig::class_width_for(Duration max_deadline, std::int64_t F,
+                                     int margin_percent) {
+  HRTDM_EXPECT(max_deadline > Duration::nanoseconds(0),
+               "max deadline must be positive");
+  HRTDM_EXPECT(F >= 2, "need at least two time-tree leaves");
+  HRTDM_EXPECT(margin_percent >= 100, "margin must be at least 100%");
+  const std::int64_t target_ns =
+      util::ceil_div(max_deadline.ns() * margin_percent, 100);
+  return Duration::nanoseconds(util::ceil_div(target_ns, F));
+}
+
+}  // namespace hrtdm::core

@@ -1,0 +1,185 @@
+#include "core/ddcr_network.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hrtdm::core {
+
+namespace {
+
+/// Channel observer that verifies the replicated protocol state after every
+/// slot delivery (stations observe before channel observers run).
+class ConsistencyChecker final : public net::ChannelObserver {
+ public:
+  explicit ConsistencyChecker(
+      const std::vector<std::unique_ptr<DdcrStation>>& stations)
+      : stations_(stations) {}
+
+  void on_slot(const net::SlotRecord& record) override {
+    (void)record;
+    // Stations in the listen-only resync phase intentionally hold no
+    // protocol state; consistency is over the synced replicas.
+    bool have_reference = false;
+    std::uint64_t reference = 0;
+    for (const auto& station : stations_) {
+      if (!station->synced()) {
+        continue;
+      }
+      if (!have_reference) {
+        reference = station->protocol_digest();
+        have_reference = true;
+      } else if (station->protocol_digest() != reference) {
+        ok_ = false;
+        return;
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  const std::vector<std::unique_ptr<DdcrStation>>& stations_;
+  bool ok_ = true;
+};
+
+DdcrConfig with_default_indices(DdcrConfig config, int z) {
+  if (config.static_indices.empty()) {
+    config.static_indices = DdcrConfig::one_index_per_source(z, config.q);
+  }
+  config.validate(z);
+  return config;
+}
+
+}  // namespace
+
+DdcrTestbed::DdcrTestbed(int stations, const DdcrRunOptions& options)
+    : options_(options) {
+  HRTDM_EXPECT(stations >= 1, "need at least one station");
+  options_.ddcr = with_default_indices(options_.ddcr, stations);
+  channel_ = std::make_unique<net::BroadcastChannel>(
+      simulator_, options_.phy, options_.collision_mode);
+  for (int s = 0; s < stations; ++s) {
+    stations_.push_back(std::make_unique<DdcrStation>(
+        s, options_.ddcr,
+        options_.ddcr.static_indices[static_cast<std::size_t>(s)]));
+    channel_->attach(*stations_.back());
+  }
+  channel_->add_observer(metrics_);
+}
+
+void DdcrTestbed::inject(int source, const traffic::Message& msg) {
+  HRTDM_EXPECT(source >= 0 && source < station_count(),
+               "source id out of range");
+  HRTDM_EXPECT(msg.arrival >= simulator_.now(),
+               "cannot inject a message in the past");
+  DdcrStation* station = stations_[static_cast<std::size_t>(source)].get();
+  simulator_.schedule_at(
+      msg.arrival, [station, msg] { station->enqueue(msg); }, "arrival");
+}
+
+void DdcrTestbed::run(SimTime horizon) {
+  if (!started_) {
+    started_ = true;
+    channel_->start();
+  }
+  simulator_.run_until(horizon);
+}
+
+void DdcrTestbed::run_until_delivered(std::int64_t count, SimTime cap) {
+  if (!started_) {
+    started_ = true;
+    channel_->start();
+  }
+  const util::Duration step = options_.phy.slot_x * 256;
+  while (static_cast<std::int64_t>(metrics_.log().size()) < count &&
+         simulator_.now() < cap) {
+    simulator_.run_until(simulator_.now() + step);
+  }
+}
+
+bool DdcrTestbed::digests_agree() const {
+  if (stations_.empty()) {
+    return true;
+  }
+  const std::uint64_t reference = stations_.front()->protocol_digest();
+  return std::all_of(stations_.begin(), stations_.end(),
+                     [reference](const auto& station) {
+                       return station->protocol_digest() == reference;
+                     });
+}
+
+std::int64_t DdcrTestbed::queued() const {
+  std::int64_t total = 0;
+  for (const auto& station : stations_) {
+    total += static_cast<std::int64_t>(station->queue().size());
+  }
+  return total;
+}
+
+DdcrRunResult run_ddcr(const traffic::Workload& workload,
+                       const DdcrRunOptions& options) {
+  workload.validate();
+  const int z = workload.z();
+
+  DdcrRunOptions resolved = options;
+  resolved.ddcr = with_default_indices(resolved.ddcr, z);
+
+  sim::Simulator simulator;
+  net::BroadcastChannel channel(simulator, resolved.phy,
+                                resolved.collision_mode);
+  std::vector<std::unique_ptr<DdcrStation>> stations;
+  for (int s = 0; s < z; ++s) {
+    stations.push_back(std::make_unique<DdcrStation>(
+        s, resolved.ddcr,
+        resolved.ddcr.static_indices[static_cast<std::size_t>(s)]));
+    channel.attach(*stations.back());
+  }
+  MetricsCollector metrics;
+  channel.add_observer(metrics);
+  ConsistencyChecker checker(stations);
+  if (resolved.check_consistency) {
+    channel.add_observer(checker);
+  }
+
+  const auto traffic = traffic::generate_traffic(
+      workload, resolved.arrivals, resolved.arrival_horizon, resolved.seed);
+  for (std::size_t s = 0; s < traffic.per_source.size(); ++s) {
+    DdcrStation* station = stations[s].get();
+    for (const traffic::Message& msg : traffic.per_source[s]) {
+      simulator.schedule_at(
+          msg.arrival, [station, msg] { station->enqueue(msg); }, "arrival");
+    }
+  }
+
+  channel.start();
+  simulator.run_until(resolved.arrival_horizon);
+  // Drain: keep the channel running until every queue empties (or the cap).
+  auto queued = [&stations] {
+    std::int64_t total = 0;
+    for (const auto& station : stations) {
+      total += static_cast<std::int64_t>(station->queue().size());
+    }
+    return total;
+  };
+  const util::Duration drain_step = resolved.phy.slot_x * 1024;
+  while (queued() > 0 && simulator.now() < resolved.drain_cap) {
+    simulator.run_until(simulator.now() + drain_step);
+  }
+  channel.stop();
+
+  DdcrRunResult result;
+  result.metrics = metrics.summarize();
+  result.channel = channel.stats();
+  for (const auto& station : stations) {
+    result.per_station.push_back(station->counters());
+    result.dropped_late += station->counters().dropped_late;
+  }
+  result.generated = traffic.total_messages;
+  result.undelivered = queued();
+  result.utilization = channel.utilization();
+  result.consistency_ok = !resolved.check_consistency || checker.ok();
+  return result;
+}
+
+}  // namespace hrtdm::core

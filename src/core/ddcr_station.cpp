@@ -1,0 +1,391 @@
+#include "core/ddcr_station.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::core {
+
+DdcrStation::DdcrStation(int id, const DdcrConfig& config,
+                         std::vector<std::int64_t> static_indices)
+    : id_(id),
+      config_(config),
+      my_indices_(std::move(static_indices)),
+      time_engine_(config.m_time, config.F, config.infer_last_child),
+      static_engine_(config.m_static, config.q, config.infer_last_child) {
+  HRTDM_EXPECT(id >= 0, "station id must be non-negative");
+  HRTDM_EXPECT(!my_indices_.empty(), "a source needs >= 1 static index");
+  HRTDM_EXPECT(std::is_sorted(my_indices_.begin(), my_indices_.end()),
+               "static indices must be ranked increasing");
+  HRTDM_EXPECT(my_indices_.front() >= 0 && my_indices_.back() < config.q,
+               "static indices must lie in [0, q)");
+}
+
+void DdcrStation::enqueue(const Message& msg) {
+  HRTDM_EXPECT(msg.source == id_, "message mapped to the wrong source");
+  queue_.push(msg);
+}
+
+std::int64_t DdcrStation::raw_time_index(SimTime absolute_deadline) const {
+  const util::Duration slack = absolute_deadline - (reft_ + config_.alpha);
+  return slack.floor_div(config_.class_width_c);
+}
+
+std::optional<std::int64_t> DdcrStation::effective_time_index(
+    const Message& msg) const {
+  // f(reft, I.msg) = max(floor((DM - (alpha + reft)) / c), f* + 1). The
+  // engine's resolved_up_to() is exactly f* + 1: leaves below it were
+  // searched already, and the max guarantees a late message is processed
+  // as soon as possible rather than waiting for the next time tree.
+  const std::int64_t raw = raw_time_index(msg.absolute_deadline);
+  const std::int64_t floor_idx = time_engine_.resolved_up_to();
+  const std::int64_t idx = std::max(raw, floor_idx);
+  if (idx > config_.F - 1) {
+    return std::nullopt;  // beyond the scheduling horizon cF
+  }
+  return idx;
+}
+
+std::optional<Message> DdcrStation::sts_candidate() const {
+  // Due-or-late rule (DESIGN.md decision 5): a message may enter the
+  // tie-break for leaf j if its raw class index is <= j. The EDF head of
+  // the eligible set is simply the queue head if it qualifies (EDF order
+  // implies non-decreasing raw indices).
+  const auto head = queue_.head();
+  if (!head.has_value()) {
+    return std::nullopt;
+  }
+  if (raw_time_index(head->absolute_deadline) > sts_leaf_) {
+    return std::nullopt;
+  }
+  return head;
+}
+
+Frame DdcrStation::make_frame(const Message& msg) const {
+  Frame frame;
+  frame.source = id_;
+  frame.msg_uid = msg.uid;
+  frame.class_id = msg.class_id;
+  frame.l_bits = msg.l_bits;
+  frame.enqueue_time = msg.arrival;
+  frame.absolute_deadline = msg.absolute_deadline;
+  // Wired-OR arbitration key: earlier deadline wins, station id breaks ties
+  // (section 5: message deadlines serve as ATM priorities). A positive
+  // quantum models the coarse 802.1p priority field.
+  const std::int64_t quantum = config_.arb_priority_quantum.ns();
+  frame.arb_key = quantum > 0
+                      ? util::floor_div(msg.absolute_deadline.ns(), quantum)
+                      : msg.absolute_deadline.ns();
+  return frame;
+}
+
+void DdcrStation::reset_for_rejoin() {
+  // Validates that the configuration makes the quiet-period certificate
+  // sound (bounded in-epoch silence streaks).
+  (void)config_.resync_silence_threshold();
+  time_engine_.abort();
+  static_engine_.abort();
+  mode_ = Mode::kResync;
+  sts_leaf_ = -1;
+  static_pos_ = 0;
+  tts_saw_transmission_ = false;
+  post_tts_attempt_ = false;
+  consecutive_empty_tts_ = 0;
+  resync_silences_ = 0;
+  reft_ = SimTime();
+  carried_reft_ = SimTime();
+}
+
+void DdcrStation::prune_late(SimTime now) {
+  if (!config_.drop_late_messages) {
+    return;
+  }
+  while (const auto head = queue_.head()) {
+    if (head->absolute_deadline >= now) {
+      return;
+    }
+    queue_.remove(head->uid);
+    ++counters_.dropped_late;
+  }
+}
+
+std::optional<Frame> DdcrStation::poll_intent(SimTime now) {
+  prune_late(now);
+  switch (mode_) {
+    case Mode::kResync:
+      return std::nullopt;  // listen-only until the quiet certificate
+    case Mode::kCsmaCd: {
+      const auto head = queue_.head();
+      if (!head.has_value()) {
+        return std::nullopt;
+      }
+      return make_frame(*head);
+    }
+    case Mode::kTimeSearch: {
+      const auto head = queue_.head();
+      if (!head.has_value()) {
+        return std::nullopt;
+      }
+      const auto idx = effective_time_index(*head);
+      if (!idx.has_value()) {
+        return std::nullopt;
+      }
+      if (!time_engine_.current().contains(*idx)) {
+        return std::nullopt;
+      }
+      return make_frame(*head);
+    }
+    case Mode::kStaticSearch: {
+      if (static_pos_ >= my_indices_.size()) {
+        return std::nullopt;  // all nu_i indices used this STs
+      }
+      const auto candidate = sts_candidate();
+      if (!candidate.has_value()) {
+        return std::nullopt;
+      }
+      if (!static_engine_.current().contains(my_indices_[static_pos_])) {
+        return std::nullopt;
+      }
+      return make_frame(*candidate);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Frame> DdcrStation::poll_burst(SimTime now,
+                                             std::int64_t budget_bits) {
+  // IEEE 802.3z packet bursting (section 5): having won the channel, chain
+  // the next EDF-ranked messages without relinquishing, up to the budget.
+  (void)now;
+  const auto head = queue_.head();
+  if (!head.has_value() || head->l_bits > budget_bits) {
+    return std::nullopt;
+  }
+  return make_frame(*head);
+}
+
+void DdcrStation::start_epoch(SimTime now) {
+  ++counters_.epochs;
+  // "reft is always set to local physical time whenever CSMA/DDCR is
+  // started" — except that compression progress carried out of an epoch
+  // the max_empty_tts cap closed must not be lost (every station carries
+  // the same value, so consistency is preserved).
+  reft_ = std::max(now, carried_reft_);
+  post_tts_attempt_ = false;
+  consecutive_empty_tts_ = 0;
+  start_tts();
+}
+
+void DdcrStation::start_tts() {
+  ++counters_.tts_runs;
+  tts_saw_transmission_ = false;
+  time_engine_.begin();  // root already probed by the triggering collision
+  mode_ = Mode::kTimeSearch;
+}
+
+void DdcrStation::finish_tts(SimTime now) {
+  // Boolean `out`: true iff at least one message was transmitted during
+  // this time tree search (including inside nested static searches).
+  const bool out = tts_saw_transmission_;
+  if (out) {
+    // "attempt transmit msg* à la CSMA-CD": the next contention slot is a
+    // plain CSMA-CD attempt; a collision there starts a fresh epoch.
+    // The compressed-time carry is cleared: transmissions succeeded, so
+    // the horizon crawl it was preserving has ended. (This also lets a
+    // crash-recovered station — whose carry is necessarily empty —
+    // converge to the live replicas' state.)
+    consecutive_empty_tts_ = 0;
+    carried_reft_ = SimTime();
+    mode_ = Mode::kCsmaCd;
+    post_tts_attempt_ = (config_.epoch_mode == EpochMode::kPerpetual);
+    return;
+  }
+  // out = false: pending messages sit beyond the horizon. Compressed time
+  // shifts reft forward to pull them in; with theta = 0 the epoch closes
+  // and physical time does the pulling on the next collision.
+  ++consecutive_empty_tts_;
+  if (config_.theta_factor > 0.0) {
+    ++counters_.compressions;
+    reft_ += config_.theta();
+    if (config_.epoch_mode == EpochMode::kCsmaCdFallback &&
+        config_.max_empty_tts > 0 &&
+        consecutive_empty_tts_ >= config_.max_empty_tts) {
+      // The cap closes the epoch but the compressed reference time is
+      // carried into the next one, so compression still accumulates.
+      carried_reft_ = reft_;
+      consecutive_empty_tts_ = 0;
+      mode_ = Mode::kCsmaCd;
+      return;
+    }
+    start_tts();
+    return;
+  }
+  (void)now;
+  consecutive_empty_tts_ = 0;
+  mode_ = Mode::kCsmaCd;
+  post_tts_attempt_ = (config_.epoch_mode == EpochMode::kPerpetual);
+}
+
+void DdcrStation::finish_sts(SimTime now) {
+  // "Variable reft is updated by STs, upon completion."
+  reft_ = now;
+  sts_leaf_ = -1;
+  mode_ = Mode::kTimeSearch;
+  if (time_engine_.done()) {
+    finish_tts(now);
+  }
+}
+
+void DdcrStation::observe(const SlotObservation& obs) {
+  const bool mine = obs.frame.has_value() && obs.frame->source == id_;
+  const SimTime now = obs.slot_end;
+
+  // Frame bookkeeping is mode-independent: every delivered frame of ours
+  // leaves the queue.
+  if (obs.kind == net::SlotKind::kSuccess && mine) {
+    const bool removed = queue_.remove(obs.frame->msg_uid);
+    HRTDM_ENSURE(removed, "delivered frame was not queued");
+    ++counters_.transmitted;
+    if (obs.in_burst) {
+      ++counters_.burst_transmitted;
+    }
+  }
+
+  // Burst continuations never advance protocol search state: the channel
+  // was not relinquished, so no new probe happened.
+  if (obs.in_burst) {
+    if (mode_ != Mode::kCsmaCd) {
+      tts_saw_transmission_ = tts_saw_transmission_ ||
+                              obs.kind == net::SlotKind::kSuccess;
+    }
+    return;
+  }
+
+  switch (mode_) {
+    case Mode::kResync: {
+      if (obs.kind == net::SlotKind::kSilence) {
+        if (++resync_silences_ >= config_.resync_silence_threshold()) {
+          // Quiet certificate: no epoch can still be in progress, so every
+          // live station is in CSMA-CD mode — joining it is consistent.
+          ++counters_.rejoins;
+          mode_ = Mode::kCsmaCd;
+        }
+      } else {
+        resync_silences_ = 0;
+      }
+      return;
+    }
+    case Mode::kCsmaCd: {
+      if (obs.kind == net::SlotKind::kCollision) {
+        // Every source initiates CSMA/DDCR, message or not.
+        start_epoch(now);
+        return;
+      }
+      // Silence, successes and arbitration wins keep CSMA-CD going; in
+      // perpetual mode the post-TTs attempt slot has now resolved, so the
+      // next time tree search starts immediately.
+      if (post_tts_attempt_) {
+        post_tts_attempt_ = false;
+        start_tts();
+      }
+      return;
+    }
+    case Mode::kTimeSearch: {
+      ++counters_.search_slots_time;
+      if (obs.kind == net::SlotKind::kSuccess) {
+        --counters_.search_slots_time;  // successes are not search slots
+        tts_saw_transmission_ = true;
+        // "whenever a message is successfully transmitted during a time
+        //  tree search": reft advances to local physical time.
+        reft_ = now;
+      }
+      const auto fb =
+          obs.kind == net::SlotKind::kSilence
+              ? TreeSearchEngine::Feedback::kSilence
+              : obs.kind == net::SlotKind::kSuccess
+                    ? TreeSearchEngine::Feedback::kSuccess
+                    : TreeSearchEngine::Feedback::kCollision;
+      const auto leaf_hint = obs.kind == net::SlotKind::kCollision &&
+                                     time_engine_.current().size == 1
+                                 ? time_engine_.current().lo
+                                 : -1;
+      const auto result = time_engine_.feedback(fb);
+      if (result == TreeSearchEngine::StepResult::kLeafCollision) {
+        // s > 1 messages share one deadline class: run the static tree
+        // tie-break. Its root probe was this very collision.
+        HRTDM_ENSURE(leaf_hint >= 0, "leaf collision without a leaf");
+        sts_leaf_ = leaf_hint;
+        static_pos_ = 0;
+        ++counters_.sts_runs;
+        static_engine_.begin();
+        mode_ = Mode::kStaticSearch;
+        return;
+      }
+      if (time_engine_.done()) {
+        finish_tts(now);
+      }
+      return;
+    }
+    case Mode::kStaticSearch: {
+      ++counters_.search_slots_static;
+      TreeSearchEngine::Feedback fb;
+      switch (obs.kind) {
+        case net::SlotKind::kSilence:
+          fb = TreeSearchEngine::Feedback::kSilence;
+          break;
+        case net::SlotKind::kSuccess:
+          --counters_.search_slots_static;
+          fb = TreeSearchEngine::Feedback::kSuccess;
+          tts_saw_transmission_ = true;
+          if (mine) {
+            // "Next index in the ranking is used to keep conducting m-ts."
+            ++static_pos_;
+          }
+          break;
+        case net::SlotKind::kCollision:
+          fb = TreeSearchEngine::Feedback::kCollision;
+          break;
+        default:
+          HRTDM_ENSURE(false, "unreachable slot kind");
+          return;
+      }
+      const auto probed = static_engine_.current();
+      const auto result = static_engine_.feedback(fb);
+      if (result == TreeSearchEngine::StepResult::kLeafCollision) {
+        // Static indices are unique per source, so a genuine tie is
+        // impossible — this is a lone transmission destroyed by channel
+        // noise. The leaf cannot be split further; probe it again.
+        ++counters_.static_leaf_retries;
+        static_engine_.requeue(probed);
+        return;
+      }
+      if (static_engine_.done()) {
+        finish_sts(now);
+      }
+      return;
+    }
+  }
+}
+
+std::uint64_t DdcrStation::protocol_digest() const {
+  util::SplitMix64 seed_mix(0xDDC12ULL);
+  std::uint64_t h = seed_mix.next();
+  auto mix = [&h](std::uint64_t v) {
+    util::SplitMix64 m(h ^ v);
+    h = m.next();
+  };
+  mix(static_cast<std::uint64_t>(mode_));
+  mix(static_cast<std::uint64_t>(reft_.ns()));
+  mix(static_cast<std::uint64_t>(carried_reft_.ns()));
+  mix(static_cast<std::uint64_t>(consecutive_empty_tts_));
+  mix(static_cast<std::uint64_t>(sts_leaf_));
+  mix(static_cast<std::uint64_t>(tts_saw_transmission_));
+  mix(static_cast<std::uint64_t>(post_tts_attempt_));
+  mix(time_engine_.digest());
+  mix(static_engine_.digest());
+  return h;
+}
+
+}  // namespace hrtdm::core

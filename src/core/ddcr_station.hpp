@@ -1,0 +1,135 @@
+// The CSMA/DDCR protocol state machine (section 3.2).
+//
+// Each station runs:
+//  - LA: a local EDF queue; msg* is its head.
+//  - CSMA-CD sharing while no unresolved collision is pending.
+//  - On a collision, every station (with or without messages) initiates
+//    CSMA/DDCR: a *time tree search* (TTs) over F deadline-equivalence
+//    classes of width c, where a message's leaf is
+//        f(reft, msg) = max(floor((DM - (alpha + reft)) / c), f* + 1),
+//    and, on a time-leaf collision (several messages in one deadline
+//    class), a *static tree search* (STs) over q per-source static indices
+//    as the deterministic tie-break. The combination emulates distributed
+//    non-preemptive EDF.
+//
+// The protocol state that must stay identical across stations (mode, tree
+// engines, reft, the leaf under tie-break) is driven exclusively by channel
+// observations; protocol_digest() exposes it for the consistency tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/ddcr_config.hpp"
+#include "core/edf_queue.hpp"
+#include "core/tree_search.hpp"
+#include "net/station.hpp"
+#include "traffic/message.hpp"
+
+namespace hrtdm::core {
+
+using net::Frame;
+using net::SlotObservation;
+using traffic::Message;
+using util::SimTime;
+
+class DdcrStation final : public net::Station {
+ public:
+  enum class Mode { kCsmaCd, kTimeSearch, kStaticSearch, kResync };
+
+  struct Counters {
+    std::int64_t epochs = 0;            ///< CSMA/DDCR invocations
+    std::int64_t tts_runs = 0;          ///< time tree searches started
+    std::int64_t sts_runs = 0;          ///< static tree searches started
+    std::int64_t compressions = 0;      ///< reft += theta applications
+    std::int64_t rejoins = 0;           ///< crash-recovery resyncs completed
+    std::int64_t transmitted = 0;       ///< own frames delivered
+    std::int64_t burst_transmitted = 0; ///< own frames delivered in bursts
+    std::int64_t search_slots_time = 0;   ///< time-tree search slots heard
+    std::int64_t search_slots_static = 0; ///< static-tree search slots heard
+    std::int64_t static_leaf_retries = 0; ///< noise-corrupted static leaves
+    std::int64_t dropped_late = 0;        ///< shed past-deadline messages
+  };
+
+  /// `static_indices` is this source's ranked subset of [0, q).
+  DdcrStation(int id, const DdcrConfig& config,
+              std::vector<std::int64_t> static_indices);
+
+  /// Delivers a message to the local queue (LA runs on arrival).
+  void enqueue(const Message& msg);
+
+  // --- net::Station ---
+  int id() const override { return id_; }
+  std::optional<Frame> poll_intent(SimTime now) override;
+  void observe(const SlotObservation& obs) override;
+  std::optional<Frame> poll_burst(SimTime now,
+                                  std::int64_t budget_bits) override;
+
+  /// Crash recovery: discards all protocol state (the queue survives — a
+  /// MAC reset does not lose locally buffered messages) and re-enters via
+  /// a listen-only resync phase. The station transmits nothing until it
+  /// has heard config.resync_silence_threshold() consecutive silent slots,
+  /// which certifies that no collision-resolution epoch is in progress, so
+  /// rejoining in CSMA-CD mode is consistent with every live station.
+  /// Requires a configuration with bounded in-epoch silence streaks
+  /// (fallback mode with theta = 0 or max_empty_tts > 0).
+  void reset_for_rejoin();
+
+  /// False while the station is in the listen-only resync phase.
+  bool synced() const { return mode_ != Mode::kResync; }
+
+  // --- introspection ---
+  Mode mode() const { return mode_; }
+  const EdfQueue& queue() const { return queue_; }
+  SimTime reft() const { return reft_; }
+  const Counters& counters() const { return counters_; }
+  /// Digest over the replicated protocol state only (identical across all
+  /// stations at every slot boundary).
+  std::uint64_t protocol_digest() const;
+
+  /// The raw deadline-class index floor((DM - (alpha + reft)) / c).
+  std::int64_t raw_time_index(SimTime absolute_deadline) const;
+
+ private:
+  /// With drop_late_messages set, sheds queue heads already past their
+  /// deadline at `now`.
+  void prune_late(SimTime now);
+
+
+  /// f(reft, msg) with the f* + 1 floor; nullopt when the message cannot
+  /// enter the current time tree (index beyond F - 1).
+  std::optional<std::int64_t> effective_time_index(const Message& msg) const;
+
+  /// EDF-first queued message due at or before the tie-break leaf.
+  std::optional<Message> sts_candidate() const;
+
+  Frame make_frame(const Message& msg) const;
+
+  void start_epoch(SimTime now);
+  void start_tts();
+  void finish_tts(SimTime now);
+  void finish_sts(SimTime now);
+
+  int id_;
+  DdcrConfig config_;
+  std::vector<std::int64_t> my_indices_;
+
+  EdfQueue queue_;
+  Mode mode_ = Mode::kCsmaCd;
+  TreeSearchEngine time_engine_;
+  TreeSearchEngine static_engine_;
+  SimTime reft_;
+  std::int64_t sts_leaf_ = -1;       ///< time leaf under tie-break
+  std::size_t static_pos_ = 0;       ///< next of my indices usable this STs
+  bool tts_saw_transmission_ = false;  ///< the `out` boolean of TTs
+  bool post_tts_attempt_ = false;    ///< perpetual mode: restart TTs after
+                                     ///< the à-la-CSMA-CD attempt slot
+  int consecutive_empty_tts_ = 0;    ///< for the max_empty_tts cap
+  SimTime carried_reft_;             ///< compressed reft carried across
+                                     ///< cap-closed epochs
+  std::int64_t resync_silences_ = 0; ///< quiet streak heard while resyncing
+  Counters counters_;
+};
+
+}  // namespace hrtdm::core

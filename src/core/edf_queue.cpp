@@ -1,0 +1,50 @@
+#include "core/edf_queue.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hrtdm::core {
+
+void EdfQueue::push(const Message& msg) {
+  HRTDM_EXPECT(msg.uid >= 0, "message uid must be assigned");
+  HRTDM_EXPECT(uids_.insert(msg.uid).second,
+               "duplicate message uid in EDF queue");
+  const bool inserted = by_deadline_.insert(msg).second;
+  HRTDM_ENSURE(inserted, "EDF order collision despite distinct uids");
+}
+
+std::optional<Message> EdfQueue::head() const {
+  if (by_deadline_.empty()) {
+    return std::nullopt;
+  }
+  return *by_deadline_.begin();
+}
+
+bool EdfQueue::remove(std::int64_t uid) {
+  if (uids_.erase(uid) == 0) {
+    return false;
+  }
+  for (auto it = by_deadline_.begin(); it != by_deadline_.end(); ++it) {
+    if (it->uid == uid) {
+      by_deadline_.erase(it);
+      return true;
+    }
+  }
+  HRTDM_ENSURE(false, "uid set and deadline set diverged");
+  return false;
+}
+
+std::int64_t EdfQueue::count_late(SimTime now) const {
+  std::int64_t late = 0;
+  for (const Message& msg : by_deadline_) {
+    if (msg.absolute_deadline < now) {
+      ++late;
+    } else {
+      break;  // EDF order: the rest have later deadlines
+    }
+  }
+  return late;
+}
+
+}  // namespace hrtdm::core

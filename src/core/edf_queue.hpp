@@ -1,0 +1,50 @@
+// Local Algorithm LA of the paper: each source services its waiting queue Q
+// in Earliest-Deadline-First order. msg* denotes the head (smallest absolute
+// deadline DM, ties broken by arrival uid for network-wide determinism).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include "traffic/message.hpp"
+
+namespace hrtdm::core {
+
+using traffic::Message;
+using util::SimTime;
+
+class EdfQueue {
+ public:
+  /// Inserts a newly arrived message.
+  void push(const Message& msg);
+
+  /// msg* — the EDF head, or nullopt when Q is empty.
+  std::optional<Message> head() const;
+
+  /// Removes the message with the given uid (after successful transmission).
+  /// Returns true if it was present.
+  bool remove(std::int64_t uid);
+
+  bool empty() const { return by_deadline_.empty(); }
+  std::size_t size() const { return by_deadline_.size(); }
+
+  /// Messages whose absolute deadline is already in the past at `now`
+  /// (still transmitted — HRTDM requires them bounded, and the metrics
+  /// layer records the misses).
+  std::int64_t count_late(SimTime now) const;
+
+ private:
+  struct EdfOrder {
+    bool operator()(const Message& a, const Message& b) const {
+      if (a.absolute_deadline != b.absolute_deadline) {
+        return a.absolute_deadline < b.absolute_deadline;
+      }
+      return a.uid < b.uid;
+    }
+  };
+  std::set<Message, EdfOrder> by_deadline_;
+  std::set<std::int64_t> uids_;  ///< duplicate-uid guard
+};
+
+}  // namespace hrtdm::core

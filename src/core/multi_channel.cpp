@@ -1,0 +1,134 @@
+#include "core/multi_channel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace hrtdm::core {
+
+double ChannelPlan::imbalance() const {
+  HRTDM_EXPECT(!load_per_channel.empty(), "empty plan");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const double load : load_per_channel) {
+    lo = std::min(lo, load);
+    hi = std::max(hi, load);
+  }
+  return lo > 0.0 ? hi / lo : std::numeric_limits<double>::infinity();
+}
+
+ChannelPlan plan_channels(const traffic::Workload& workload, int channels) {
+  workload.validate();
+  HRTDM_EXPECT(channels >= 1, "need at least one channel");
+
+  struct ClassLoad {
+    int id;
+    double bits_per_second;
+  };
+  std::vector<ClassLoad> loads;
+  for (const auto& cls : workload.all_classes()) {
+    loads.push_back({cls.id, static_cast<double>(cls.a) *
+                                 static_cast<double>(cls.l_bits) /
+                                 cls.w.to_seconds()});
+  }
+  // Longest-processing-time greedy: heaviest class onto lightest channel.
+  std::sort(loads.begin(), loads.end(),
+            [](const ClassLoad& a, const ClassLoad& b) {
+              if (a.bits_per_second != b.bits_per_second) {
+                return a.bits_per_second > b.bits_per_second;
+              }
+              return a.id < b.id;  // deterministic tie-break
+            });
+
+  ChannelPlan plan;
+  plan.channels = channels;
+  plan.classes_per_channel.resize(static_cast<std::size_t>(channels));
+  plan.load_per_channel.assign(static_cast<std::size_t>(channels), 0.0);
+  for (const ClassLoad& cls : loads) {
+    const auto lightest = static_cast<std::size_t>(
+        std::min_element(plan.load_per_channel.begin(),
+                         plan.load_per_channel.end()) -
+        plan.load_per_channel.begin());
+    plan.classes_per_channel[lightest].push_back(cls.id);
+    plan.load_per_channel[lightest] += cls.bits_per_second;
+  }
+  for (auto& ids : plan.classes_per_channel) {
+    std::sort(ids.begin(), ids.end());
+  }
+  return plan;
+}
+
+traffic::Workload channel_workload(const traffic::Workload& workload,
+                                   const ChannelPlan& plan, int channel) {
+  HRTDM_EXPECT(channel >= 0 && channel < plan.channels,
+               "channel index out of range");
+  const auto& ids =
+      plan.classes_per_channel[static_cast<std::size_t>(channel)];
+
+  traffic::Workload sub;
+  sub.name = workload.name + "#ch" + std::to_string(channel);
+  for (const auto& src : workload.sources) {
+    traffic::SourceSpec filtered;
+    filtered.id = src.id;
+    filtered.name = src.name;
+    for (const auto& cls : src.classes) {
+      if (std::binary_search(ids.begin(), ids.end(), cls.id)) {
+        filtered.classes.push_back(cls);
+      }
+    }
+    if (!filtered.classes.empty()) {
+      sub.sources.push_back(std::move(filtered));
+    }
+  }
+  return sub;
+}
+
+MultiChannelResult run_multi_channel(const traffic::Workload& workload,
+                                     int channels,
+                                     const DdcrRunOptions& options) {
+  MultiChannelResult result;
+  result.plan = plan_channels(workload, channels);
+
+  for (int ch = 0; ch < channels; ++ch) {
+    traffic::Workload sub = channel_workload(workload, result.plan, ch);
+    if (sub.sources.empty()) {
+      result.per_channel.emplace_back();
+      continue;
+    }
+    // Station ids must be contiguous from 0 for the per-channel network;
+    // remap while keeping the class ids (metrics stay workload-global).
+    for (std::size_t s = 0; s < sub.sources.size(); ++s) {
+      const int new_id = static_cast<int>(s);
+      for (auto& cls : sub.sources[s].classes) {
+        cls.source = new_id;
+      }
+      sub.sources[s].id = new_id;
+    }
+    DdcrRunOptions channel_options = options;
+    channel_options.ddcr.static_indices.clear();  // re-derive per channel
+    channel_options.seed = options.seed + static_cast<std::uint64_t>(ch);
+    result.per_channel.push_back(run_ddcr(sub, channel_options));
+  }
+
+  double utilization_sum = 0.0;
+  int live_channels = 0;
+  for (const auto& run : result.per_channel) {
+    result.generated += run.generated;
+    result.delivered += run.metrics.delivered;
+    result.misses += run.metrics.misses;
+    result.undelivered += run.undelivered;
+    result.worst_latency_s =
+        std::max(result.worst_latency_s, run.metrics.worst_latency_s);
+    if (run.generated > 0) {
+      utilization_sum += run.utilization;
+      ++live_channels;
+    }
+  }
+  result.mean_utilization =
+      live_channels > 0 ? utilization_sum / live_channels : 0.0;
+  return result;
+}
+
+}  // namespace hrtdm::core

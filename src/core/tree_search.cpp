@@ -1,0 +1,170 @@
+#include "core/tree_search.hpp"
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::core {
+
+TreeSearchEngine::TreeSearchEngine(int m, std::int64_t leaves,
+                                   bool infer_last_child)
+    : m_(m), leaves_(leaves), infer_last_child_(infer_last_child) {
+  HRTDM_EXPECT(m >= 2, "branching degree must be >= 2");
+  HRTDM_EXPECT(util::is_power_of(m, leaves), "leaves must be a power of m");
+}
+
+void TreeSearchEngine::push_children(Interval parent) {
+  const std::int64_t child = parent.size / m_;
+  const std::uint64_t group = next_group_++;
+  groups_[group] = Group{m_, false};
+  // Rightmost first so the leftmost child is on top.
+  for (int i = m_ - 1; i >= 0; --i) {
+    stack_.push_back(Entry{Interval{parent.lo + i * child, child}, group});
+  }
+}
+
+void TreeSearchEngine::note_outcome(const Entry& entry, bool silent) {
+  if (entry.group == 0) {
+    return;
+  }
+  const auto it = groups_.find(entry.group);
+  HRTDM_ENSURE(it != groups_.end(), "sibling group lost");
+  --it->second.remaining;
+  it->second.activity = it->second.activity || !silent;
+  if (it->second.remaining == 0) {
+    groups_.erase(it);
+  }
+}
+
+void TreeSearchEngine::normalize() {
+  if (!infer_last_child_) {
+    return;
+  }
+  while (!stack_.empty()) {
+    const Entry top = stack_.back();
+    if (top.group == 0 || top.interval.size == 1) {
+      return;  // requeued entry or a leaf: always genuinely probed
+    }
+    const auto it = groups_.find(top.group);
+    HRTDM_ENSURE(it != groups_.end(), "sibling group lost");
+    if (it->second.remaining != 1 || it->second.activity) {
+      return;  // earlier siblings still pending, or one was non-silent
+    }
+    // Every earlier sibling was silent, so this last child must contain
+    // all >= 2 colliders of the parent: descend without spending a slot.
+    ++inferred_skips_;
+    stack_.pop_back();
+    groups_.erase(it);
+    push_children(top.interval);
+  }
+}
+
+void TreeSearchEngine::begin() {
+  HRTDM_EXPECT(stack_.empty(), "previous search still in progress");
+  search_slots_ = 0;
+  collision_slots_ = 0;
+  silence_slots_ = 0;
+  inferred_skips_ = 0;
+  groups_.clear();
+  if (leaves_ == 1) {
+    // Degenerate single-leaf tree: the root is the only leaf, and it was
+    // already probed by the triggering collision — nothing to search.
+    return;
+  }
+  // The triggering collision is the root probe: its children form the
+  // first sibling group. No inference applies to them (the root is known
+  // collided, but its group has no probed siblings yet).
+  push_children(Interval{0, leaves_});
+  normalize();
+}
+
+TreeSearchEngine::Interval TreeSearchEngine::current() const {
+  HRTDM_EXPECT(!stack_.empty(), "no search in progress");
+  return stack_.back().interval;
+}
+
+TreeSearchEngine::StepResult TreeSearchEngine::feedback(Feedback fb) {
+  HRTDM_EXPECT(!stack_.empty(), "no search in progress");
+  const Entry probed = stack_.back();
+  StepResult result = StepResult::kFinished;
+  switch (fb) {
+    case Feedback::kSilence:
+      ++search_slots_;
+      ++silence_slots_;
+      stack_.pop_back();
+      note_outcome(probed, /*silent=*/true);
+      result = stack_.empty() ? StepResult::kFinished : StepResult::kPruned;
+      break;
+    case Feedback::kSuccess:
+      stack_.pop_back();
+      note_outcome(probed, /*silent=*/false);
+      result = stack_.empty() ? StepResult::kFinished
+                              : StepResult::kTransmitted;
+      break;
+    case Feedback::kCollision: {
+      ++search_slots_;
+      ++collision_slots_;
+      stack_.pop_back();
+      note_outcome(probed, /*silent=*/false);
+      if (probed.interval.size == 1) {
+        // The tie-break procedure resolves every message on this leaf; pop
+        // it so the search resumes at the adjacent subtree afterwards.
+        result = StepResult::kLeafCollision;
+        break;
+      }
+      push_children(probed.interval);
+      result = StepResult::kDescended;
+      break;
+    }
+  }
+  normalize();
+  if (stack_.empty() && result != StepResult::kLeafCollision) {
+    result = StepResult::kFinished;
+  }
+  return result;
+}
+
+void TreeSearchEngine::requeue(Interval interval) {
+  HRTDM_EXPECT(interval.size >= 1 && interval.lo >= 0 &&
+                   interval.hi() <= leaves_,
+               "requeued interval out of range");
+  HRTDM_EXPECT(stack_.empty() || interval.lo <= stack_.back().interval.lo,
+               "requeue must not skip ahead of the DFS frontier");
+  stack_.push_back(Entry{interval, 0});
+}
+
+std::int64_t TreeSearchEngine::resolved_up_to() const {
+  if (stack_.empty()) {
+    return leaves_;
+  }
+  // DFS is strictly left-to-right: everything left of the pending top is
+  // resolved.
+  return stack_.back().interval.lo;
+}
+
+std::uint64_t TreeSearchEngine::digest() const {
+  util::SplitMix64 mixer(0x9E3779B97F4A7C15ULL ^
+                         static_cast<std::uint64_t>(search_slots_));
+  std::uint64_t h = mixer.next();
+  auto mix = [&h](std::uint64_t v) {
+    util::SplitMix64 m2(h ^ v);
+    h = m2.next();
+  };
+  mix(static_cast<std::uint64_t>(m_));
+  mix(static_cast<std::uint64_t>(leaves_));
+  mix(static_cast<std::uint64_t>(inferred_skips_));
+  for (const Entry& entry : stack_) {
+    mix(static_cast<std::uint64_t>(entry.interval.lo));
+    mix(static_cast<std::uint64_t>(entry.interval.size));
+    if (entry.group != 0) {
+      const auto it = groups_.find(entry.group);
+      if (it != groups_.end()) {
+        mix(static_cast<std::uint64_t>(it->second.remaining));
+        mix(static_cast<std::uint64_t>(it->second.activity));
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace hrtdm::core

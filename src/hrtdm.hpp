@@ -1,0 +1,60 @@
+// Umbrella header: the public API of the HRTDM / CSMA-DDCR library.
+//
+//   #include "hrtdm.hpp"
+//
+// pulls in everything a downstream application needs: workload modelling,
+// the feasibility analysis of the paper's section 4, the protocol
+// simulator, the baselines, and the utilities. Individual headers remain
+// includable on their own for faster builds.
+#pragma once
+
+// Utilities.
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/simtime.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+// Discrete-event simulation and the broadcast medium.
+#include "net/channel.hpp"
+#include "net/frame.hpp"
+#include "net/phy.hpp"
+#include "net/station.hpp"
+#include "net/trace.hpp"
+#include "sim/simulator.hpp"
+
+// Traffic modelling.
+#include "traffic/arrival.hpp"
+#include "traffic/fc_adapter.hpp"
+#include "traffic/message.hpp"
+#include "traffic/serialize.hpp"
+#include "traffic/workload.hpp"
+
+// The paper's analysis (section 4) and its extensions.
+#include "analysis/dimensioning.hpp"
+#include "analysis/efficiency.hpp"
+#include "analysis/feasibility.hpp"
+#include "analysis/feasibility_atm.hpp"
+#include "analysis/optimal_m.hpp"
+#include "analysis/p2.hpp"
+#include "analysis/xi.hpp"
+#include "analysis/xi_expected.hpp"
+
+// The CSMA/DDCR protocol and the network facade.
+#include "core/ddcr_config.hpp"
+#include "core/ddcr_network.hpp"
+#include "core/ddcr_station.hpp"
+#include "core/edf_queue.hpp"
+#include "core/metrics.hpp"
+#include "core/multi_channel.hpp"
+#include "core/tree_search.hpp"
+
+// Comparison baselines.
+#include "baseline/beb_station.hpp"
+#include "baseline/dcr_station.hpp"
+#include "baseline/runner.hpp"
+#include "baseline/stack_station.hpp"
+#include "baseline/tdma_station.hpp"

@@ -1,0 +1,237 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace hrtdm::net {
+
+BroadcastChannel::BroadcastChannel(sim::Simulator& simulator, PhyConfig phy,
+                                   CollisionMode mode,
+                                   std::uint64_t noise_seed)
+    : simulator_(simulator), phy_(phy), mode_(mode), noise_rng_(noise_seed) {
+  phy_.validate();
+}
+
+void BroadcastChannel::attach(Station& station) {
+  HRTDM_EXPECT(!started_once_, "attach stations before start()");
+  for (const Station* existing : stations_) {
+    HRTDM_EXPECT(existing->id() != station.id(), "duplicate station id");
+  }
+  stations_.push_back(&station);
+}
+
+void BroadcastChannel::add_observer(ChannelObserver& observer) {
+  observers_.push_back(&observer);
+}
+
+void BroadcastChannel::start() {
+  HRTDM_EXPECT(!stations_.empty(), "cannot start a channel with no stations");
+  HRTDM_EXPECT(!running_, "channel already running");
+  running_ = true;
+  if (!started_once_) {
+    started_once_ = true;
+    started_at_ = simulator_.now();
+  }
+  simulator_.schedule_after(util::Duration::nanoseconds(0),
+                            [this] { begin_slot(); }, "channel:first-slot");
+}
+
+void BroadcastChannel::stop() { running_ = false; }
+
+double BroadcastChannel::utilization() const {
+  const util::Duration elapsed = simulator_.now() - started_at_;
+  if (elapsed.ns() <= 0) {
+    return 0.0;
+  }
+  return stats_.busy_time.to_seconds() / elapsed.to_seconds();
+}
+
+void BroadcastChannel::apply(const ChannelStats& delta) {
+  stats_.silence_slots += delta.silence_slots;
+  stats_.collision_slots += delta.collision_slots;
+  stats_.successes += delta.successes;
+  stats_.burst_continuations += delta.burst_continuations;
+  stats_.arbitration_wins += delta.arbitration_wins;
+  stats_.corrupted_frames += delta.corrupted_frames;
+  stats_.bits_delivered += delta.bits_delivered;
+  stats_.busy_time += delta.busy_time;
+  stats_.idle_time += delta.idle_time;
+  stats_.contention_time += delta.contention_time;
+}
+
+void BroadcastChannel::deliver(const SlotObservation& obs,
+                               const SlotRecord& record) {
+  for (Station* station : stations_) {
+    station->observe(obs);
+  }
+  for (ChannelObserver* observer : observers_) {
+    observer->on_slot(record);
+  }
+}
+
+void BroadcastChannel::continue_burst(Station& winner,
+                                      std::int64_t budget_bits) {
+  // Called at the instant the previous frame completed. The winner may
+  // chain its next EDF-ranked frame without relinquishing the channel, as
+  // long as the continuation fits the remaining burst budget (the 512-byte
+  // rule of IEEE 802.3z packet bursting described in section 5).
+  if (!running_) {
+    return;
+  }
+  const SimTime now = simulator_.now();
+  const auto next = winner.poll_burst(now, budget_bits);
+  if (!next.has_value() || next->l_bits > budget_bits) {
+    begin_slot();
+    return;
+  }
+  HRTDM_EXPECT(next->source == winner.id(),
+               "burst frame source must match winner id");
+
+  SlotObservation obs;
+  SlotRecord record;
+  obs.kind = record.kind = SlotKind::kSuccess;
+  obs.in_burst = record.in_burst = true;
+  obs.frame = record.frame = *next;
+  obs.slot_start = record.start = now;
+  const util::Duration tx = phy_.tx_time(next->l_bits);
+  const SimTime end = now + tx;
+  obs.slot_end = record.end = end;
+  record.contenders = 1;
+
+  ChannelStats delta;
+  ++delta.successes;
+  ++delta.burst_continuations;
+  delta.bits_delivered += next->l_bits;
+  delta.busy_time += tx;
+
+  const std::int64_t remaining = budget_bits - next->l_bits;
+  simulator_.schedule_at(
+      end,
+      [this, obs, record, &winner, remaining, delta] {
+        apply(delta);
+        deliver(obs, record);
+        if (running_) {
+          continue_burst(winner, remaining);
+        }
+      },
+      "channel:burst-end");
+}
+
+void BroadcastChannel::begin_slot() {
+  if (!running_) {
+    return;
+  }
+  const SimTime start = simulator_.now();
+
+  // Poll every station; the broadcast property requires that intents are
+  // decided simultaneously at the slot boundary.
+  std::vector<std::pair<Station*, Frame>> intents;
+  for (Station* station : stations_) {
+    if (auto frame = station->poll_intent(start)) {
+      HRTDM_EXPECT(frame->l_bits > 0, "station offered an empty frame");
+      HRTDM_EXPECT(frame->source == station->id(),
+                   "frame source must match station id");
+      intents.emplace_back(station, *frame);
+    }
+  }
+
+  SlotObservation obs;
+  SlotRecord record;
+  obs.slot_start = record.start = start;
+  record.contenders = static_cast<int>(intents.size());
+
+  Station* winner = nullptr;
+  SimTime end;
+  // Stats deltas are applied when the slot *completes* (in the delivery
+  // event) so that stats() never includes an in-flight slot.
+  ChannelStats delta;
+
+  if (intents.empty()) {
+    obs.kind = record.kind = SlotKind::kSilence;
+    end = start + phy_.slot_x;
+    ++delta.silence_slots;
+    delta.idle_time += phy_.slot_x;
+  } else if (intents.size() == 1) {
+    obs.kind = record.kind = SlotKind::kSuccess;
+    winner = intents.front().first;
+    const Frame& frame = intents.front().second;
+    obs.frame = record.frame = frame;
+    const util::Duration tx =
+        std::max(phy_.tx_time(frame.l_bits), phy_.slot_x);
+    end = start + tx;
+    ++delta.successes;
+    delta.bits_delivered += frame.l_bits;
+    delta.busy_time += tx;
+  } else if (mode_ == CollisionMode::kDestructive) {
+    obs.kind = record.kind = SlotKind::kCollision;
+    end = start + phy_.slot_x;
+    ++delta.collision_slots;
+    delta.contention_time += phy_.slot_x;
+  } else {
+    // Wired-OR arbitration: the collision slot itself reveals the winner
+    // (lowest arb_key, station id as tie-break), which then transmits.
+    obs.kind = record.kind = SlotKind::kSuccess;
+    obs.arbitration = record.arbitration = true;
+    auto best = std::min_element(
+        intents.begin(), intents.end(), [](const auto& a, const auto& b) {
+          if (a.second.arb_key != b.second.arb_key) {
+            return a.second.arb_key < b.second.arb_key;
+          }
+          return a.second.source < b.second.source;
+        });
+    winner = best->first;
+    const Frame& frame = best->second;
+    obs.frame = record.frame = frame;
+    const util::Duration tx =
+        std::max(phy_.tx_time(frame.l_bits), phy_.slot_x);
+    end = start + phy_.slot_x + tx;
+    ++delta.successes;
+    ++delta.arbitration_wins;
+    delta.bits_delivered += frame.l_bits;
+    delta.contention_time += phy_.slot_x;
+    delta.busy_time += tx;
+  }
+
+  // Channel noise: a transmission may be destroyed in flight. Corruption
+  // is symmetric — every station, the transmitter included, observes a
+  // collision lasting the full transmission time — so the replicated
+  // protocol state machines stay consistent and simply retry.
+  if (obs.kind == SlotKind::kSuccess && phy_.corruption_prob > 0.0 &&
+      noise_rng_.bernoulli(phy_.corruption_prob)) {
+    obs.kind = record.kind = SlotKind::kCollision;
+    obs.frame.reset();
+    record.frame.reset();
+    obs.arbitration = record.arbitration = false;
+    winner = nullptr;
+    delta = ChannelStats{};
+    ++delta.collision_slots;
+    ++delta.corrupted_frames;
+    delta.contention_time += end - start;
+  }
+
+  obs.slot_end = record.end = end;
+
+  const bool bursting_possible = winner != nullptr &&
+                                 obs.kind == SlotKind::kSuccess &&
+                                 phy_.burst_budget_bits > 0;
+
+  simulator_.schedule_at(
+      end,
+      [this, obs, record, winner, bursting_possible, delta] {
+        apply(delta);
+        deliver(obs, record);
+        if (!running_) {
+          return;
+        }
+        if (bursting_possible) {
+          continue_burst(*winner, phy_.burst_budget_bits);
+        } else {
+          begin_slot();
+        }
+      },
+      "channel:slot-end");
+}
+
+}  // namespace hrtdm::net

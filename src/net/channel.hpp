@@ -1,0 +1,110 @@
+// Slotted broadcast channel.
+//
+// Models the passive broadcast media of the paper (Ethernet segment, bus
+// internal to an ATM switch). Time is divided into contention slots of
+// length x; a successful transmission extends its slot to the frame's
+// transmission time l'/psi. Three collision semantics are supported:
+//
+//  - kDestructive: >= 2 simultaneous transmitters destroy each other
+//    (Ethernet); everyone observes a collision slot of length x.
+//  - kArbitration: the wired-OR / exclusive-OR bus logic of ATM internal
+//    busses makes collisions non-destructive: the slot resolves to the
+//    lowest arb_key, which then transmits; losers observe the arbitration.
+//
+// Packet bursting (IEEE 802.3z) is available in either mode: after a
+// successful transmission the winner may chain further frames up to the
+// configured budget without releasing the channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/phy.hpp"
+#include "net/station.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::net {
+
+enum class CollisionMode { kDestructive, kArbitration };
+
+/// Diagnostic record per slot, for metrics and tests; unlike
+/// SlotObservation it includes the contender count, which real stations
+/// cannot see and protocol code must not use.
+struct SlotRecord {
+  SlotKind kind = SlotKind::kSilence;
+  int contenders = 0;
+  SimTime start;
+  SimTime end;
+  std::optional<Frame> frame;
+  bool in_burst = false;
+  bool arbitration = false;
+};
+
+class ChannelObserver {
+ public:
+  virtual ~ChannelObserver() = default;
+  virtual void on_slot(const SlotRecord& record) = 0;
+};
+
+/// Aggregate channel statistics (maintained continuously).
+struct ChannelStats {
+  std::int64_t silence_slots = 0;
+  std::int64_t collision_slots = 0;
+  std::int64_t successes = 0;          ///< frames delivered (incl. bursts)
+  std::int64_t burst_continuations = 0;
+  std::int64_t arbitration_wins = 0;
+  std::int64_t corrupted_frames = 0;   ///< transmissions destroyed by noise
+  std::int64_t bits_delivered = 0;     ///< sum of l over delivered frames
+  util::Duration busy_time;            ///< time spent transmitting
+  util::Duration idle_time;            ///< silence slots
+  util::Duration contention_time;      ///< collision/arbitration slots
+};
+
+class BroadcastChannel {
+ public:
+  /// `noise_seed` feeds the corruption draw stream (only used when
+  /// phy.corruption_prob > 0).
+  BroadcastChannel(sim::Simulator& simulator, PhyConfig phy,
+                   CollisionMode mode = CollisionMode::kDestructive,
+                   std::uint64_t noise_seed = 0x5EEDULL);
+
+  /// Stations must be attached before start() and outlive the channel.
+  void attach(Station& station);
+  void add_observer(ChannelObserver& observer);
+
+  /// Begins the slot loop at the simulator's current time. The loop runs
+  /// until stop() or until the simulation horizon cuts it off.
+  void start();
+  void stop();
+
+  const ChannelStats& stats() const { return stats_; }
+  const PhyConfig& phy() const { return phy_; }
+  CollisionMode mode() const { return mode_; }
+  std::size_t station_count() const { return stations_.size(); }
+
+  /// Fraction of elapsed channel time spent delivering payload bits.
+  double utilization() const;
+
+ private:
+  void begin_slot();
+  void deliver(const SlotObservation& obs, const SlotRecord& record);
+  void apply(const ChannelStats& delta);
+  /// Continues a packet burst: polls `winner` for the next frame while
+  /// budget remains, then hands the channel back to the contention loop.
+  void continue_burst(Station& winner, std::int64_t budget_bits);
+
+  sim::Simulator& simulator_;
+  PhyConfig phy_;
+  CollisionMode mode_;
+  util::Rng noise_rng_;
+  std::vector<Station*> stations_;
+  std::vector<ChannelObserver*> observers_;
+  ChannelStats stats_;
+  bool running_ = false;
+  bool started_once_ = false;
+  SimTime started_at_;
+};
+
+}  // namespace hrtdm::net

@@ -1,0 +1,25 @@
+// The unit of transmission on the broadcast medium.
+#pragma once
+
+#include <cstdint>
+
+#include "util/simtime.hpp"
+
+namespace hrtdm::net {
+
+using util::SimTime;
+
+/// A data-link frame. Carries enough metadata for receivers to maintain the
+/// replicated protocol state (every station hears every frame) and for the
+/// metrics layer to account latencies and deadline misses.
+struct Frame {
+  int source = -1;                ///< transmitting station id
+  std::int64_t msg_uid = -1;      ///< network-unique message id
+  int class_id = -1;              ///< traffic class (metrics key)
+  std::int64_t l_bits = 0;        ///< data-link PDU length l(msg)
+  SimTime enqueue_time;           ///< arrival time T(msg) at the source queue
+  SimTime absolute_deadline;      ///< DM(msg) = T(msg) + d(msg)
+  std::int64_t arb_key = 0;       ///< wired-OR arbitration key (lower wins)
+};
+
+}  // namespace hrtdm::net

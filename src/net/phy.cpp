@@ -1,0 +1,48 @@
+#include "net/phy.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hrtdm::net {
+
+std::int64_t PhyConfig::l_prime_bits(std::int64_t l_bits) const {
+  HRTDM_EXPECT(l_bits > 0, "PDU length must be positive");
+  return l_bits + overhead_bits;
+}
+
+Duration PhyConfig::tx_time(std::int64_t l_bits) const {
+  const double seconds =
+      static_cast<double>(l_prime_bits(l_bits)) / psi_bps;
+  return Duration::nanoseconds(
+      static_cast<std::int64_t>(std::ceil(seconds * 1e9)));
+}
+
+void PhyConfig::validate() const {
+  HRTDM_EXPECT(slot_x > Duration::nanoseconds(0), "slot time must be positive");
+  HRTDM_EXPECT(psi_bps > 0.0, "throughput must be positive");
+  HRTDM_EXPECT(overhead_bits >= 0, "overhead cannot be negative");
+  HRTDM_EXPECT(burst_budget_bits >= 0, "burst budget cannot be negative");
+  HRTDM_EXPECT(corruption_prob >= 0.0 && corruption_prob < 1.0,
+               "corruption probability must lie in [0, 1)");
+}
+
+PhyConfig PhyConfig::gigabit_ethernet() {
+  PhyConfig phy;
+  phy.slot_x = Duration::nanoseconds(4096);
+  phy.psi_bps = 1e9;
+  phy.overhead_bits = (8 + 12) * 8;  // preamble + interframe gap
+  phy.burst_budget_bits = 0;         // enable explicitly for §5 experiments
+  return phy;
+}
+
+PhyConfig PhyConfig::atm_internal_bus() {
+  PhyConfig phy;
+  phy.slot_x = Duration::nanoseconds(16);
+  phy.psi_bps = 622e6;
+  phy.overhead_bits = 5 * 8;  // ATM cell header
+  phy.burst_budget_bits = 0;
+  return phy;
+}
+
+}  // namespace hrtdm::net

@@ -1,0 +1,53 @@
+// Physical-layer model of the broadcast medium.
+//
+// The paper characterises the medium by a slot time x (a channel state
+// transition triggered at t is seen everywhere before t + x/2), a nominal
+// throughput psi, and a framing overhead that inflates the data-link PDU
+// length l into the on-wire length l' > l. Presets are provided for the two
+// §5 target technologies.
+#pragma once
+
+#include <cstdint>
+
+#include "util/simtime.hpp"
+
+namespace hrtdm::net {
+
+using util::Duration;
+
+struct PhyConfig {
+  /// Slot time x. Gigabit Ethernet half duplex: 4096 bit times = 4.096 us.
+  Duration slot_x = Duration::nanoseconds(4096);
+  /// Nominal physical throughput psi in bits per second.
+  double psi_bps = 1e9;
+  /// l'(msg) - l(msg): preamble + framing + signalling bits.
+  std::int64_t overhead_bits = 0;
+  /// Packet-bursting budget in bits (continuation frames after a win may
+  /// total at most this many data-link bits); 0 disables bursting.
+  std::int64_t burst_budget_bits = 0;
+  /// Symmetric frame-corruption probability: with this probability a
+  /// contention-slot transmission is destroyed in flight and every station
+  /// (including the transmitter, which detects it like a collision)
+  /// observes a collision lasting the full transmission time. Models CRC
+  /// failures / channel noise while preserving the broadcast property that
+  /// all stations share one view. Burst continuations are not corrupted.
+  double corruption_prob = 0.0;
+
+  /// On-wire bits l'(msg) for a PDU of l bits.
+  std::int64_t l_prime_bits(std::int64_t l_bits) const;
+
+  /// Transmission time l'(msg)/psi, rounded up to a whole nanosecond.
+  Duration tx_time(std::int64_t l_bits) const;
+
+  void validate() const;
+
+  /// Half-duplex Gigabit Ethernet (IEEE 802.3z): psi = 1e9, x = 4.096 us,
+  /// 8 bytes preamble + 12 byte-times interframe gap of overhead.
+  static PhyConfig gigabit_ethernet();
+
+  /// A bus internal to an ATM switch: spanning of a few bit times. We model
+  /// x = 16 ns at 622 Mbit/s with one ATM cell (53 bytes) of framing.
+  static PhyConfig atm_internal_bus();
+};
+
+}  // namespace hrtdm::net

@@ -1,0 +1,85 @@
+#include "net/trace.hpp"
+
+#include <sstream>
+
+namespace hrtdm::net {
+
+void TraceRecorder::on_slot(const SlotRecord& record) {
+  if (capacity_ > 0 && slots_.size() >= capacity_) {
+    slots_.erase(slots_.begin());
+    ++dropped_;
+  }
+  slots_.push_back(record);
+}
+
+char trace_symbol(const SlotRecord& record) {
+  switch (record.kind) {
+    case SlotKind::kSilence:
+      return '.';
+    case SlotKind::kCollision:
+      return 'X';
+    case SlotKind::kSuccess:
+      if (record.in_burst) {
+        return 'b';
+      }
+      return record.arbitration ? 'a' : '#';
+  }
+  return '?';
+}
+
+std::string TraceRecorder::ascii_timeline(std::size_t width) const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < slots_.size(); i += width) {
+    oss << slots_[i].start.str() << "  ";
+    for (std::size_t j = i; j < std::min(i + width, slots_.size()); ++j) {
+      oss << trace_symbol(slots_[j]);
+    }
+    oss << "\n";
+  }
+  if (dropped_ > 0) {
+    oss << "(" << dropped_ << " earlier slots dropped)\n";
+  }
+  return oss.str();
+}
+
+std::string TraceRecorder::csv() const {
+  std::ostringstream oss;
+  oss << "start_ns,end_ns,kind,source,uid,class,bits,burst,arbitration\n";
+  for (const SlotRecord& record : slots_) {
+    const char* kind = record.kind == SlotKind::kSilence ? "silence"
+                       : record.kind == SlotKind::kCollision ? "collision"
+                                                             : "success";
+    oss << record.start.ns() << ',' << record.end.ns() << ',' << kind << ',';
+    if (record.frame.has_value()) {
+      oss << record.frame->source << ',' << record.frame->msg_uid << ','
+          << record.frame->class_id << ',' << record.frame->l_bits;
+    } else {
+      oss << ",,,";
+    }
+    oss << ',' << (record.in_burst ? 1 : 0) << ','
+        << (record.arbitration ? 1 : 0) << "\n";
+  }
+  return oss.str();
+}
+
+TraceRecorder::Counts TraceRecorder::counts() const {
+  Counts counts;
+  for (const SlotRecord& record : slots_) {
+    switch (record.kind) {
+      case SlotKind::kSilence:
+        ++counts.silence;
+        break;
+      case SlotKind::kCollision:
+        ++counts.collision;
+        break;
+      case SlotKind::kSuccess:
+        ++counts.success;
+        counts.burst += record.in_burst ? 1 : 0;
+        counts.arbitration += record.arbitration ? 1 : 0;
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace hrtdm::net

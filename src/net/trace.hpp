@@ -1,0 +1,52 @@
+// Channel tracing: records every slot and renders ns-style artefacts —
+// an ASCII timeline for eyeballing protocol behaviour and a CSV export
+// for external tooling.
+//
+//   timeline symbols:  .  silence     X  collision     #  transmission
+//                      b  burst continuation           a  arbitration win
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+
+namespace hrtdm::net {
+
+class TraceRecorder final : public ChannelObserver {
+ public:
+  /// Keeps at most `capacity` most recent slots (0 = unbounded).
+  explicit TraceRecorder(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void on_slot(const SlotRecord& record) override;
+
+  const std::vector<SlotRecord>& slots() const { return slots_; }
+  std::size_t dropped() const { return dropped_; }
+
+  /// One-line-per-row ASCII timeline, `width` slots per row, annotated
+  /// with the start time of each row.
+  std::string ascii_timeline(std::size_t width = 72) const;
+
+  /// CSV: start_ns,end_ns,kind,source,uid,class,bits,burst,arbitration
+  std::string csv() const;
+
+  /// Per-kind slot counts (convenience for tests).
+  struct Counts {
+    std::int64_t silence = 0;
+    std::int64_t collision = 0;
+    std::int64_t success = 0;
+    std::int64_t burst = 0;
+    std::int64_t arbitration = 0;
+  };
+  Counts counts() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+  std::vector<SlotRecord> slots_;
+};
+
+/// Symbol used by ascii_timeline for one record.
+char trace_symbol(const SlotRecord& record);
+
+}  // namespace hrtdm::net

@@ -1,0 +1,75 @@
+#include "sim/simulator.hpp"
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace hrtdm::sim {
+
+EventHandle Simulator::schedule_at(SimTime at, Callback fn, std::string label) {
+  HRTDM_EXPECT(at >= now_, "cannot schedule into the past");
+  HRTDM_EXPECT(static_cast<bool>(fn), "event callback must be callable");
+  const std::uint64_t seq = next_seq_++;
+  pending_.emplace(seq, Event{at, seq, std::move(fn), std::move(label)});
+  queue_.push(QueueEntry{at, seq});
+  return EventHandle{seq};
+}
+
+EventHandle Simulator::schedule_after(Duration delay, Callback fn,
+                                      std::string label) {
+  HRTDM_EXPECT(!delay.is_negative(), "delay cannot be negative");
+  return schedule_at(now_ + delay, std::move(fn), std::move(label));
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (handle.is_null()) {
+    return false;
+  }
+  return pending_.erase(handle.seq_) > 0;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = pending_.find(entry.seq);
+    if (it == pending_.end()) {
+      continue;  // tombstone of a cancelled event
+    }
+    Event event = std::move(it->second);
+    pending_.erase(it);
+    HRTDM_ENSURE(event.at >= now_, "event queue went backwards in time");
+    now_ = event.at;
+    ++events_fired_;
+    if (!event.label.empty()) {
+      HRTDM_LOG(kTrace) << event.at.str() << " fire: " << event.label;
+    }
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime horizon) {
+  while (!queue_.empty()) {
+    // Peek past tombstones without firing.
+    const QueueEntry entry = queue_.top();
+    if (pending_.find(entry.seq) == pending_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.at > horizon) {
+      break;
+    }
+    step();
+  }
+  if (now_ < horizon) {
+    now_ = horizon;
+  }
+}
+
+void Simulator::run_to_completion() {
+  while (step()) {
+  }
+}
+
+}  // namespace hrtdm::sim

@@ -1,0 +1,105 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop with a stable priority queue: events at equal
+// timestamps fire in scheduling order, which the broadcast-channel model
+// relies on for deterministic slot processing. Handles are returned so
+// scheduled events can be cancelled (e.g. a station abandoning a planned
+// retransmission when the channel state changes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/simtime.hpp"
+
+namespace hrtdm::sim {
+
+using util::Duration;
+using util::SimTime;
+
+/// Identifies a scheduled event for cancellation. Default-constructed
+/// handles are null.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool is_null() const { return seq_ == 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now). Returns a handle that
+  /// can be passed to cancel(). `label` shows up in traces only.
+  EventHandle schedule_at(SimTime at, Callback fn, std::string label = {});
+
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  EventHandle schedule_after(Duration delay, Callback fn,
+                             std::string label = {});
+
+  /// Cancels a pending event; cancelling an already-fired or null handle is
+  /// a no-op. Returns true if something was cancelled.
+  bool cancel(EventHandle handle);
+
+  /// Runs until the queue drains or the horizon is passed, whichever comes
+  /// first. Events exactly at the horizon still fire; afterwards now() is
+  /// at least the horizon.
+  void run_until(SimTime horizon);
+
+  /// Runs until the queue is empty. The caller must guarantee termination.
+  void run_to_completion();
+
+  /// Fires at most one event; returns false when the queue is empty.
+  bool step();
+
+  std::uint64_t events_fired() const { return events_fired_; }
+  std::size_t events_pending() const { return pending_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq = 0;  // tie-break: FIFO at equal timestamps
+    Callback fn;
+    std::string label;
+  };
+  struct QueueEntry {
+    SimTime at;
+    std::uint64_t seq;
+  };
+  struct EntryOrder {
+    // std::priority_queue is a max-heap; invert for earliest-first, with
+    // FIFO tie-breaking on the sequence number.
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_fired_ = 0;
+  // Cancellation removes from `pending_`; the queue entry becomes a
+  // tombstone skipped on pop.
+  std::unordered_map<std::uint64_t, Event> pending_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryOrder> queue_;
+};
+
+}  // namespace hrtdm::sim

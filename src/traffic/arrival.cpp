@@ -1,0 +1,147 @@
+#include "traffic/arrival.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hrtdm::traffic {
+
+namespace {
+
+void check_class(const MessageClass& cls) {
+  HRTDM_EXPECT(cls.a >= 1, "arrival bound a must be >= 1");
+  HRTDM_EXPECT(cls.w > Duration::nanoseconds(0), "window w must be positive");
+  HRTDM_EXPECT(cls.d > Duration::nanoseconds(0), "deadline d must be positive");
+}
+
+std::vector<SimTime> saturating(const MessageClass& cls, SimTime horizon) {
+  // `a` arrivals at the very start of every window. Separating the burst
+  // members by 1 ns keeps timestamps distinct (and the density bound intact:
+  // any window of length w still sees exactly a of them).
+  std::vector<SimTime> times;
+  for (SimTime window = SimTime::zero(); window < horizon;
+       window += cls.w) {
+    for (std::int64_t i = 0; i < cls.a; ++i) {
+      const SimTime at = window + Duration::nanoseconds(i);
+      if (at < horizon) {
+        times.push_back(at);
+      }
+    }
+  }
+  return times;
+}
+
+std::vector<SimTime> periodic_jitter(const MessageClass& cls, SimTime horizon,
+                                     Rng& rng) {
+  // Nominal spacing w/a with a non-negative random gap extension of up to
+  // 20% of the period. Gap jitter (as opposed to per-arrival phase slip)
+  // can only stretch inter-arrival distances, so any window of length w
+  // still holds at most `a` arrivals.
+  const Duration period = cls.w / cls.a;
+  HRTDM_EXPECT(period > Duration::nanoseconds(0), "period underflow");
+  const std::int64_t max_extra = std::max<std::int64_t>(period.ns() / 5, 0);
+  std::vector<SimTime> times;
+  SimTime at = SimTime::zero();
+  while (at < horizon) {
+    times.push_back(at);
+    at += period + Duration::nanoseconds(
+                       max_extra > 0 ? rng.uniform_i64(0, max_extra) : 0);
+  }
+  return times;
+}
+
+std::vector<SimTime> sporadic(const MessageClass& cls, SimTime horizon,
+                              Rng& rng) {
+  // Minimum inter-arrival w/a plus an exponential extension with mean
+  // 0.5 * w/a; strictly sparser than the saturating adversary.
+  const Duration min_gap = cls.w / cls.a;
+  std::vector<SimTime> times;
+  SimTime at = SimTime::zero();
+  while (at < horizon) {
+    times.push_back(at);
+    const double extra_s =
+        rng.exponential(2.0 / std::max(min_gap.to_seconds(), 1e-12));
+    at += min_gap + Duration::from_seconds(extra_s);
+  }
+  return times;
+}
+
+std::vector<SimTime> bounded_poisson(const MessageClass& cls, SimTime horizon,
+                                     Rng& rng) {
+  // Poisson at the nominal rate a/w, then thinned: an arrival that would be
+  // the (a+1)-th inside some window of length w is dropped.
+  const double rate = static_cast<double>(cls.a) / cls.w.to_seconds();
+  std::vector<SimTime> times;
+  SimTime at = SimTime::zero() + Duration::from_seconds(rng.exponential(rate));
+  while (at < horizon) {
+    const std::size_t n = times.size();
+    const bool violates =
+        n >= static_cast<std::size_t>(cls.a) &&
+        at - times[n - static_cast<std::size_t>(cls.a)] < cls.w;
+    if (!violates) {
+      times.push_back(at);
+    }
+    at += Duration::from_seconds(rng.exponential(rate));
+  }
+  return times;
+}
+
+}  // namespace
+
+std::vector<SimTime> generate_arrivals(const MessageClass& cls,
+                                       ArrivalKind kind, SimTime horizon,
+                                       Rng& rng) {
+  check_class(cls);
+  std::vector<SimTime> times;
+  switch (kind) {
+    case ArrivalKind::kSaturatingAdversary:
+      times = saturating(cls, horizon);
+      break;
+    case ArrivalKind::kPeriodicJitter:
+      times = periodic_jitter(cls, horizon, rng);
+      break;
+    case ArrivalKind::kSporadic:
+      times = sporadic(cls, horizon, rng);
+      break;
+    case ArrivalKind::kBoundedPoisson:
+      times = bounded_poisson(cls, horizon, rng);
+      break;
+  }
+  HRTDM_ENSURE(std::is_sorted(times.begin(), times.end()),
+               "arrival times must be sorted");
+  HRTDM_ENSURE(respects_density(times, cls.a, cls.w),
+               "generator violated the unimodal arbitrary bound");
+  return times;
+}
+
+bool respects_density(const std::vector<SimTime>& times, std::int64_t a,
+                      Duration w) {
+  HRTDM_EXPECT(a >= 1, "arrival bound a must be >= 1");
+  for (std::size_t i = 0; i + static_cast<std::size_t>(a) < times.size();
+       ++i) {
+    if (times[i + static_cast<std::size_t>(a)] - times[i] < w) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Message> materialize(const MessageClass& cls,
+                                 const std::vector<SimTime>& times,
+                                 std::int64_t& next_uid) {
+  std::vector<Message> messages;
+  messages.reserve(times.size());
+  for (const SimTime at : times) {
+    Message msg;
+    msg.uid = next_uid++;
+    msg.class_id = cls.id;
+    msg.source = cls.source;
+    msg.l_bits = cls.l_bits;
+    msg.arrival = at;
+    msg.absolute_deadline = at + cls.d;
+    messages.push_back(msg);
+  }
+  return messages;
+}
+
+}  // namespace hrtdm::traffic

@@ -1,0 +1,48 @@
+// Arrival-process generators under the unimodal arbitrary model.
+//
+// The paper's adversary may submit up to a(msg) arrivals of msg in *any*
+// sliding window of w(msg); it subsumes periodic and Poisson models. The
+// generators below produce arrival-time sequences that respect the bound
+// (verified by respects_density); the saturating adversary realises its
+// extreme point, which is what the feasibility conditions assume.
+#pragma once
+
+#include <vector>
+
+#include "traffic/message.hpp"
+#include "util/rng.hpp"
+#include "util/simtime.hpp"
+
+namespace hrtdm::traffic {
+
+using util::Rng;
+
+enum class ArrivalKind {
+  /// Peak load: bursts of `a` simultaneous-as-possible arrivals at the
+  /// start of every window — the worst case the FCs are computed against.
+  kSaturatingAdversary,
+  /// Evenly spaced arrivals with period w/a and uniform phase jitter,
+  /// clamped so the density bound still holds.
+  kPeriodicJitter,
+  /// Sporadic: minimum separation w/a plus an exponential extra gap.
+  kSporadic,
+  /// Poisson at rate a/w, thinned to respect the sliding-window bound.
+  kBoundedPoisson,
+};
+
+/// Arrival times for one class over [0, horizon), sorted ascending.
+std::vector<SimTime> generate_arrivals(const MessageClass& cls,
+                                       ArrivalKind kind, SimTime horizon,
+                                       Rng& rng);
+
+/// True iff every sliding window of length w contains at most `a` of the
+/// (sorted) arrival times: for all i, times[i + a] - times[i] >= w.
+bool respects_density(const std::vector<SimTime>& times, std::int64_t a,
+                      Duration w);
+
+/// Materialises Message instances (uid, DM) from arrival times.
+std::vector<Message> materialize(const MessageClass& cls,
+                                 const std::vector<SimTime>& times,
+                                 std::int64_t& next_uid);
+
+}  // namespace hrtdm::traffic

@@ -1,0 +1,39 @@
+#include "traffic/fc_adapter.hpp"
+
+#include "util/check.hpp"
+
+namespace hrtdm::traffic {
+
+analysis::FcSystem to_fc_system(const Workload& workload,
+                                const FcAdapterOptions& options) {
+  workload.validate();
+  HRTDM_EXPECT(options.nu.empty() ||
+                   options.nu.size() == workload.sources.size(),
+               "nu vector must match the number of sources");
+
+  analysis::FcSystem system;
+  system.phy.psi_bps = options.psi_bps;
+  system.phy.slot_s = options.slot_s;
+  system.phy.overhead_bits = options.overhead_bits;
+  system.trees = options.trees;
+
+  for (std::size_t s = 0; s < workload.sources.size(); ++s) {
+    const SourceSpec& src = workload.sources[s];
+    analysis::FcSource fc_src;
+    fc_src.name = src.name;
+    fc_src.nu = options.nu.empty() ? 1 : options.nu[s];
+    for (const MessageClass& cls : src.classes) {
+      analysis::FcMessageClass fc_cls;
+      fc_cls.name = cls.name;
+      fc_cls.l_bits = cls.l_bits;
+      fc_cls.d_s = cls.d.to_seconds();
+      fc_cls.a = cls.a;
+      fc_cls.w_s = cls.w.to_seconds();
+      fc_src.classes.push_back(std::move(fc_cls));
+    }
+    system.sources.push_back(std::move(fc_src));
+  }
+  return system;
+}
+
+}  // namespace hrtdm::traffic

@@ -1,0 +1,25 @@
+// Bridges the simulator-side workload model (integer nanoseconds) to the
+// analysis-side feasibility structures (double seconds), so one workload
+// definition drives both the FC computation and the simulation that
+// validates it.
+#pragma once
+
+#include "analysis/feasibility.hpp"
+#include "traffic/workload.hpp"
+
+namespace hrtdm::traffic {
+
+struct FcAdapterOptions {
+  double psi_bps = 1e9;
+  double slot_s = 4.096e-6;
+  std::int64_t overhead_bits = 0;
+  analysis::FcTreeParams trees;
+  /// Static indices per source; empty means one index per source.
+  std::vector<std::int64_t> nu;
+};
+
+/// Builds the analysis::FcSystem corresponding to `workload`.
+analysis::FcSystem to_fc_system(const Workload& workload,
+                                const FcAdapterOptions& options);
+
+}  // namespace hrtdm::traffic

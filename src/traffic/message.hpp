@@ -1,0 +1,39 @@
+// Message model of the HRTDM problem (section 2.2).
+//
+// MSG is partitioned into per-source subsets; every message of a class
+// shares the class's bit length l, relative deadline d, and unimodal
+// arbitrary arrival bound: at most `a` arrivals in any sliding window of
+// length w.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/simtime.hpp"
+
+namespace hrtdm::traffic {
+
+using util::Duration;
+using util::SimTime;
+
+struct MessageClass {
+  int id = -1;                ///< network-unique class id
+  std::string name;
+  int source = -1;            ///< owning source (the mapping model)
+  std::int64_t l_bits = 0;    ///< data-link PDU length l(msg)
+  Duration d;                 ///< relative deadline d(msg)
+  std::int64_t a = 1;         ///< max arrivals per window
+  Duration w;                 ///< sliding window w(msg)
+};
+
+/// One message instance, as delivered to a source's waiting queue.
+struct Message {
+  std::int64_t uid = -1;      ///< network-unique message id
+  int class_id = -1;
+  int source = -1;
+  std::int64_t l_bits = 0;
+  SimTime arrival;            ///< T(msg)
+  SimTime absolute_deadline;  ///< DM(msg) = T(msg) + d(msg)
+};
+
+}  // namespace hrtdm::traffic

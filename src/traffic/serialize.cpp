@@ -1,0 +1,105 @@
+#include "traffic/serialize.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hrtdm::traffic {
+
+std::string serialize_workload(const Workload& workload) {
+  workload.validate();
+  std::ostringstream oss;
+  oss << "workload " << workload.name << "\n";
+  for (const auto& src : workload.sources) {
+    oss << "source " << src.id << " " << src.name << "\n";
+    for (const auto& cls : src.classes) {
+      oss << "class " << cls.id << " " << cls.name
+          << " l_bits=" << cls.l_bits << " d_us=" << cls.d.ns() / 1000
+          << " a=" << cls.a << " w_us=" << cls.w.ns() / 1000 << "\n";
+    }
+  }
+  return oss.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  HRTDM_EXPECT(false, "workload text line " + std::to_string(line) + ": " +
+                          message);
+  throw util::ContractViolation("unreachable");  // for the compiler
+}
+
+std::int64_t parse_kv(const std::string& token, const std::string& key,
+                      int line) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    fail(line, "expected " + prefix + "<int>, got '" + token + "'");
+  }
+  try {
+    return std::stoll(token.substr(prefix.size()));
+  } catch (const std::exception&) {
+    fail(line, "cannot parse integer in '" + token + "'");
+  }
+}
+
+}  // namespace
+
+Workload parse_workload(const std::string& text) {
+  Workload workload;
+  std::istringstream input(text);
+  std::string raw;
+  int line_no = 0;
+  bool have_name = false;
+  while (std::getline(input, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw = raw.substr(0, hash);
+    }
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) {
+      continue;  // blank / comment-only line
+    }
+    if (keyword == "workload") {
+      if (!(line >> workload.name)) {
+        fail(line_no, "workload line needs a name");
+      }
+      have_name = true;
+    } else if (keyword == "source") {
+      SourceSpec src;
+      if (!(line >> src.id >> src.name)) {
+        fail(line_no, "source line needs <id> <name>");
+      }
+      workload.sources.push_back(std::move(src));
+    } else if (keyword == "class") {
+      if (workload.sources.empty()) {
+        fail(line_no, "class line before any source");
+      }
+      MessageClass cls;
+      std::string l_tok;
+      std::string d_tok;
+      std::string a_tok;
+      std::string w_tok;
+      if (!(line >> cls.id >> cls.name >> l_tok >> d_tok >> a_tok >> w_tok)) {
+        fail(line_no,
+             "class line needs <id> <name> l_bits= d_us= a= w_us=");
+      }
+      cls.source = workload.sources.back().id;
+      cls.l_bits = parse_kv(l_tok, "l_bits", line_no);
+      cls.d = Duration::microseconds(parse_kv(d_tok, "d_us", line_no));
+      cls.a = parse_kv(a_tok, "a", line_no);
+      cls.w = Duration::microseconds(parse_kv(w_tok, "w_us", line_no));
+      workload.sources.back().classes.push_back(std::move(cls));
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!have_name) {
+    fail(line_no, "missing `workload <name>` line");
+  }
+  workload.validate();
+  return workload;
+}
+
+}  // namespace hrtdm::traffic

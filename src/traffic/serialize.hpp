@@ -1,0 +1,28 @@
+// Plain-text workload serialisation.
+//
+// A downstream user specifies an HRTDM instantiation as a small text file
+// rather than C++; the format is line-oriented and diff-friendly:
+//
+//   workload <name>
+//   source <id> <name>
+//   class <id> <name> l_bits=<int> d_us=<int> a=<int> w_us=<int>
+//   ...
+//
+// Classes belong to the most recent `source` line. `#` starts a comment.
+// parse_workload() round-trips serialize_workload() exactly.
+#pragma once
+
+#include <string>
+
+#include "traffic/workload.hpp"
+
+namespace hrtdm::traffic {
+
+/// Renders the workload in the text format above.
+std::string serialize_workload(const Workload& workload);
+
+/// Parses the text format; contract-fails with a line-numbered message on
+/// malformed input. The result is validate()d before returning.
+Workload parse_workload(const std::string& text);
+
+}  // namespace hrtdm::traffic

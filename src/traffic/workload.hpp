@@ -1,0 +1,95 @@
+// Workload definitions: sources, their message classes, and scenario
+// builders for the application domains the paper's introduction motivates
+// (interactive multimedia, videoconferencing, on-line transactions,
+// surveillance / air-traffic control).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "traffic/arrival.hpp"
+#include "traffic/message.hpp"
+
+namespace hrtdm::traffic {
+
+struct SourceSpec {
+  int id = -1;
+  std::string name;
+  std::vector<MessageClass> classes;  ///< MSG_i, the subset mapped here
+};
+
+/// A fully specified HRTDM workload (the <m.HRTDM> models).
+struct Workload {
+  std::string name;
+  std::vector<SourceSpec> sources;
+
+  /// Number of sources z.
+  int z() const { return static_cast<int>(sources.size()); }
+
+  /// All classes across sources (MSG).
+  std::vector<MessageClass> all_classes() const;
+
+  /// Structural validation: ids consistent, parameters positive.
+  void validate() const;
+
+  /// Largest relative deadline across MSG (for horizon dimensioning).
+  Duration max_deadline() const;
+
+  /// Long-run offered load: sum over MSG of (a/w) * (l/psi). The l' framing
+  /// overhead is added by the caller's PHY when relevant.
+  double offered_load_bits_per_second() const;
+
+  /// Uniformly scales every class's arrival window by 1/factor (factor > 1
+  /// means more load). Used by the load-sweep benches.
+  Workload scaled_load(double factor) const;
+};
+
+/// Per-source message instances for a run.
+struct GeneratedTraffic {
+  std::vector<std::vector<Message>> per_source;  ///< sorted by arrival
+  std::int64_t total_messages = 0;
+};
+
+GeneratedTraffic generate_traffic(const Workload& workload, ArrivalKind kind,
+                                  SimTime horizon, std::uint64_t seed);
+
+// ---- Scenario builders ------------------------------------------------
+
+/// Quickstart scenario: `z` identical sources each with one small control
+/// class and one bulk class. Deadlines are loose enough to be feasible on
+/// Gigabit Ethernet at the default tree shapes.
+Workload quickstart(int z);
+
+/// Videoconferencing bridge: z stations each carry an audio class (small,
+/// tight deadline), a video class (large, frame-rate window) and a floor
+/// control class (rare, small).
+Workload videoconference(int z);
+
+/// Surveillance / air-traffic control: radar track updates (periodic-ish),
+/// conflict-alert messages (sporadic, very tight deadline) and controller
+/// console traffic.
+Workload air_traffic_control(int z);
+
+/// On-line transactions (stock market): order entries (bursty, tight),
+/// market data ticks (dense) and audit records (loose).
+Workload stock_exchange(int z);
+
+/// Manufacturing cell (the 1980s CSMA/DCR deployments of section 5:
+/// discrete/continuous manufacturing): PLC scan cycles (small, periodic,
+/// tight), emergency-stop signals (rare, hard microsecond-scale deadline)
+/// and supervisory telemetry.
+Workload factory_cell(int z);
+
+/// Modular avionics (the TRDF application of section 2.1): flight-control
+/// sensor/actuator frames at a fast minor cycle, navigation updates at a
+/// slower cycle, and maintenance records.
+Workload avionics(int z);
+
+/// Scenario registry for CLI-driven tools: resolves one of "quickstart",
+/// "videoconference", "atc", "stocks", "factory", "avionics".
+/// Contract-fails on an unknown name (scenario_names() lists them).
+Workload workload_by_name(const std::string& name, int z);
+std::vector<std::string> scenario_names();
+
+}  // namespace hrtdm::traffic

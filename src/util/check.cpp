@@ -1,0 +1,17 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace hrtdm::util::detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw ContractViolation(oss.str());
+}
+
+}  // namespace hrtdm::util::detail

@@ -1,0 +1,45 @@
+// Contract-checking helpers.
+//
+// The simulator and the analysis code are dense in preconditions that come
+// straight from the paper (t must be m^n, k in [0, t], ...). Violations are
+// programming errors, never recoverable conditions, so they throw
+// ContractViolation which test code can assert on and application code lets
+// propagate to a crash with a useful message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hrtdm::util {
+
+/// Thrown when an HRTDM_EXPECT / HRTDM_ENSURE contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace hrtdm::util
+
+/// Precondition check: throws ContractViolation when `cond` is false.
+#define HRTDM_EXPECT(cond, message)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::hrtdm::util::detail::contract_failure("precondition", #cond,        \
+                                              __FILE__, __LINE__, (message)); \
+    }                                                                        \
+  } while (false)
+
+/// Invariant / postcondition check: throws ContractViolation when false.
+#define HRTDM_ENSURE(cond, message)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::hrtdm::util::detail::contract_failure("invariant", #cond, __FILE__, \
+                                              __LINE__, (message));         \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,166 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace hrtdm::util {
+
+namespace {
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "int";
+    case 1: return "double";
+    case 2: return "bool";
+    case 3: return "string";
+  }
+  return "?";
+}
+}  // namespace
+
+CliFlags& CliFlags::add_int(const std::string& name,
+                            std::int64_t default_value,
+                            const std::string& help) {
+  HRTDM_EXPECT(flags_.emplace(name, Flag{Kind::kInt,
+                                         std::to_string(default_value), help})
+                   .second,
+               "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+CliFlags& CliFlags::add_double(const std::string& name, double default_value,
+                               const std::string& help) {
+  std::ostringstream oss;
+  oss << default_value;
+  HRTDM_EXPECT(
+      flags_.emplace(name, Flag{Kind::kDouble, oss.str(), help}).second,
+      "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+CliFlags& CliFlags::add_bool(const std::string& name, bool default_value,
+                             const std::string& help) {
+  HRTDM_EXPECT(flags_.emplace(name, Flag{Kind::kBool,
+                                         default_value ? "true" : "false",
+                                         help})
+                   .second,
+               "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+CliFlags& CliFlags::add_string(const std::string& name,
+                               const std::string& default_value,
+                               const std::string& help) {
+  HRTDM_EXPECT(
+      flags_.emplace(name, Flag{Kind::kString, default_value, help}).second,
+      "duplicate flag");
+  order_.push_back(name);
+  return *this;
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::fputs(usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", arg.c_str());
+      std::fputs(usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    if (eq == std::string::npos) {
+      if (it->second.kind == Kind::kBool) {
+        value = "true";  // boolean switch form
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s needs a value\n", arg.c_str());
+        return false;
+      }
+    }
+    // Validate eagerly so errors point at the offending flag.
+    try {
+      switch (it->second.kind) {
+        case Kind::kInt:
+          (void)std::stoll(value);
+          break;
+        case Kind::kDouble:
+          (void)std::stod(value);
+          break;
+        case Kind::kBool:
+          if (value != "true" && value != "false" && value != "1" &&
+              value != "0") {
+            throw std::invalid_argument(value);
+          }
+          break;
+        case Kind::kString:
+          break;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "flag --%s: cannot parse '%s' as %s\n",
+                   arg.c_str(), value.c_str(),
+                   kind_name(static_cast<int>(it->second.kind)));
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::lookup(const std::string& name,
+                                       Kind kind) const {
+  const auto it = flags_.find(name);
+  HRTDM_EXPECT(it != flags_.end(), "flag was never registered");
+  HRTDM_EXPECT(it->second.kind == kind, "flag accessed with the wrong type");
+  return it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return std::stoll(lookup(name, Kind::kInt).value);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::stod(lookup(name, Kind::kDouble).value);
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string& v = lookup(name, Kind::kBool).value;
+  return v == "true" || v == "1";
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return lookup(name, Kind::kString).value;
+}
+
+std::string CliFlags::usage(const std::string& program) const {
+  std::ostringstream oss;
+  oss << "usage: " << program << " [flags]\n";
+  for (const std::string& name : order_) {
+    const Flag& flag = flags_.at(name);
+    oss << "  --" << name << " (" << kind_name(static_cast<int>(flag.kind))
+        << ", default " << flag.value << "): " << flag.help << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace hrtdm::util

@@ -1,0 +1,53 @@
+// Minimal command-line flag parsing for the example/bench binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches;
+// unknown flags are an error so typos do not silently run the default
+// scenario. Not a general-purpose library — just enough for the examples
+// to be parameterisable without taking a dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hrtdm::util {
+
+class CliFlags {
+ public:
+  /// Registers flags with defaults and a help line each.
+  CliFlags& add_int(const std::string& name, std::int64_t default_value,
+                    const std::string& help);
+  CliFlags& add_double(const std::string& name, double default_value,
+                       const std::string& help);
+  CliFlags& add_bool(const std::string& name, bool default_value,
+                     const std::string& help);
+  CliFlags& add_string(const std::string& name,
+                       const std::string& default_value,
+                       const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or on any
+  /// unknown/malformed flag; the caller should exit.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// The rendered usage text.
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string value;  // textual; parsed on access
+    std::string help;
+  };
+  const Flag& lookup(const std::string& name, Kind kind) const;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace hrtdm::util

@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// The simulator can emit very fine-grained traces (one line per slot); the
+// level gate keeps example/bench binaries quiet by default while tests can
+// crank verbosity for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hrtdm::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Global level; messages below it are discarded. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr: "[level] message".
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= log_level()) {
+      log_line(level_, oss_.str());
+    }
+  }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (level_ >= log_level()) {
+      oss_ << v;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+}  // namespace hrtdm::util
+
+#define HRTDM_LOG(level) \
+  ::hrtdm::util::detail::LogMessage(::hrtdm::util::LogLevel::level)

@@ -1,0 +1,116 @@
+#include "util/math.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hrtdm::util {
+
+std::int64_t ipow(std::int64_t m, std::int64_t e) {
+  HRTDM_EXPECT(m >= 1, "ipow base must be >= 1");
+  HRTDM_EXPECT(e >= 0, "ipow exponent must be >= 0");
+  std::int64_t result = 1;
+  for (std::int64_t i = 0; i < e; ++i) {
+    HRTDM_EXPECT(result <= std::numeric_limits<std::int64_t>::max() / m,
+                 "ipow overflow");
+    result *= m;
+  }
+  return result;
+}
+
+bool is_power_of(std::int64_t m, std::int64_t x) {
+  HRTDM_EXPECT(m >= 2, "is_power_of base must be >= 2");
+  if (x < 1) {
+    return false;
+  }
+  while (x % m == 0) {
+    x /= m;
+  }
+  return x == 1;
+}
+
+std::int64_t ilog_floor(std::int64_t m, std::int64_t x) {
+  HRTDM_EXPECT(m >= 2, "ilog_floor base must be >= 2");
+  HRTDM_EXPECT(x >= 1, "ilog_floor argument must be >= 1");
+  std::int64_t e = 0;
+  std::int64_t cur = 1;
+  while (cur <= x / m) {
+    cur *= m;
+    ++e;
+  }
+  // cur = m^e <= x and m^{e+1} > x (the loop guard uses division to avoid
+  // overflow: cur <= x/m  <=>  cur*m <= x for positive integers).
+  return e;
+}
+
+std::int64_t ilog_ceil(std::int64_t m, std::int64_t x) {
+  HRTDM_EXPECT(m >= 2, "ilog_ceil base must be >= 2");
+  HRTDM_EXPECT(x >= 1, "ilog_ceil argument must be >= 1");
+  std::int64_t e = ilog_floor(m, x);
+  return ipow(m, e) == x ? e : e + 1;
+}
+
+std::int64_t ilog_floor_rational(std::int64_t m, std::int64_t num,
+                                 std::int64_t den) {
+  HRTDM_EXPECT(m >= 2, "ilog_floor_rational base must be >= 2");
+  HRTDM_EXPECT(num >= 1 && den >= 1, "ilog_floor_rational needs num, den >= 1");
+  if (num >= den) {
+    // Largest e >= 0 with den * m^e <= num.
+    std::int64_t e = 0;
+    std::int64_t cur = den;
+    // Loop guard uses division so cur * m never overflows; for positive
+    // integers cur <= num/m (integer division) <=> cur*m <= num.
+    while (cur <= num / m) {
+      cur *= m;
+      ++e;
+    }
+    return e;
+  }
+  // num < den: smallest j >= 1 with num * m^j >= den gives e = -j.
+  std::int64_t j = 0;
+  std::int64_t cur = num;
+  while (cur < den) {
+    HRTDM_EXPECT(cur <= std::numeric_limits<std::int64_t>::max() / m,
+                 "ilog_floor_rational overflow");
+    cur *= m;
+    ++j;
+  }
+  return -j;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  HRTDM_EXPECT(b > 0, "ceil_div divisor must be positive");
+  std::int64_t q = a / b;
+  if (a % b != 0 && a > 0) {
+    ++q;
+  }
+  return q;
+}
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  HRTDM_EXPECT(b > 0, "floor_div divisor must be positive");
+  std::int64_t q = a / b;
+  if (a % b != 0 && a < 0) {
+    --q;
+  }
+  return q;
+}
+
+std::int64_t binomial(std::int64_t n, std::int64_t k) {
+  HRTDM_EXPECT(n >= 0, "binomial needs n >= 0");
+  if (k < 0 || k > n) {
+    return 0;
+  }
+  if (k > n - k) {
+    k = n - k;
+  }
+  std::int64_t result = 1;
+  for (std::int64_t i = 1; i <= k; ++i) {
+    HRTDM_EXPECT(result <= std::numeric_limits<std::int64_t>::max() / (n - k + i),
+                 "binomial overflow");
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+}  // namespace hrtdm::util

@@ -1,0 +1,40 @@
+// Exact integer math used by the tree-search analysis.
+//
+// The closed forms in the paper (Eq. 9/10) mix integer floors/ceilings of
+// base-m logarithms of *rational* quantities such as t/(m p); evaluating them
+// in floating point invites off-by-one errors near powers of m, so every
+// helper here is exact integer arithmetic.
+#pragma once
+
+#include <cstdint>
+
+namespace hrtdm::util {
+
+/// m^e for e >= 0; checks against int64 overflow.
+std::int64_t ipow(std::int64_t m, std::int64_t e);
+
+/// True iff x is m^e for some integer e >= 0 (x >= 1, m >= 2).
+bool is_power_of(std::int64_t m, std::int64_t x);
+
+/// floor(log_m(x)) for x >= 1, m >= 2: the largest e with m^e <= x.
+std::int64_t ilog_floor(std::int64_t m, std::int64_t x);
+
+/// ceil(log_m(x)) for x >= 1, m >= 2: the smallest e with m^e >= x.
+std::int64_t ilog_ceil(std::int64_t m, std::int64_t x);
+
+/// floor(log_m(num/den)) for num, den >= 1, m >= 2. May be negative —
+/// Eq. 9 evaluates floor(log_m(t/(m p))) with m p possibly exceeding t.
+std::int64_t ilog_floor_rational(std::int64_t m, std::int64_t num,
+                                 std::int64_t den);
+
+/// ceil(a / b) for b > 0 (a may be negative).
+std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+/// floor(a / b) for b > 0 (a may be negative).
+std::int64_t floor_div(std::int64_t a, std::int64_t b);
+
+/// binomial(n, k) in int64; used by the exhaustive adversary enumerations.
+/// Overflow-checked; contract-fails rather than wrapping.
+std::int64_t binomial(std::int64_t n, std::int64_t k);
+
+}  // namespace hrtdm::util

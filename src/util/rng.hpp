@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (jittered arrivals, BEB
+// backoff draws, adversary placement choices) draws from an explicitly
+// seeded generator so that every experiment is reproducible bit-for-bit.
+// Xoshiro256** is used for streams, SplitMix64 for seeding and for cheap
+// one-shot hashes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hrtdm::util {
+
+/// SplitMix64: single-state mixer; good for seeding and hashing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Exponential with the given rate (events per unit); rate > 0.
+  double exponential(double rate);
+
+  /// True with probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle of an index vector [0, n).
+  std::vector<std::int64_t> permutation(std::int64_t n);
+
+  /// A decorrelated child generator (for per-station streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hrtdm::util

@@ -1,0 +1,61 @@
+#include "util/simtime.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hrtdm::util {
+
+Duration Duration::from_seconds(double s) {
+  return Duration::nanoseconds(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::int64_t Duration::floor_div(Duration o) const {
+  HRTDM_EXPECT(o.ns_ > 0, "floor_div divisor must be positive");
+  std::int64_t q = ns_ / o.ns_;
+  std::int64_t r = ns_ % o.ns_;
+  if (r != 0 && ((r < 0) != (o.ns_ < 0))) {
+    --q;
+  }
+  return q;
+}
+
+std::int64_t Duration::ceil_div(Duration o) const {
+  HRTDM_EXPECT(o.ns_ > 0, "ceil_div divisor must be positive");
+  return -Duration{-ns_}.floor_div(o);
+}
+
+namespace {
+
+std::string render_ns(std::int64_t ns) {
+  std::ostringstream oss;
+  const std::int64_t mag = ns < 0 ? -ns : ns;
+  if (mag >= 1'000'000'000) {
+    oss << static_cast<double>(ns) * 1e-9 << "s";
+  } else if (mag >= 1'000'000) {
+    oss << static_cast<double>(ns) * 1e-6 << "ms";
+  } else if (mag >= 1'000) {
+    oss << static_cast<double>(ns) * 1e-3 << "us";
+  } else {
+    oss << ns << "ns";
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+std::string Duration::str() const { return render_ns(ns_); }
+
+std::string SimTime::str() const {
+  if (*this == SimTime::infinity()) {
+    return "t=inf";
+  }
+  return "t=" + render_ns(ns_);
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.str(); }
+std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.str(); }
+
+}  // namespace hrtdm::util

@@ -1,0 +1,84 @@
+// Strongly-typed simulation time.
+//
+// All simulator-side quantities are integer nanoseconds: at Gigabit Ethernet
+// speed one bit lasts exactly 1 ns, so every quantity in the paper (slot time
+// x = 4.096 us, transmission time l'/psi, deadline d, window w) is exactly
+// representable. The analysis layer works in double seconds instead; the
+// to_seconds()/from_seconds() converters bridge the two.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace hrtdm::util {
+
+/// A length of simulated time (may be negative in intermediate arithmetic).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanoseconds(std::int64_t ns) { return Duration{ns}; }
+  static constexpr Duration microseconds(std::int64_t us) { return Duration{us * 1000}; }
+  static constexpr Duration milliseconds(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  /// Rounds to the nearest nanosecond.
+  static Duration from_seconds(double s);
+
+  constexpr std::int64_t ns() const { return ns_; }
+  double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t f) const { return Duration{ns_ * f}; }
+  constexpr Duration operator/(std::int64_t f) const { return Duration{ns_ / f}; }
+  /// Integer ratio, rounding down. `o` must be positive.
+  std::int64_t floor_div(Duration o) const;
+  /// Integer ratio, rounding up. `o` must be positive.
+  std::int64_t ceil_div(Duration o) const;
+  Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Human-readable rendering with an adaptive unit, e.g. "4.096us".
+  std::string str() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulation clock (ns since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime from_ns(std::int64_t ns) { return SimTime{ns}; }
+  static constexpr SimTime zero() { return SimTime{0}; }
+  /// A sentinel later than every reachable instant.
+  static constexpr SimTime infinity() { return SimTime{INT64_MAX}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr SimTime operator+(Duration d) const { return SimTime{ns_ + d.ns()}; }
+  constexpr SimTime operator-(Duration d) const { return SimTime{ns_ - d.ns()}; }
+  constexpr Duration operator-(SimTime o) const { return Duration::nanoseconds(ns_ - o.ns_); }
+  SimTime& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string str() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+}  // namespace hrtdm::util

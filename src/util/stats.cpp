@@ -1,0 +1,145 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hrtdm::util {
+
+void OnlineStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return count_ == 0 ? 0.0 : min_; }
+double OnlineStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  sorted_ = false;
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::percentile(double p) const {
+  HRTDM_EXPECT(!values_.empty(), "percentile of empty sample set");
+  HRTDM_EXPECT(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  ensure_sorted();
+  if (p == 0.0) {
+    return values_.front();
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values_.size())));
+  return values_[std::min(rank, values_.size()) - 1];
+}
+
+double Samples::mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double v : values_) {
+    s += v;
+  }
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::max() const {
+  HRTDM_EXPECT(!values_.empty(), "max of empty sample set");
+  ensure_sorted();
+  return values_.back();
+}
+
+double Samples::min() const {
+  HRTDM_EXPECT(!values_.empty(), "min of empty sample set");
+  ensure_sorted();
+  return values_.front();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  HRTDM_EXPECT(hi > lo, "histogram range must be non-empty");
+  HRTDM_EXPECT(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::int64_t Histogram::bin_count(std::size_t i) const {
+  HRTDM_EXPECT(i < counts_.size(), "histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::int64_t peak = 1;
+  for (std::int64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    oss << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace hrtdm::util

@@ -1,0 +1,78 @@
+// Statistics accumulators used by the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hrtdm::util {
+
+/// Online mean / variance / extrema (Welford). O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  void merge(const OnlineStats& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentiles by retaining all samples. Suitable for the run sizes
+/// used in the benches (<= a few million samples).
+class Samples {
+ public:
+  void add(double x);
+  std::int64_t count() const { return static_cast<std::int64_t>(values_.size()); }
+  /// p in [0, 100]; nearest-rank percentile. Requires at least one sample.
+  double percentile(double p) const;
+  double mean() const;
+  double max() const;
+  double min() const;
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::int64_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::int64_t bin_count(std::size_t i) const;
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Multi-line ASCII rendering (for example programs).
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace hrtdm::util

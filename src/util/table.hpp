@@ -1,0 +1,36 @@
+// Plain-text table rendering for the bench harnesses.
+//
+// Every bench binary prints the paper's figure/table as aligned text rows;
+// this helper keeps the formatting consistent across all of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hrtdm::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision, int64 plainly.
+  static std::string cell(double v, int precision = 3);
+  static std::string cell(std::int64_t v);
+  static std::string cell(const std::string& v) { return v; }
+
+  /// Renders with a header rule and right-aligned numeric-looking columns.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used by bench binaries:
+///   ===== E1: Fig. 1 — worst-case search times (m=4, t=64) =====
+std::string banner(const std::string& title);
+
+}  // namespace hrtdm::util

@@ -1,0 +1,78 @@
+// Quantised arbitration keys (the 802.1p priority-field model of §5).
+#include <gtest/gtest.h>
+
+#include "core/ddcr_network.hpp"
+#include "traffic/message.hpp"
+
+namespace hrtdm::core {
+namespace {
+
+using traffic::Message;
+using util::Duration;
+
+DdcrRunOptions arb_options(std::int64_t quantum_ns) {
+  DdcrRunOptions options;
+  options.phy.slot_x = Duration::nanoseconds(100);
+  options.phy.overhead_bits = 0;
+  options.collision_mode = net::CollisionMode::kArbitration;
+  options.ddcr.m_time = 2;
+  options.ddcr.F = 16;
+  options.ddcr.m_static = 2;
+  options.ddcr.q = 16;
+  options.ddcr.class_width_c = Duration::microseconds(10);
+  options.ddcr.alpha = Duration::nanoseconds(0);
+  options.ddcr.arb_priority_quantum = Duration::nanoseconds(quantum_ns);
+  return options;
+}
+
+Message make_msg(std::int64_t uid, int source, std::int64_t deadline_ns) {
+  Message msg;
+  msg.uid = uid;
+  msg.class_id = source;
+  msg.source = source;
+  msg.l_bits = 100;
+  msg.arrival = SimTime::zero();
+  msg.absolute_deadline = SimTime::from_ns(deadline_ns);
+  return msg;
+}
+
+TEST(ArbPriorities, ExactKeysDeliverStrictEdf) {
+  DdcrTestbed bed(3, arb_options(0));
+  bed.inject(0, make_msg(1, 0, 30'000));
+  bed.inject(1, make_msg(2, 1, 20'000));
+  bed.inject(2, make_msg(3, 2, 10'000));
+  bed.run_until_delivered(3, SimTime::from_ns(1'000'000));
+  ASSERT_EQ(bed.metrics().log().size(), 3u);
+  EXPECT_EQ(bed.metrics().log()[0].uid, 3);
+  EXPECT_EQ(bed.metrics().log()[1].uid, 2);
+  EXPECT_EQ(bed.metrics().log()[2].uid, 1);
+}
+
+TEST(ArbPriorities, CoarseQuantumBreaksTiesByStationId) {
+  // Deadlines 10/20/30 us all fall in one 100 us quantum: the key ties and
+  // the lowest station id wins each arbitration — deliberately NOT EDF.
+  DdcrTestbed bed(3, arb_options(100'000));
+  bed.inject(0, make_msg(1, 0, 30'000));
+  bed.inject(1, make_msg(2, 1, 20'000));
+  bed.inject(2, make_msg(3, 2, 10'000));
+  bed.run_until_delivered(3, SimTime::from_ns(1'000'000));
+  ASSERT_EQ(bed.metrics().log().size(), 3u);
+  EXPECT_EQ(bed.metrics().log()[0].uid, 1);  // station 0 first
+  EXPECT_EQ(bed.metrics().log()[1].uid, 2);
+  EXPECT_EQ(bed.metrics().log()[2].uid, 3);
+  EXPECT_GT(count_deadline_inversions(bed.metrics().log()), 0);
+}
+
+TEST(ArbPriorities, QuantumPreservesOrderingAcrossQuanta) {
+  // Deadlines in different quanta still arbitrate in deadline order.
+  DdcrTestbed bed(2, arb_options(50'000));
+  bed.inject(0, make_msg(1, 0, 120'000));  // quantum 2
+  bed.inject(1, make_msg(2, 1, 40'000));   // quantum 0
+  bed.run_until_delivered(2, SimTime::from_ns(1'000'000));
+  ASSERT_EQ(bed.metrics().log().size(), 2u);
+  EXPECT_EQ(bed.metrics().log()[0].uid, 2);
+  EXPECT_EQ(bed.metrics().log()[1].uid, 1);
+}
+
+}  // namespace
+}  // namespace hrtdm::core

@@ -1,0 +1,203 @@
+// Baseline MAC protocols (BEB, DCR, TDMA) and the comparative runner.
+#include <gtest/gtest.h>
+
+#include "analysis/xi.hpp"
+#include "baseline/beb_station.hpp"
+#include "baseline/dcr_station.hpp"
+#include "baseline/runner.hpp"
+#include "baseline/tdma_station.hpp"
+#include "core/ddcr_config.hpp"
+#include "core/metrics.hpp"
+#include "net/channel.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/workload.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::baseline {
+namespace {
+
+using core::MetricsCollector;
+using sim::Simulator;
+using traffic::Message;
+using util::Duration;
+using util::SimTime;
+
+Message make_msg(std::int64_t uid, int source, std::int64_t arrival_ns,
+                 std::int64_t deadline_rel_ns, std::int64_t bits = 100) {
+  Message msg;
+  msg.uid = uid;
+  msg.class_id = source;
+  msg.source = source;
+  msg.l_bits = bits;
+  msg.arrival = SimTime::from_ns(arrival_ns);
+  msg.absolute_deadline = SimTime::from_ns(arrival_ns + deadline_rel_ns);
+  return msg;
+}
+
+net::PhyConfig fast_phy() {
+  net::PhyConfig phy;
+  phy.slot_x = Duration::nanoseconds(100);
+  phy.psi_bps = 1e9;
+  phy.overhead_bits = 0;
+  return phy;
+}
+
+TEST(BebStation, ResolvesContentionEventually) {
+  Simulator sim;
+  net::BroadcastChannel channel(sim, fast_phy());
+  BebStation a(0, {}, 1);
+  BebStation b(1, {}, 2);
+  channel.attach(a);
+  channel.attach(b);
+  MetricsCollector metrics;
+  channel.add_observer(metrics);
+  a.enqueue(make_msg(1, 0, 0, 1'000'000));
+  b.enqueue(make_msg(2, 1, 0, 1'000'000));
+  channel.start();
+  sim.run_until(SimTime::from_ns(1'000'000));
+  EXPECT_EQ(metrics.log().size(), 2u);
+  EXPECT_TRUE(a.queue().empty());
+  EXPECT_TRUE(b.queue().empty());
+  EXPECT_GE(channel.stats().collision_slots, 1);
+}
+
+TEST(BebStation, DropsAfterMaxAttempts) {
+  Simulator sim;
+  net::BroadcastChannel channel(sim, fast_phy());
+  BebStation::Config config;
+  config.backoff_cap = 1;  // window stays {0, 1}: collisions keep happening
+  config.max_attempts = 4;
+  BebStation a(0, config, 7);
+  BebStation b(1, config, 7);  // same seed -> identical backoff draws
+  channel.attach(a);
+  channel.attach(b);
+  a.enqueue(make_msg(1, 0, 0, 1'000'000));
+  b.enqueue(make_msg(2, 1, 0, 1'000'000));
+  channel.start();
+  sim.run_until(SimTime::from_ns(1'000'000));
+  // Identical seeds force identical backoffs, so every retry collides and
+  // both stations eventually give up.
+  EXPECT_EQ(a.dropped() + b.dropped(), 2);
+  EXPECT_TRUE(a.queue().empty());
+  EXPECT_TRUE(b.queue().empty());
+}
+
+TEST(DcrStation, ResolvesDeterministicallyInIndexOrder) {
+  Simulator sim;
+  net::BroadcastChannel channel(sim, fast_phy());
+  DcrStation::Config config;
+  config.m = 2;
+  config.q = 8;
+  DcrStation a(0, config, {1});
+  DcrStation b(1, config, {6});
+  channel.attach(a);
+  channel.attach(b);
+  MetricsCollector metrics;
+  channel.add_observer(metrics);
+  // b has the earlier deadline but the higher static index: DCR (no time
+  // tree) serves index order, deliberately ignoring deadlines.
+  a.enqueue(make_msg(1, 0, 0, 500'000));
+  b.enqueue(make_msg(2, 1, 0, 5'000));
+  channel.start();
+  sim.run_until(SimTime::from_ns(100'000));
+  ASSERT_EQ(metrics.log().size(), 2u);
+  EXPECT_EQ(metrics.log()[0].uid, 1);  // index 1 before index 6
+  EXPECT_EQ(metrics.log()[1].uid, 2);
+}
+
+TEST(DcrStation, SearchCostBoundedByXi) {
+  // A z-way collision resolves within xi(z, q) search slots.
+  Simulator sim;
+  net::BroadcastChannel channel(sim, fast_phy());
+  DcrStation::Config config;
+  config.m = 2;
+  config.q = 16;
+  const auto indices = core::DdcrConfig::one_index_per_source(4, 16);
+  std::vector<std::unique_ptr<DcrStation>> stations;
+  for (int s = 0; s < 4; ++s) {
+    stations.push_back(std::make_unique<DcrStation>(
+        s, config, indices[static_cast<std::size_t>(s)]));
+    channel.attach(*stations.back());
+    stations.back()->enqueue(make_msg(s, s, 0, 1'000'000));
+  }
+  MetricsCollector metrics;
+  channel.add_observer(metrics);
+  channel.start();
+  sim.run_until(SimTime::from_ns(1'000'000));
+  EXPECT_EQ(metrics.log().size(), 4u);
+  const auto summary = metrics.summarize();
+  // xi(4, 16) with m=2 bounds the search overhead of the resolution; the
+  // collision-slot count (which contains no trailing idle) must obey it.
+  const std::int64_t xi_bound = hrtdm::analysis::xi_closed(2, 16, 4);
+  EXPECT_LE(summary.collision_slots, xi_bound);
+}
+
+TEST(TdmaStation, OwnersTransmitInTheirSlotsOnly) {
+  Simulator sim;
+  net::BroadcastChannel channel(sim, fast_phy());
+  TdmaStation a(0, 3);
+  TdmaStation b(1, 3);
+  TdmaStation c(2, 3);
+  channel.attach(a);
+  channel.attach(b);
+  channel.attach(c);
+  MetricsCollector metrics;
+  channel.add_observer(metrics);
+  b.enqueue(make_msg(1, 1, 0, 1'000'000));
+  c.enqueue(make_msg(2, 2, 0, 1'000'000));
+  channel.start();
+  sim.run_until(SimTime::from_ns(10'000));
+  ASSERT_GE(metrics.log().size(), 2u);
+  EXPECT_EQ(metrics.log()[0].uid, 1);  // slot 1 belongs to station 1
+  EXPECT_EQ(metrics.log()[1].uid, 2);
+  EXPECT_EQ(channel.stats().collision_slots, 0);
+}
+
+TEST(Runner, AllProtocolsDeliverALightWorkload) {
+  const traffic::Workload wl = traffic::quickstart(4);
+  ProtocolRunOptions options;
+  options.base.arrival_horizon = SimTime::from_ns(20'000'000);
+  options.base.drain_cap = SimTime::from_ns(100'000'000);
+  for (const Protocol protocol :
+       {Protocol::kDdcr, Protocol::kBeb, Protocol::kDcr, Protocol::kTdma}) {
+    const ProtocolRunResult result = run_protocol(protocol, wl, options);
+    EXPECT_EQ(result.undelivered, 0) << protocol_name(protocol);
+    EXPECT_GT(result.generated, 0) << protocol_name(protocol);
+    EXPECT_EQ(result.metrics.delivered, result.generated)
+        << protocol_name(protocol);
+    EXPECT_EQ(result.miss_ratio(), 0.0) << protocol_name(protocol);
+  }
+}
+
+TEST(Runner, DdcrBeatsBebOnDeadlineMissesUnderStress) {
+  // The paper's motivation: deterministic deadline-driven resolution keeps
+  // hard deadlines where randomized backoff cannot. Stress with bursty
+  // tight-deadline traffic and compare miss ratios.
+  traffic::Workload wl = traffic::stock_exchange(12).scaled_load(1.5);
+  ProtocolRunOptions options;
+  options.base.arrival_horizon = SimTime::from_ns(50'000'000);
+  options.base.drain_cap = SimTime::from_ns(300'000'000);
+  options.base.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
+  const auto ddcr = run_protocol(Protocol::kDdcr, wl, options);
+  const auto beb = run_protocol(Protocol::kBeb, wl, options);
+  EXPECT_LE(ddcr.miss_ratio(), beb.miss_ratio());
+}
+
+TEST(Runner, MissRatioAccountsUndelivered) {
+  ProtocolRunResult result;
+  result.generated = 10;
+  result.metrics.misses = 1;
+  result.undelivered = 2;
+  result.dropped = 1;
+  EXPECT_NEAR(result.miss_ratio(), 0.4, 1e-12);
+}
+
+TEST(Runner, ProtocolNames) {
+  EXPECT_EQ(protocol_name(Protocol::kDdcr), "CSMA/DDCR");
+  EXPECT_EQ(protocol_name(Protocol::kBeb), "CSMA-CD/BEB");
+  EXPECT_EQ(protocol_name(Protocol::kDcr), "CSMA/DCR");
+  EXPECT_EQ(protocol_name(Protocol::kTdma), "TDMA");
+}
+
+}  // namespace
+}  // namespace hrtdm::baseline

@@ -1,0 +1,95 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hrtdm::util {
+namespace {
+
+CliFlags sample_flags() {
+  CliFlags flags;
+  flags.add_int("z", 8, "number of sources")
+      .add_double("load", 1.0, "load multiplier")
+      .add_bool("burst", false, "enable packet bursting")
+      .add_string("scenario", "quickstart", "workload name");
+  return flags;
+}
+
+bool parse(CliFlags& flags, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return flags.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliFlags, DefaultsApply) {
+  CliFlags flags = sample_flags();
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_EQ(flags.get_int("z"), 8);
+  EXPECT_EQ(flags.get_double("load"), 1.0);
+  EXPECT_FALSE(flags.get_bool("burst"));
+  EXPECT_EQ(flags.get_string("scenario"), "quickstart");
+}
+
+TEST(CliFlags, SpaceAndEqualsForms) {
+  CliFlags flags = sample_flags();
+  ASSERT_TRUE(parse(flags, {"--z", "12", "--load=2.5", "--scenario=atc"}));
+  EXPECT_EQ(flags.get_int("z"), 12);
+  EXPECT_EQ(flags.get_double("load"), 2.5);
+  EXPECT_EQ(flags.get_string("scenario"), "atc");
+}
+
+TEST(CliFlags, BooleanSwitchForms) {
+  CliFlags flags = sample_flags();
+  ASSERT_TRUE(parse(flags, {"--burst"}));
+  EXPECT_TRUE(flags.get_bool("burst"));
+
+  CliFlags explicit_false = sample_flags();
+  ASSERT_TRUE(parse(explicit_false, {"--burst=false"}));
+  EXPECT_FALSE(explicit_false.get_bool("burst"));
+
+  CliFlags numeric = sample_flags();
+  ASSERT_TRUE(parse(numeric, {"--burst=1"}));
+  EXPECT_TRUE(numeric.get_bool("burst"));
+}
+
+TEST(CliFlags, RejectsUnknownAndMalformed) {
+  CliFlags unknown = sample_flags();
+  EXPECT_FALSE(parse(unknown, {"--nope", "3"}));
+
+  CliFlags bad_int = sample_flags();
+  EXPECT_FALSE(parse(bad_int, {"--z", "many"}));
+
+  CliFlags bad_bool = sample_flags();
+  EXPECT_FALSE(parse(bad_bool, {"--burst=probably"}));
+
+  CliFlags missing = sample_flags();
+  EXPECT_FALSE(parse(missing, {"--z"}));
+
+  CliFlags positional = sample_flags();
+  EXPECT_FALSE(parse(positional, {"stray"}));
+}
+
+TEST(CliFlags, HelpReturnsFalseAndRendersUsage) {
+  CliFlags flags = sample_flags();
+  EXPECT_FALSE(parse(flags, {"--help"}));
+  const std::string usage = flags.usage("prog");
+  EXPECT_NE(usage.find("--z"), std::string::npos);
+  EXPECT_NE(usage.find("number of sources"), std::string::npos);
+  EXPECT_NE(usage.find("default 8"), std::string::npos);
+}
+
+TEST(CliFlags, TypeSafetyOnAccess) {
+  CliFlags flags = sample_flags();
+  ASSERT_TRUE(parse(flags, {}));
+  EXPECT_THROW(flags.get_double("z"), ContractViolation);
+  EXPECT_THROW(flags.get_int("never-registered"), ContractViolation);
+}
+
+TEST(CliFlags, DuplicateRegistrationRejected) {
+  CliFlags flags;
+  flags.add_int("z", 1, "first");
+  EXPECT_THROW(flags.add_int("z", 2, "second"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hrtdm::util

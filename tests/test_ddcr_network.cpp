@@ -1,0 +1,165 @@
+// Integration tests: full workloads through run_ddcr, replica consistency,
+// and agreement between the feasibility analysis and the simulation.
+#include "core/ddcr_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/feasibility.hpp"
+#include "traffic/fc_adapter.hpp"
+#include "traffic/workload.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::core {
+namespace {
+
+using traffic::ArrivalKind;
+using traffic::Workload;
+using util::Duration;
+
+DdcrRunOptions gigabit_options(const Workload& wl) {
+  DdcrRunOptions options;
+  options.phy = net::PhyConfig::gigabit_ethernet();
+  options.ddcr.m_time = 4;
+  options.ddcr.F = 64;
+  options.ddcr.m_static = 4;
+  options.ddcr.q = 64;
+  // Dimension the scheduling horizon cF over the workload's deadline range
+  // (see DdcrConfig::class_width_for — the FCs assume pending messages can
+  // enter the current time tree).
+  options.ddcr.class_width_c =
+      DdcrConfig::class_width_for(wl.max_deadline(), options.ddcr.F);
+  options.ddcr.alpha = options.ddcr.class_width_c * 2;
+  options.ddcr.theta_factor = 1.0;
+  options.arrival_horizon = SimTime::from_ns(50'000'000);   // 50 ms
+  options.drain_cap = SimTime::from_ns(200'000'000);
+  return options;
+}
+
+TEST(DdcrNetwork, QuickstartDeliversEverythingOnTime) {
+  const Workload wl = traffic::quickstart(8);
+  auto options = gigabit_options(wl);
+  options.check_consistency = true;
+  const DdcrRunResult result = run_ddcr(wl, options);
+  EXPECT_GT(result.generated, 0);
+  EXPECT_EQ(result.undelivered, 0);
+  EXPECT_EQ(result.metrics.delivered, result.generated);
+  EXPECT_EQ(result.metrics.misses, 0);
+  EXPECT_TRUE(result.consistency_ok);
+  EXPECT_GT(result.utilization, 0.0);
+  EXPECT_LT(result.utilization, 1.0);
+}
+
+TEST(DdcrNetwork, AllArrivalKindsDeliverCleanly) {
+  const Workload wl = traffic::videoconference(6);
+  for (const ArrivalKind kind :
+       {ArrivalKind::kSaturatingAdversary, ArrivalKind::kPeriodicJitter,
+        ArrivalKind::kSporadic, ArrivalKind::kBoundedPoisson}) {
+    auto options = gigabit_options(wl);
+    options.arrivals = kind;
+    const DdcrRunResult result = run_ddcr(wl, options);
+    EXPECT_EQ(result.undelivered, 0) << "kind " << static_cast<int>(kind);
+    EXPECT_EQ(result.metrics.misses, 0) << "kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(DdcrNetwork, ConsistencyHoldsUnderHeavyContention) {
+  // Crank the load so epochs, STs and compressed time all fire, and verify
+  // every station's replicated state stayed in lock-step on every slot.
+  const Workload wl = traffic::stock_exchange(8);
+  auto options = gigabit_options(wl);
+  options.check_consistency = true;
+  options.arrival_horizon = SimTime::from_ns(20'000'000);
+  const DdcrRunResult result = run_ddcr(wl, options);
+  EXPECT_TRUE(result.consistency_ok);
+  EXPECT_GT(result.per_station.front().epochs, 0);
+}
+
+TEST(DdcrNetwork, SeedsChangeJitteredRunsButNotAdversaryRuns) {
+  const Workload wl = traffic::quickstart(4);
+  auto options = gigabit_options(wl);
+  options.arrivals = ArrivalKind::kSaturatingAdversary;
+  options.seed = 1;
+  const auto run_a = run_ddcr(wl, options);
+  options.seed = 2;
+  const auto run_b = run_ddcr(wl, options);
+  // The adversary is deterministic: identical runs regardless of seed.
+  EXPECT_EQ(run_a.metrics.delivered, run_b.metrics.delivered);
+  EXPECT_EQ(run_a.metrics.worst_latency_s, run_b.metrics.worst_latency_s);
+}
+
+TEST(DdcrNetwork, DeterministicForFixedSeed) {
+  const Workload wl = traffic::videoconference(5);
+  auto options = gigabit_options(wl);
+  options.arrivals = ArrivalKind::kBoundedPoisson;
+  options.seed = 99;
+  const auto run_a = run_ddcr(wl, options);
+  const auto run_b = run_ddcr(wl, options);
+  EXPECT_EQ(run_a.metrics.delivered, run_b.metrics.delivered);
+  EXPECT_EQ(run_a.metrics.worst_latency_s, run_b.metrics.worst_latency_s);
+  EXPECT_EQ(run_a.channel.collision_slots, run_b.channel.collision_slots);
+}
+
+TEST(DdcrNetwork, FeasibleWorkloadMeetsItsAnalyticBound) {
+  // The soundness check behind the paper's FCs: for a workload the
+  // analysis declares feasible, the measured worst-case latency under the
+  // saturating adversary stays below B_DDCR for every class.
+  const Workload wl = traffic::quickstart(4);
+  auto options = gigabit_options(wl);
+
+  traffic::FcAdapterOptions fc_options;
+  fc_options.psi_bps = options.phy.psi_bps;
+  fc_options.slot_s = options.phy.slot_x.to_seconds();
+  fc_options.overhead_bits = options.phy.overhead_bits;
+  fc_options.trees = analysis::FcTreeParams{
+      options.ddcr.m_static, options.ddcr.q, options.ddcr.m_time,
+      options.ddcr.F};
+  const auto system = traffic::to_fc_system(wl, fc_options);
+  const auto fc = analysis::check_feasibility(system);
+  ASSERT_TRUE(fc.feasible) << "test workload must be FC-feasible";
+
+  options.arrivals = ArrivalKind::kSaturatingAdversary;
+  const DdcrRunResult result = run_ddcr(wl, options);
+  EXPECT_EQ(result.metrics.misses, 0);
+  EXPECT_EQ(result.undelivered, 0);
+
+  // Per-class worst latency <= per-class bound.
+  std::size_t fc_idx = 0;
+  for (const auto& src : wl.sources) {
+    for (const auto& cls : src.classes) {
+      const auto& bound = fc.classes[fc_idx++];
+      const auto it = result.metrics.per_class.find(cls.id);
+      ASSERT_NE(it, result.metrics.per_class.end());
+      EXPECT_LE(it->second.worst_latency_s, bound.b_ddcr_s)
+          << "class " << cls.name;
+    }
+  }
+}
+
+TEST(DdcrNetwork, UndeliveredReportedWhenDrainCapTooSmall) {
+  // Overload + tiny drain cap: the run must report undelivered messages
+  // rather than pretending success.
+  // At 64x nominal load the per-slot overhead alone exceeds channel
+  // capacity (every frame occupies at least one 4.096 us slot), so a
+  // backlog is guaranteed; the drain cap equal to the arrival horizon
+  // cuts the run before the queues could empty.
+  Workload wl = traffic::stock_exchange(10).scaled_load(64.0);
+  auto options = gigabit_options(wl);
+  options.arrival_horizon = SimTime::from_ns(20'000'000);
+  options.drain_cap = SimTime::from_ns(20'000'000);
+  const DdcrRunResult result = run_ddcr(wl, options);
+  EXPECT_GT(result.undelivered, 0);
+}
+
+TEST(DdcrNetwork, TestbedInjectValidatesArguments) {
+  DdcrTestbed bed(2, gigabit_options(traffic::quickstart(2)));
+  traffic::Message msg;
+  msg.uid = 1;
+  msg.source = 5;  // out of range
+  msg.l_bits = 100;
+  msg.arrival = SimTime::zero();
+  msg.absolute_deadline = SimTime::from_ns(1000);
+  EXPECT_THROW(bed.inject(5, msg), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace hrtdm::core

@@ -1,0 +1,244 @@
+// Scenario tests for the CSMA/DDCR state machine, driven through the real
+// channel + simulator via DdcrTestbed. Timings are hand-computed with
+// slot x = 100 ns, psi = 1 Gbit/s, c = 1 us, alpha = 0.
+#include "core/ddcr_station.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ddcr_network.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::core {
+namespace {
+
+using traffic::Message;
+using util::Duration;
+
+net::PhyConfig fast_phy() {
+  net::PhyConfig phy;
+  phy.slot_x = Duration::nanoseconds(100);
+  phy.psi_bps = 1e9;
+  phy.overhead_bits = 0;
+  return phy;
+}
+
+DdcrRunOptions small_options(int m = 2) {
+  DdcrRunOptions options;
+  options.phy = fast_phy();
+  options.ddcr.m_time = m;
+  options.ddcr.F = m == 2 ? 16 : 16;  // 2^4 or 4^2
+  options.ddcr.m_static = m;
+  options.ddcr.q = 16;
+  options.ddcr.class_width_c = Duration::microseconds(1);
+  options.ddcr.alpha = Duration::nanoseconds(0);
+  options.ddcr.theta_factor = 1.0;
+  return options;
+}
+
+Message make_msg(std::int64_t uid, int source, std::int64_t arrival_ns,
+                 std::int64_t deadline_rel_ns, std::int64_t bits = 100) {
+  Message msg;
+  msg.uid = uid;
+  msg.class_id = source;
+  msg.source = source;
+  msg.l_bits = bits;
+  msg.arrival = SimTime::from_ns(arrival_ns);
+  msg.absolute_deadline = SimTime::from_ns(arrival_ns + deadline_rel_ns);
+  return msg;
+}
+
+std::vector<std::int64_t> delivered_uids(const MetricsCollector& metrics) {
+  std::vector<std::int64_t> uids;
+  for (const auto& tx : metrics.log()) {
+    uids.push_back(tx.uid);
+  }
+  return uids;
+}
+
+TEST(DdcrStation, LoneMessageGoesOutViaPlainCsmaCd) {
+  DdcrTestbed bed(2, small_options());
+  bed.inject(0, make_msg(1, 0, 0, 5'000));
+  bed.run(SimTime::from_ns(50'000));
+  EXPECT_EQ(delivered_uids(bed.metrics()), (std::vector<std::int64_t>{1}));
+  // No collision ever happened: no epoch, no tree search.
+  EXPECT_EQ(bed.station(0).counters().epochs, 0);
+  EXPECT_EQ(bed.station(0).counters().tts_runs, 0);
+  EXPECT_EQ(bed.station(0).mode(), DdcrStation::Mode::kCsmaCd);
+}
+
+TEST(DdcrStation, CollisionStartsAnEpochAndResolvesInEdfOrder) {
+  // Distinct deadline classes: raw indices 4 and 11 within F = 16, so the
+  // time tree alone separates them — no static tie-break needed.
+  DdcrTestbed bed(2, small_options());
+  bed.inject(0, make_msg(1, 0, 0, 12'000));  // later deadline
+  bed.inject(1, make_msg(2, 1, 0, 5'000));   // earlier deadline
+  bed.run(SimTime::from_ns(100'000));
+  EXPECT_EQ(delivered_uids(bed.metrics()), (std::vector<std::int64_t>{2, 1}));
+  EXPECT_EQ(bed.station(0).counters().epochs, 1);
+  EXPECT_EQ(bed.station(0).counters().tts_runs, 1);
+  EXPECT_EQ(bed.station(0).counters().sts_runs, 0);
+  EXPECT_EQ(bed.metrics().summarize().misses, 0);
+  EXPECT_TRUE(bed.digests_agree());
+}
+
+TEST(DdcrStation, SameDeadlineClassTriggersStaticTieBreak) {
+  DdcrTestbed bed(2, small_options());
+  bed.inject(0, make_msg(1, 0, 0, 5'000));
+  bed.inject(1, make_msg(2, 1, 0, 5'000));  // same 1 us class
+  bed.run(SimTime::from_ns(100'000));
+  const auto uids = delivered_uids(bed.metrics());
+  EXPECT_EQ(uids.size(), 2u);
+  EXPECT_EQ(bed.station(0).counters().sts_runs, 1);
+  EXPECT_EQ(bed.station(1).counters().sts_runs, 1);
+  EXPECT_EQ(bed.metrics().summarize().misses, 0);
+  EXPECT_TRUE(bed.digests_agree());
+}
+
+TEST(DdcrStation, LateTightMessageJumpsTheQueue) {
+  // Two far-deadline messages collide; a tight message arriving just after
+  // the epoch starts must be served first (the max(f, f*+1) rule).
+  DdcrTestbed bed(3, small_options());
+  bed.inject(0, make_msg(1, 0, 0, 10'000));
+  bed.inject(1, make_msg(2, 1, 0, 13'000));
+  bed.inject(2, make_msg(3, 2, 150, 2'000));  // arrives mid-epoch, tight
+  bed.run(SimTime::from_ns(100'000));
+  const auto uids = delivered_uids(bed.metrics());
+  ASSERT_EQ(uids.size(), 3u);
+  EXPECT_EQ(uids.front(), 3);  // the tight latecomer went first
+  EXPECT_EQ(bed.metrics().summarize().misses, 0);
+}
+
+TEST(DdcrStation, NuBudgetForcesSecondStaticSearch) {
+  // Three sources, two same-class messages each, one static index each:
+  // the first STs delivers one message per source, the leftovers collide
+  // again on the next time leaf and require a second STs.
+  DdcrTestbed bed(3, small_options());
+  for (int s = 0; s < 3; ++s) {
+    bed.inject(s, make_msg(10 + s, s, 0, 5'000));
+    bed.inject(s, make_msg(20 + s, s, 0, 5'050));  // same 1 us class
+  }
+  bed.run(SimTime::from_ns(200'000));
+  EXPECT_EQ(delivered_uids(bed.metrics()).size(), 6u);
+  EXPECT_GE(bed.station(0).counters().sts_runs, 2);
+  EXPECT_EQ(bed.metrics().summarize().misses, 0);
+  EXPECT_TRUE(bed.digests_agree());
+}
+
+TEST(DdcrStation, BeyondHorizonMessagesNeedCompressedTime) {
+  // Deadlines at 50 us sit beyond the cF = 16 us horizon: the first time
+  // tree search finds nothing (out = false) and compressed time must pull
+  // reft forward until the messages fit.
+  DdcrTestbed bed(2, small_options());
+  bed.inject(0, make_msg(1, 0, 0, 50'000));
+  bed.inject(1, make_msg(2, 1, 0, 52'000));
+  bed.run(SimTime::from_ns(1'000'000));
+  EXPECT_EQ(delivered_uids(bed.metrics()).size(), 2u);
+  EXPECT_GE(bed.station(0).counters().compressions, 1);
+  EXPECT_EQ(bed.metrics().summarize().misses, 0);
+}
+
+TEST(DdcrStation, BeyondHorizonWithoutCompressedTimeStillDelivers) {
+  // theta = 0: the epoch closes on out = false; repeated collisions with a
+  // fresh reft let physical time pull the messages into the horizon. The
+  // paper's "lengthy channel idleness" trade-off, visible as extra epochs.
+  auto options = small_options();
+  options.ddcr.theta_factor = 0.0;
+  DdcrTestbed bed(2, options);
+  bed.inject(0, make_msg(1, 0, 0, 50'000));
+  bed.inject(1, make_msg(2, 1, 0, 52'000));
+  bed.run(SimTime::from_ns(1'000'000));
+  EXPECT_EQ(delivered_uids(bed.metrics()).size(), 2u);
+  EXPECT_EQ(bed.station(0).counters().compressions, 0);
+  EXPECT_GT(bed.station(0).counters().epochs, 1);
+  EXPECT_EQ(bed.metrics().summarize().misses, 0);
+}
+
+TEST(DdcrStation, StrictEdfOrderAcrossDistinctClasses) {
+  // Eight stations, one message each, all present at the initial
+  // collision. Deadlines are spaced 10 classes apart — far more than the
+  // class drift caused by reft advancing on every in-search success (the
+  // paper's source of bounded deadline inversions) — so delivery must be
+  // exactly EDF.
+  auto options = small_options();
+  options.ddcr.F = 128;  // horizon 128 us covers deadlines up to 100 us
+  DdcrTestbed bed(8, options);
+  for (int s = 0; s < 8; ++s) {
+    // Deadlines 30, 40, ..., 100 us in reverse station order.
+    bed.inject(s, make_msg(s, s, 0, (10 - s) * 10'000));
+  }
+  bed.run(SimTime::from_ns(2'000'000));
+  const auto uids = delivered_uids(bed.metrics());
+  ASSERT_EQ(uids.size(), 8u);
+  for (std::size_t i = 1; i < uids.size(); ++i) {
+    EXPECT_GT(uids[i - 1], uids[i]) << "EDF order violated at " << i;
+  }
+  EXPECT_EQ(count_deadline_inversions(bed.metrics().log()), 0);
+}
+
+TEST(DdcrStation, QuaternaryTreesWork) {
+  auto options = small_options(4);
+  DdcrTestbed bed(4, options);
+  for (int s = 0; s < 4; ++s) {
+    bed.inject(s, make_msg(s, s, 0, 4'000 + s * 1'000));
+  }
+  bed.run(SimTime::from_ns(200'000));
+  EXPECT_EQ(delivered_uids(bed.metrics()).size(), 4u);
+  EXPECT_EQ(bed.metrics().summarize().misses, 0);
+  EXPECT_TRUE(bed.digests_agree());
+}
+
+TEST(DdcrStation, PerpetualModeDeliversAndStaysConsistent) {
+  auto options = small_options();
+  options.ddcr.epoch_mode = EpochMode::kPerpetual;
+  DdcrTestbed bed(3, options);
+  for (int s = 0; s < 3; ++s) {
+    bed.inject(s, make_msg(s, s, 0, 5'000 + s * 2'000));
+    bed.inject(s, make_msg(10 + s, s, 30'000, 6'000 + s * 2'000));
+  }
+  bed.run(SimTime::from_ns(300'000));
+  EXPECT_EQ(delivered_uids(bed.metrics()).size(), 6u);
+  EXPECT_EQ(bed.metrics().summarize().misses, 0);
+  EXPECT_TRUE(bed.digests_agree());
+  // Perpetual mode keeps running tree searches after the queues drain.
+  EXPECT_GT(bed.station(0).counters().tts_runs, 2);
+}
+
+TEST(DdcrStation, PerpetualModeRequiresCompressedTime) {
+  auto options = small_options();
+  options.ddcr.epoch_mode = EpochMode::kPerpetual;
+  options.ddcr.theta_factor = 0.0;
+  EXPECT_THROW(DdcrTestbed(2, options), util::ContractViolation);
+}
+
+TEST(DdcrStation, RejectsForeignAndDuplicateMessages) {
+  DdcrTestbed bed(2, small_options());
+  EXPECT_THROW(bed.station(0).enqueue(make_msg(1, 1, 0, 1'000)),
+               util::ContractViolation);
+  bed.station(0).enqueue(make_msg(1, 0, 0, 1'000));
+  EXPECT_THROW(bed.station(0).enqueue(make_msg(1, 0, 0, 1'000)),
+               util::ContractViolation);
+}
+
+TEST(DdcrStation, ArbitrationModeDeliversEdfWithoutEpochs) {
+  // On an ATM-style bus (non-destructive collisions), the deadline-keyed
+  // arbitration delivers EDF order with no tree searches at all.
+  auto options = small_options();
+  options.collision_mode = net::CollisionMode::kArbitration;
+  DdcrTestbed bed(4, options);
+  for (int s = 0; s < 4; ++s) {
+    bed.inject(s, make_msg(s, s, 0, 8'000 - s * 1'000));
+  }
+  bed.run(SimTime::from_ns(100'000));
+  const auto uids = delivered_uids(bed.metrics());
+  ASSERT_EQ(uids.size(), 4u);
+  for (std::size_t i = 1; i < uids.size(); ++i) {
+    EXPECT_LT(uids[i], uids[i - 1]);  // deadline order = reverse uid order
+  }
+  EXPECT_EQ(bed.station(0).counters().epochs, 0);
+  EXPECT_EQ(count_deadline_inversions(bed.metrics().log()), 0);
+}
+
+}  // namespace
+}  // namespace hrtdm::core

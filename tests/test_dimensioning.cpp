@@ -1,0 +1,193 @@
+// The dimensioning assistant and the channel-efficiency analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/dimensioning.hpp"
+#include "analysis/efficiency.hpp"
+#include "analysis/xi.hpp"
+#include "traffic/fc_adapter.hpp"
+#include "traffic/workload.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hrtdm::analysis {
+namespace {
+
+DimensioningRequest request_for(const traffic::Workload& wl) {
+  traffic::FcAdapterOptions options;
+  options.trees = FcTreeParams{4, 64, 4, 64};
+  const FcSystem system = traffic::to_fc_system(wl, options);
+  DimensioningRequest request;
+  request.phy = system.phy;
+  request.sources = system.sources;
+  request.m = 4;
+  request.F = 64;
+  return request;
+}
+
+TEST(Dimensioning, EasyWorkloadFeasibleImmediately) {
+  const auto result = dimension(request_for(traffic::quickstart(4)));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.trees.q, 4);  // smallest power of 4 seating 4 sources
+  for (const auto nu : result.nu) {
+    EXPECT_EQ(nu, 1);
+  }
+  EXPECT_TRUE(result.report.feasible);
+}
+
+TEST(Dimensioning, EscalatesNuForContendedSources) {
+  // A source with a massive local backlog: r(M) ~ a - 1, so with nu = 1
+  // the bound pays v(M) ~ a static trees (the S2 term alone blows the
+  // deadline). Extra static indices divide v(M) and restore feasibility.
+  DimensioningRequest request;
+  request.m = 4;
+  request.F = 64;
+  FcSource heavy;
+  heavy.name = "heavy";
+  FcMessageClass backlog;
+  backlog.name = "backlog";
+  backlog.l_bits = 8000;
+  backlog.d_s = 3e-3;
+  backlog.a = 100;
+  backlog.w_s = 100e-3;
+  heavy.classes.push_back(backlog);
+  FcSource light;
+  light.name = "light";
+  FcMessageClass ping;
+  ping.name = "ping";
+  ping.l_bits = 800;
+  ping.d_s = 50e-3;
+  ping.a = 1;
+  ping.w_s = 100e-3;
+  light.classes.push_back(ping);
+  request.sources = {heavy, light};
+
+  // Baseline with one index each must be infeasible (v ~ 100 -> S2 alone
+  // is 50 * 11 slots ~ 2.25 ms on a 3 ms deadline, plus S1 and tx).
+  FcSystem baseline;
+  baseline.phy = request.phy;
+  baseline.trees = FcTreeParams{4, 4, 4, 64};
+  baseline.sources = request.sources;
+  ASSERT_FALSE(check_feasibility(baseline).feasible);
+
+  const auto result = dimension(request);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.nu[0], 1) << "the heavy source needed extra indices";
+  EXPECT_FALSE(result.steps.empty());
+}
+
+TEST(Dimensioning, ReportsInfeasibleWhenBudgetsExhausted) {
+  traffic::Workload wl = traffic::quickstart(2);
+  // A deadline no configuration can meet (shorter than one transmission).
+  wl.sources[0].classes[0].d = util::Duration::nanoseconds(100);
+  auto request = request_for(wl);
+  request.max_q = 16;
+  const auto result = dimension(request);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_FALSE(result.steps.empty());
+  EXPECT_FALSE(result.report.feasible);
+}
+
+TEST(Dimensioning, ChosenConfigurationValidates) {
+  const auto result = dimension(request_for(traffic::videoconference(6)));
+  ASSERT_TRUE(result.feasible);
+  // The returned (q, nu) must form a structurally valid FcSystem.
+  FcSystem system;
+  system.trees = result.trees;
+  traffic::FcAdapterOptions options;
+  options.trees = result.trees;
+  auto rebuilt = traffic::to_fc_system(traffic::videoconference(6), options);
+  for (std::size_t s = 0; s < rebuilt.sources.size(); ++s) {
+    rebuilt.sources[s].nu = result.nu[s];
+  }
+  rebuilt.validate();
+  EXPECT_TRUE(check_feasibility(rebuilt).feasible);
+}
+
+TEST(Dimensioning, RejectsDegenerateInputs) {
+  DimensioningRequest request;
+  EXPECT_THROW(dimension(request), util::ContractViolation);  // no sources
+  request = request_for(traffic::quickstart(2));
+  request.F = 48;  // not a power of 4
+  EXPECT_THROW(dimension(request), util::ContractViolation);
+  request = request_for(traffic::quickstart(2));
+  request.max_q = 1;  // below z
+  EXPECT_THROW(dimension(request), util::ContractViolation);
+}
+
+TEST(Dimensioning, FastFailsBeyondChannelCapacity) {
+  // A workload whose slot-limited load alone exceeds 1 must be rejected
+  // immediately, without burning the escalation budget.
+  traffic::Workload wl = traffic::stock_exchange(10).scaled_load(128.0);
+  auto request = request_for(wl);
+  const auto result = dimension(request);
+  EXPECT_FALSE(result.feasible);
+  ASSERT_FALSE(result.steps.empty());
+  EXPECT_NE(result.steps.front().find("slot-limited"), std::string::npos);
+  EXPECT_EQ(result.steps.size(), 1u);  // no escalation attempted
+}
+
+TEST(Dimensioning, SlotLimitedLoadAccountsSlotPadding) {
+  // 64-byte frames at Gigabit speed are slot-bound (0.512 us < 4.096 us):
+  // the slot-limited load must use the slot time, not the bit time.
+  analysis::FcSystem system;
+  system.phy.psi_bps = 1e9;
+  system.phy.slot_s = 4.096e-6;
+  system.phy.overhead_bits = 0;
+  system.trees = FcTreeParams{4, 4, 4, 64};
+  FcSource src;
+  src.name = "s";
+  src.nu = 1;
+  FcMessageClass tiny;
+  tiny.name = "tiny";
+  tiny.l_bits = 64 * 8;
+  tiny.d_s = 1e-3;
+  tiny.a = 1;
+  tiny.w_s = 10e-6;  // one frame per 10 us
+  src.classes.push_back(tiny);
+  system.sources.push_back(src);
+  // Bit-time load: 0.512us/10us = 5.12%; slot-limited: 4.096/10 = 41%.
+  EXPECT_NEAR(system.offered_load(), 0.0512, 1e-6);
+  EXPECT_NEAR(system.slot_limited_load(), 0.4096, 1e-6);
+}
+
+TEST(Efficiency, OverheadPerMessageMatchesXi) {
+  for (const std::int64_t k : {2LL, 8LL, 32LL, 64LL}) {
+    const double expected =
+        (static_cast<double>(xi_closed(4, 64, k)) + 1.0) /
+        static_cast<double>(k);
+    EXPECT_NEAR(per_message_overhead_slots(4, 64, k), expected, 1e-12);
+  }
+  EXPECT_EQ(per_message_overhead_slots(4, 64, 1), 0.0);
+}
+
+TEST(Efficiency, ApproachesSaturationFloor) {
+  // (xi(t,t) + 1)/t = ((t-1)/(m-1) + 1)/t -> 1/(m-1) as t grows.
+  for (const int m : {2, 3, 4}) {
+    const std::int64_t t = util::ipow(m, 6);
+    EXPECT_NEAR(per_message_overhead_slots(m, t, t),
+                saturated_overhead_slots(m), 0.02)
+        << "m=" << m;
+  }
+}
+
+TEST(Efficiency, MonotoneInTransmissionTime) {
+  // Longer frames amortise the search overhead: efficiency rises with tx.
+  double previous = 0.0;
+  for (const double tx : {1e-6, 4e-6, 12e-6, 100e-6}) {
+    const double eta = worst_case_efficiency(4, 64, 16, tx, 4.096e-6);
+    EXPECT_GT(eta, previous);
+    previous = eta;
+  }
+  EXPECT_LT(previous, 1.0);
+}
+
+TEST(Efficiency, HigherBranchingBeatsLowerAtSaturation) {
+  // Fig. 2 consequence: quaternary search overhead is lower, so its
+  // worst-case efficiency is higher for the same k and frame length.
+  const double eta2 = worst_case_efficiency(2, 64, 32, 12e-6, 4.096e-6);
+  const double eta4 = worst_case_efficiency(4, 64, 32, 12e-6, 4.096e-6);
+  EXPECT_GT(eta4, eta2);
+}
+
+}  // namespace
+}  // namespace hrtdm::analysis

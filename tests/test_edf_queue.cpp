@@ -1,0 +1,78 @@
+#include "core/edf_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hrtdm::core {
+namespace {
+
+Message make_msg(std::int64_t uid, std::int64_t deadline_ns,
+                 std::int64_t arrival_ns = 0) {
+  Message msg;
+  msg.uid = uid;
+  msg.class_id = 0;
+  msg.source = 0;
+  msg.l_bits = 1000;
+  msg.arrival = SimTime::from_ns(arrival_ns);
+  msg.absolute_deadline = SimTime::from_ns(deadline_ns);
+  return msg;
+}
+
+TEST(EdfQueue, HeadIsEarliestDeadline) {
+  EdfQueue queue;
+  EXPECT_FALSE(queue.head().has_value());
+  queue.push(make_msg(1, 300));
+  queue.push(make_msg(2, 100));
+  queue.push(make_msg(3, 200));
+  ASSERT_TRUE(queue.head().has_value());
+  EXPECT_EQ(queue.head()->uid, 2);
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(EdfQueue, EqualDeadlinesBreakTiesByUid) {
+  EdfQueue queue;
+  queue.push(make_msg(9, 100));
+  queue.push(make_msg(4, 100));
+  EXPECT_EQ(queue.head()->uid, 4);
+}
+
+TEST(EdfQueue, HeadChangesWhenEarlierMessageArrives) {
+  // The paper stresses that LA runs in parallel with the searches: a new
+  // arrival with a smaller DM becomes msg* immediately.
+  EdfQueue queue;
+  queue.push(make_msg(1, 500));
+  EXPECT_EQ(queue.head()->uid, 1);
+  queue.push(make_msg(2, 50));
+  EXPECT_EQ(queue.head()->uid, 2);
+}
+
+TEST(EdfQueue, RemoveByUid) {
+  EdfQueue queue;
+  queue.push(make_msg(1, 100));
+  queue.push(make_msg(2, 200));
+  EXPECT_TRUE(queue.remove(1));
+  EXPECT_FALSE(queue.remove(1));
+  EXPECT_EQ(queue.head()->uid, 2);
+  EXPECT_TRUE(queue.remove(2));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EdfQueue, RejectsDuplicateUid) {
+  EdfQueue queue;
+  queue.push(make_msg(1, 100));
+  EXPECT_THROW(queue.push(make_msg(1, 200)), util::ContractViolation);
+}
+
+TEST(EdfQueue, CountLate) {
+  EdfQueue queue;
+  queue.push(make_msg(1, 100));
+  queue.push(make_msg(2, 200));
+  queue.push(make_msg(3, 300));
+  EXPECT_EQ(queue.count_late(SimTime::from_ns(50)), 0);
+  EXPECT_EQ(queue.count_late(SimTime::from_ns(250)), 2);
+  EXPECT_EQ(queue.count_late(SimTime::from_ns(1000)), 3);
+}
+
+}  // namespace
+}  // namespace hrtdm::core

@@ -1,0 +1,213 @@
+// Failure injection: symmetric frame corruption (channel noise) and
+// station crash / rejoin. The broadcast property makes corruption look
+// like a collision to everyone simultaneously, so the replicated protocol
+// state machines must stay consistent and simply retry; a crashed station
+// rejoins via the listen-only quiet-period certificate.
+#include <gtest/gtest.h>
+
+#include "core/ddcr_network.hpp"
+#include "core/ddcr_station.hpp"
+#include "traffic/workload.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::core {
+namespace {
+
+using traffic::Message;
+using util::Duration;
+
+DdcrRunOptions noisy_options(double corruption) {
+  DdcrRunOptions options;
+  options.phy.slot_x = Duration::nanoseconds(100);
+  options.phy.psi_bps = 1e9;
+  options.phy.overhead_bits = 0;
+  options.phy.corruption_prob = corruption;
+  options.ddcr.m_time = 2;
+  options.ddcr.F = 16;
+  options.ddcr.m_static = 2;
+  options.ddcr.q = 16;
+  options.ddcr.class_width_c = Duration::microseconds(1);
+  options.ddcr.alpha = Duration::nanoseconds(0);
+  return options;
+}
+
+Message make_msg(std::int64_t uid, int source, std::int64_t arrival_ns,
+                 std::int64_t deadline_rel_ns) {
+  Message msg;
+  msg.uid = uid;
+  msg.class_id = source;
+  msg.source = source;
+  msg.l_bits = 100;
+  msg.arrival = SimTime::from_ns(arrival_ns);
+  msg.absolute_deadline = SimTime::from_ns(arrival_ns + deadline_rel_ns);
+  return msg;
+}
+
+TEST(Noise, CorruptedFramesAreRetriedAndDelivered) {
+  auto options = noisy_options(0.3);
+  DdcrTestbed bed(3, options);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      bed.inject(s, make_msg(s * 100 + i, s, i * 20'000, 500'000));
+    }
+  }
+  bed.run_until_delivered(30, SimTime::from_ns(50'000'000));
+  EXPECT_EQ(bed.metrics().log().size(), 30u);
+  EXPECT_GT(bed.channel().stats().corrupted_frames, 0);
+  EXPECT_TRUE(bed.digests_agree());
+  EXPECT_EQ(bed.queued(), 0);
+}
+
+TEST(Noise, HeavyNoiseStillDeliversEventually) {
+  auto options = noisy_options(0.6);
+  DdcrTestbed bed(2, options);
+  bed.inject(0, make_msg(1, 0, 0, 10'000'000));
+  bed.inject(1, make_msg(2, 1, 0, 10'000'000));
+  bed.run_until_delivered(2, SimTime::from_ns(100'000'000));
+  EXPECT_EQ(bed.metrics().log().size(), 2u);
+  EXPECT_TRUE(bed.digests_agree());
+}
+
+TEST(Noise, StaticLeafRetriesAccountedWhenTieBreakCorrupted) {
+  // Force repeated static searches under noise; corrupted lone static-leaf
+  // transmissions must be re-probed, never treated as a genuine tie.
+  auto options = noisy_options(0.4);
+  DdcrTestbed bed(4, options);
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < 6; ++i) {
+      // Same deadline class for all: every epoch goes through STs.
+      bed.inject(s, make_msg(s * 10 + i, s, i * 50'000, 400'000));
+    }
+  }
+  bed.run_until_delivered(24, SimTime::from_ns(100'000'000));
+  EXPECT_EQ(bed.metrics().log().size(), 24u);
+  EXPECT_TRUE(bed.digests_agree());
+  std::int64_t retries = 0;
+  for (int s = 0; s < 4; ++s) {
+    retries += bed.station(s).counters().static_leaf_retries;
+  }
+  // Retries are noise-dependent but with 40% corruption across many STs
+  // at least one corrupted lone-leaf transmission is overwhelmingly likely.
+  EXPECT_GT(retries, 0);
+}
+
+TEST(Noise, DeterministicPerSeedIncludingCorruption) {
+  auto options = noisy_options(0.25);
+  const traffic::Workload wl = traffic::quickstart(4);
+  DdcrRunOptions run_options = options;
+  run_options.phy = net::PhyConfig::gigabit_ethernet();
+  run_options.phy.corruption_prob = 0.25;
+  run_options.ddcr.class_width_c =
+      DdcrConfig::class_width_for(wl.max_deadline(), run_options.ddcr.F);
+  run_options.ddcr.F = 64;
+  run_options.ddcr.m_time = 4;
+  run_options.ddcr.m_static = 4;
+  run_options.ddcr.q = 64;
+  run_options.arrival_horizon = SimTime::from_ns(20'000'000);
+  run_options.drain_cap = SimTime::from_ns(100'000'000);
+  const auto a = run_ddcr(wl, run_options);
+  const auto b = run_ddcr(wl, run_options);
+  EXPECT_EQ(a.channel.corrupted_frames, b.channel.corrupted_frames);
+  EXPECT_EQ(a.metrics.delivered, b.metrics.delivered);
+  EXPECT_GT(a.channel.corrupted_frames, 0);
+}
+
+TEST(Rejoin, ThresholdRequiresBoundedSilenceStreaks) {
+  DdcrConfig config;
+  config.epoch_mode = EpochMode::kPerpetual;
+  config.theta_factor = 1.0;
+  EXPECT_THROW(config.resync_silence_threshold(), util::ContractViolation);
+
+  config.epoch_mode = EpochMode::kCsmaCdFallback;
+  config.theta_factor = 1.0;
+  config.max_empty_tts = 0;  // unbounded compressed-time chains
+  EXPECT_THROW(config.resync_silence_threshold(), util::ContractViolation);
+
+  config.max_empty_tts = 2;
+  EXPECT_GT(config.resync_silence_threshold(), 0);
+  config.max_empty_tts = 0;
+  config.theta_factor = 0.0;  // chains close immediately: also bounded
+  EXPECT_GT(config.resync_silence_threshold(), 0);
+}
+
+TEST(Rejoin, CrashedStationResyncsAndDelivers) {
+  auto options = noisy_options(0.0);
+  options.ddcr.max_empty_tts = 2;
+  DdcrTestbed bed(3, options);
+  // Phase 1: traffic involving all three stations.
+  for (int s = 0; s < 3; ++s) {
+    bed.inject(s, make_msg(s, s, 0, 200'000));
+  }
+  bed.run_until_delivered(3, SimTime::from_ns(5'000'000));
+  ASSERT_EQ(bed.metrics().log().size(), 3u);
+
+  // Crash station 2 mid-run; it keeps its queue but loses protocol state.
+  bed.station(2).reset_for_rejoin();
+  EXPECT_FALSE(bed.station(2).synced());
+
+  // Quiet channel lets it certify and rejoin.
+  const auto threshold = options.ddcr.resync_silence_threshold();
+  bed.run(bed.simulator().now() +
+          options.phy.slot_x * (threshold + 4));
+  EXPECT_TRUE(bed.station(2).synced());
+  EXPECT_EQ(bed.station(2).counters().rejoins, 1);
+
+  // Phase 2: new contention involving the rejoined station resolves
+  // consistently and delivers everything.
+  const auto now = bed.simulator().now().ns();
+  for (int s = 0; s < 3; ++s) {
+    bed.inject(s, make_msg(100 + s, s, now + 1'000, 300'000));
+  }
+  bed.run_until_delivered(6, SimTime::from_ns(now + 10'000'000));
+  EXPECT_EQ(bed.metrics().log().size(), 6u);
+  EXPECT_TRUE(bed.digests_agree());
+  EXPECT_EQ(bed.metrics().summarize().misses, 0);
+}
+
+TEST(Rejoin, ResyncWaitsOutLiveContention) {
+  // A station rejoining while an epoch rages must not certify early: its
+  // counter resets on every collision/success.
+  auto options = noisy_options(0.0);
+  options.ddcr.max_empty_tts = 2;
+  DdcrTestbed bed(4, options);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 30; ++i) {
+      bed.inject(s, make_msg(s * 100 + i, s, i * 400, 2'000'000));
+    }
+  }
+  bed.station(3).reset_for_rejoin();
+  // Run just past the arrival burst; contention is continuous, so the
+  // joiner must still be waiting.
+  bed.run(SimTime::from_ns(6'000));
+  EXPECT_FALSE(bed.station(3).synced());
+  // After the backlog drains the channel goes quiet and it joins.
+  bed.run_until_delivered(90, SimTime::from_ns(60'000'000));
+  bed.run(bed.simulator().now() +
+          options.phy.slot_x *
+              (options.ddcr.resync_silence_threshold() + 4));
+  EXPECT_TRUE(bed.station(3).synced());
+}
+
+TEST(Rejoin, QueueSurvivesCrash) {
+  auto options = noisy_options(0.0);
+  options.ddcr.max_empty_tts = 1;
+  DdcrTestbed bed(2, options);
+  bed.inject(0, make_msg(1, 0, 0, 1'000'000));
+  bed.run(SimTime::from_ns(50));  // message queued, not yet transmitted
+  bed.station(0).reset_for_rejoin();
+  EXPECT_EQ(bed.station(0).queue().size(), 1u);
+  // After resync the queued message goes out.
+  bed.run_until_delivered(1, SimTime::from_ns(10'000'000));
+  EXPECT_EQ(bed.metrics().log().size(), 1u);
+}
+
+TEST(Rejoin, RejectsUnsoundConfiguration) {
+  auto options = noisy_options(0.0);
+  options.ddcr.theta_factor = 1.0;
+  options.ddcr.max_empty_tts = 0;
+  DdcrTestbed bed(2, options);
+  EXPECT_THROW(bed.station(0).reset_for_rejoin(), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace hrtdm::core

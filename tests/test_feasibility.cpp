@@ -1,0 +1,220 @@
+// Feasibility conditions of section 4.3: r(M), u(M), v(M), B_DDCR and the
+// FC predicate.
+#include "analysis/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/xi.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::analysis {
+namespace {
+
+FcSystem one_source_one_class() {
+  FcSystem system;
+  system.phy.psi_bps = 1e9;
+  system.phy.slot_s = 4.096e-6;
+  system.phy.overhead_bits = 0;
+  system.trees = FcTreeParams{4, 64, 4, 64};
+  FcSource src;
+  src.name = "s0";
+  src.nu = 1;
+  FcMessageClass cls;
+  cls.name = "only";
+  cls.l_bits = 8000;
+  cls.d_s = 10e-3;
+  cls.a = 1;
+  cls.w_s = 20e-3;
+  src.classes.push_back(cls);
+  system.sources.push_back(src);
+  return system;
+}
+
+TEST(Feasibility, SingleClassHandComputation) {
+  const FcSystem system = one_source_one_class();
+  const FcClassReport report = evaluate_class(system, 0, 0);
+
+  // r(M) = ceil(10ms / 20ms) * 1 - 1 = 0: nothing precedes M locally.
+  EXPECT_EQ(report.r, 0);
+  // u(M) = ceil((10ms + 10ms - 8us) / 20ms) * 1 = 1.
+  EXPECT_EQ(report.u, 1);
+  // v(M) = 1 + floor(0 / 1) = 1.
+  EXPECT_EQ(report.v, 1);
+  // tx component: 1 * 8000 bits / 1e9 = 8 us.
+  EXPECT_NEAR(report.tx_time_s, 8e-6, 1e-12);
+  // u/v = 1 < 2, so the S1 evaluation clamps to k = 2.
+  EXPECT_TRUE(report.k_clamped);
+  EXPECT_NEAR(report.s1_slots, xi_asymptotic(4, 64.0, 2.0), 1e-9);
+  // S2 = ceil(1/2) * xi(2, F=64) = 11.
+  EXPECT_NEAR(report.s2_slots, 11.0, 1e-12);
+  EXPECT_NEAR(report.b_ddcr_s,
+              8e-6 + 4.096e-6 * (report.s1_slots + report.s2_slots), 1e-12);
+  EXPECT_TRUE(report.feasible);
+}
+
+TEST(Feasibility, TighteningDeadlineFlipsTheVerdict) {
+  FcSystem system = one_source_one_class();
+  const FcClassReport loose = evaluate_class(system, 0, 0);
+  ASSERT_TRUE(loose.feasible);
+  // Any deadline below the bound must be reported infeasible.
+  system.sources[0].classes[0].d_s = loose.b_ddcr_s * 0.5;
+  const FcClassReport tight = evaluate_class(system, 0, 0);
+  EXPECT_FALSE(tight.feasible);
+  const FcReport report = check_feasibility(system);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_LT(report.worst_margin_s, 0.0);
+}
+
+TEST(Feasibility, RBoundCountsLocalInterferenceOnly) {
+  FcSystem system = one_source_one_class();
+  // Add a second source with heavy traffic: r(M) for source 0 must not
+  // change, u(M) must.
+  const FcClassReport before = evaluate_class(system, 0, 0);
+  FcSource other;
+  other.name = "s1";
+  other.nu = 1;
+  FcMessageClass noisy;
+  noisy.name = "noisy";
+  noisy.l_bits = 4000;
+  noisy.d_s = 5e-3;
+  noisy.a = 4;
+  noisy.w_s = 10e-3;
+  other.classes.push_back(noisy);
+  system.sources.push_back(other);
+
+  const FcClassReport after = evaluate_class(system, 0, 0);
+  EXPECT_EQ(after.r, before.r);
+  // u gains ceil((10ms + 5ms - 8us)/10ms)*4 = 2*4 = 8 messages.
+  EXPECT_EQ(after.u, before.u + 8);
+}
+
+TEST(Feasibility, RBoundGrowsWithLocalClasses) {
+  FcSystem system = one_source_one_class();
+  FcMessageClass second;
+  second.name = "second";
+  second.l_bits = 2000;
+  second.d_s = 50e-3;
+  second.a = 2;
+  second.w_s = 10e-3;
+  system.sources[0].classes.push_back(second);
+
+  // For M = class 0 (d = 10 ms): r = ceil(10/20)*1 + ceil(10/10)*2 - 1 = 2.
+  const FcClassReport report = evaluate_class(system, 0, 0);
+  EXPECT_EQ(report.r, 2);
+  // With nu = 1: v = 1 + floor(2/1) = 3; S2 = ceil(3/2)*11 = 22.
+  EXPECT_EQ(report.v, 3);
+  EXPECT_NEAR(report.s2_slots, 22.0, 1e-12);
+}
+
+TEST(Feasibility, MoreStaticIndicesReduceV) {
+  FcSystem system = one_source_one_class();
+  FcMessageClass second;
+  second.name = "second";
+  second.l_bits = 2000;
+  second.d_s = 50e-3;
+  second.a = 6;
+  second.w_s = 10e-3;
+  system.sources[0].classes.push_back(second);
+
+  system.sources[0].nu = 1;
+  const FcClassReport nu1 = evaluate_class(system, 0, 0);
+  system.sources[0].nu = 4;
+  const FcClassReport nu4 = evaluate_class(system, 0, 0);
+  EXPECT_GT(nu1.v, nu4.v);
+  EXPECT_GE(nu1.b_ddcr_s, nu4.b_ddcr_s);
+}
+
+TEST(Feasibility, NegativeWindowArgumentContributesZero) {
+  // A class whose deadline-window argument is negative cannot interfere:
+  // ceil() is clamped at zero, never negative.
+  FcSystem system = one_source_one_class();
+  FcSource other;
+  other.name = "s1";
+  other.nu = 1;
+  FcMessageClass tiny;
+  tiny.name = "tiny";
+  tiny.l_bits = 100;
+  tiny.d_s = 1e-9;  // essentially zero deadline
+  tiny.a = 1;
+  tiny.w_s = 1.0;   // huge window
+  other.classes.push_back(tiny);
+  system.sources.push_back(other);
+  // For M = tiny itself: d(M) + d(m) - l'(M)/psi can go negative for the
+  // big class's window; count must clamp at 0, keeping u >= 1 (tiny itself).
+  const FcClassReport report = evaluate_class(system, 1, 0);
+  EXPECT_GE(report.u, 1);
+}
+
+TEST(Feasibility, OfferedLoadMatchesHandComputation) {
+  FcSystem system = one_source_one_class();
+  // 1 msg / 20 ms * 8000 bits / 1e9 bps = 0.0004.
+  EXPECT_NEAR(system.offered_load(), 4e-4, 1e-12);
+  system.phy.overhead_bits = 8000;  // doubles l'
+  EXPECT_NEAR(system.offered_load(), 8e-4, 1e-12);
+}
+
+TEST(Feasibility, ValidateRejectsStructuralErrors) {
+  FcSystem system = one_source_one_class();
+  system.trees.q = 48;  // not a power of 4
+  EXPECT_THROW(system.validate(), util::ContractViolation);
+
+  system = one_source_one_class();
+  system.trees.F = 63;
+  EXPECT_THROW(system.validate(), util::ContractViolation);
+
+  system = one_source_one_class();
+  system.sources[0].nu = 65;  // nu > q
+  EXPECT_THROW(system.validate(), util::ContractViolation);
+
+  system = one_source_one_class();
+  system.sources[0].classes[0].w_s = -1.0;
+  EXPECT_THROW(system.validate(), util::ContractViolation);
+}
+
+TEST(Feasibility, ReportCoversEveryClass) {
+  FcSystem system = one_source_one_class();
+  FcMessageClass second;
+  second.name = "second";
+  second.l_bits = 1000;
+  second.d_s = 30e-3;
+  second.a = 1;
+  second.w_s = 50e-3;
+  system.sources[0].classes.push_back(second);
+  const FcReport report = check_feasibility(system);
+  EXPECT_EQ(report.classes.size(), 2u);
+  EXPECT_TRUE(report.feasible);
+  for (const auto& cls : report.classes) {
+    EXPECT_GT(cls.b_ddcr_s, 0.0);
+    EXPECT_LE(report.worst_margin_s, cls.d_s - cls.b_ddcr_s + 1e-12);
+  }
+}
+
+TEST(Feasibility, BoundIsMonotoneInLoad) {
+  // Scaling up the arrival density of an interfering class can only
+  // increase B for everyone (the FC adversary gets stronger).
+  FcSystem system = one_source_one_class();
+  FcSource other;
+  other.name = "s1";
+  other.nu = 1;
+  FcMessageClass noisy;
+  noisy.name = "noisy";
+  noisy.l_bits = 4000;
+  noisy.d_s = 5e-3;
+  noisy.a = 1;
+  noisy.w_s = 10e-3;
+  other.classes.push_back(noisy);
+  system.sources.push_back(other);
+
+  double previous = 0.0;
+  for (int a = 1; a <= 16; a *= 2) {
+    system.sources[1].classes[0].a = a;
+    const FcClassReport report = evaluate_class(system, 0, 0);
+    EXPECT_GE(report.b_ddcr_s, previous) << "a=" << a;
+    previous = report.b_ddcr_s;
+  }
+}
+
+}  // namespace
+}  // namespace hrtdm::analysis

@@ -1,0 +1,150 @@
+// Arbitration-mode feasibility (the ATM-switch analysis the paper says is
+// straightforward to derive from section 4): structure, comparisons with
+// the Ethernet-mode bound, and soundness against simulation.
+#include "analysis/feasibility_atm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/feasibility.hpp"
+#include "core/ddcr_network.hpp"
+#include "traffic/fc_adapter.hpp"
+#include "traffic/workload.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::analysis {
+namespace {
+
+FcSystem atm_system(const traffic::Workload& wl) {
+  traffic::FcAdapterOptions options;
+  options.psi_bps = 622e6;
+  options.slot_s = 16e-9;
+  options.overhead_bits = 40;
+  options.trees = FcTreeParams{2, 64, 2, 64};  // ignored by the ATM bound
+  return traffic::to_fc_system(wl, options);
+}
+
+TEST(AtmFeasibility, SingleClassHandComputation) {
+  FcSystem system;
+  system.phy.psi_bps = 1e9;
+  system.phy.slot_s = 16e-9;
+  system.phy.overhead_bits = 0;
+  system.trees = FcTreeParams{2, 2, 2, 2};
+  FcSource src;
+  src.name = "s0";
+  src.nu = 1;
+  FcMessageClass cls;
+  cls.name = "only";
+  cls.l_bits = 1000;  // 1 us at 1 Gbit/s
+  cls.d_s = 1e-3;
+  cls.a = 1;
+  cls.w_s = 10e-3;
+  src.classes.push_back(cls);
+  system.sources.push_back(src);
+
+  const AtmClassReport report = evaluate_class_atm(system, 0, 0);
+  // blocking = max tx + slot = 1 us + 16 ns.
+  EXPECT_NEAR(report.blocking_s, 1e-6 + 16e-9, 1e-15);
+  // u = ceil((1ms + 1ms - 1us)/10ms) = 1 (itself).
+  EXPECT_EQ(report.u, 1);
+  EXPECT_NEAR(report.b_atm_s, report.blocking_s + 1e-6 + 16e-9, 1e-15);
+  EXPECT_TRUE(report.feasible);
+}
+
+TEST(AtmFeasibility, TighterThanEthernetBoundWhenSlotsAreExpensive) {
+  // With Ethernet-scale slots (x = 4.096 us) the DDCR bound's tree-search
+  // terms dominate, so dropping them (arbitration) wins despite the extra
+  // explicit blocking term.
+  const auto wl = traffic::air_traffic_control(6);
+  FcSystem system = atm_system(wl);
+  system.phy.slot_s = 4.096e-6;
+  const FcReport ethernet = check_feasibility(system);
+  const AtmReport atm = check_feasibility_atm(system);
+  ASSERT_EQ(ethernet.classes.size(), atm.classes.size());
+  for (std::size_t i = 0; i < atm.classes.size(); ++i) {
+    EXPECT_LT(atm.classes[i].b_atm_s, ethernet.classes[i].b_ddcr_s)
+        << atm.classes[i].klass;
+  }
+}
+
+TEST(AtmFeasibility, TreeOverheadNegligibleAtAtmSlotTimes) {
+  // The section 5 observation from the other side: at x = 16 ns the whole
+  // tree-search overhead in B_DDCR is worth only a few microseconds, so
+  // the two bounds agree to within the (small) arbitration + blocking
+  // terms — deterministic collision resolution is essentially free on an
+  // ATM internal bus.
+  const auto wl = traffic::air_traffic_control(6);
+  const FcSystem system = atm_system(wl);
+  const FcReport ethernet = check_feasibility(system);
+  const AtmReport atm = check_feasibility_atm(system);
+  for (std::size_t i = 0; i < atm.classes.size(); ++i) {
+    const double diff =
+        std::abs(atm.classes[i].b_atm_s - ethernet.classes[i].b_ddcr_s);
+    EXPECT_LT(diff, 0.15 * ethernet.classes[i].b_ddcr_s)
+        << atm.classes[i].klass;
+  }
+}
+
+TEST(AtmFeasibility, BoundGrowsWithInterference) {
+  auto wl = traffic::videoconference(4);
+  const AtmReport before = check_feasibility_atm(atm_system(wl));
+  for (auto& src : wl.sources) {
+    for (auto& cls : src.classes) {
+      cls.a *= 2;
+    }
+  }
+  const AtmReport after = check_feasibility_atm(atm_system(wl));
+  for (std::size_t i = 0; i < before.classes.size(); ++i) {
+    EXPECT_GT(after.classes[i].b_atm_s, before.classes[i].b_atm_s);
+  }
+}
+
+TEST(AtmFeasibility, SimulationRespectsTheBound) {
+  const auto wl = traffic::air_traffic_control(4);
+  const FcSystem system = atm_system(wl);
+  const AtmReport report = check_feasibility_atm(system);
+  ASSERT_TRUE(report.feasible);
+
+  core::DdcrRunOptions options;
+  options.phy = net::PhyConfig::atm_internal_bus();
+  options.phy.overhead_bits = 40;
+  options.collision_mode = net::CollisionMode::kArbitration;
+  options.ddcr.m_time = 2;
+  options.ddcr.m_static = 2;
+  options.ddcr.class_width_c =
+      core::DdcrConfig::class_width_for(wl.max_deadline(), options.ddcr.F);
+  options.ddcr.alpha = options.ddcr.class_width_c * 2;
+  options.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
+  options.arrival_horizon = sim::SimTime::from_ns(100'000'000);
+  options.drain_cap = sim::SimTime::from_ns(400'000'000);
+  const auto result = core::run_ddcr(wl, options);
+  EXPECT_EQ(result.metrics.misses, 0);
+
+  std::size_t idx = 0;
+  for (const auto& src : wl.sources) {
+    for (const auto& cls : src.classes) {
+      const auto& bound = report.classes[idx++];
+      const auto it = result.metrics.per_class.find(cls.id);
+      if (it != result.metrics.per_class.end()) {
+        EXPECT_LE(it->second.worst_latency_s, bound.b_atm_s)
+            << "class " << cls.name;
+      }
+    }
+  }
+}
+
+TEST(AtmFeasibility, ReportAggregation) {
+  const auto wl = traffic::quickstart(3);
+  const AtmReport report = check_feasibility_atm(atm_system(wl));
+  EXPECT_EQ(report.classes.size(), wl.all_classes().size());
+  double worst = std::numeric_limits<double>::infinity();
+  bool all = true;
+  for (const auto& cls : report.classes) {
+    worst = std::min(worst, cls.d_s - cls.b_atm_s);
+    all = all && cls.feasible;
+  }
+  EXPECT_EQ(report.feasible, all);
+  EXPECT_NEAR(report.worst_margin_s, worst, 1e-12);
+}
+
+}  // namespace
+}  // namespace hrtdm::analysis

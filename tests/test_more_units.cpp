@@ -1,0 +1,297 @@
+// Edge cases and randomized reference checks in corners the focused suites
+// do not reach: exact burst budgets, simulator cancellation during event
+// chains, static-index allocation properties, EDF-queue fuzz against a
+// reference model, near-equal P2 compositions, and multi-index DCR.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "analysis/p2.hpp"
+#include "baseline/dcr_station.hpp"
+#include "core/ddcr_config.hpp"
+#include "core/edf_queue.hpp"
+#include "core/metrics.hpp"
+#include "net/channel.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm {
+namespace {
+
+using core::EdfQueue;
+using sim::Simulator;
+using util::Duration;
+using util::SimTime;
+
+// --- burst budget boundary --------------------------------------------
+
+class BurstBoundaryStation final : public net::Station {
+ public:
+  explicit BurstBoundaryStation(int id) : id_(id) {}
+  int id() const override { return id_; }
+
+  std::optional<net::Frame> poll_intent(SimTime now) override {
+    (void)now;
+    if (!first_sent_) {
+      first_sent_ = true;
+      return frame(1, 100);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<net::Frame> poll_burst(SimTime now,
+                                       std::int64_t budget_bits) override {
+    (void)now;
+    // Offer a frame of exactly the remaining budget.
+    if (burst_offers_ == 0) {
+      ++burst_offers_;
+      return frame(2, budget_bits);
+    }
+    return std::nullopt;
+  }
+
+  void observe(const net::SlotObservation& obs) override {
+    if (obs.kind == net::SlotKind::kSuccess) {
+      delivered_.push_back(obs.frame->msg_uid);
+    }
+  }
+
+  const std::vector<std::int64_t>& delivered() const { return delivered_; }
+
+ private:
+  net::Frame frame(std::int64_t uid, std::int64_t bits) const {
+    net::Frame f;
+    f.source = id_;
+    f.msg_uid = uid;
+    f.l_bits = bits;
+    return f;
+  }
+  int id_;
+  bool first_sent_ = false;
+  int burst_offers_ = 0;
+  std::vector<std::int64_t> delivered_;
+};
+
+TEST(BurstBoundary, ExactBudgetFrameIsAccepted) {
+  Simulator sim;
+  net::PhyConfig phy;
+  phy.slot_x = Duration::nanoseconds(100);
+  phy.psi_bps = 1e9;
+  phy.burst_budget_bits = 1000;
+  net::BroadcastChannel channel(sim, phy);
+  BurstBoundaryStation station(0);
+  channel.attach(station);
+  channel.start();
+  sim.run_until(SimTime::from_ns(10'000));
+  // The continuation of exactly 1000 bits (== budget) must go through.
+  EXPECT_EQ(station.delivered(),
+            (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(channel.stats().burst_continuations, 1);
+}
+
+// --- simulator cancellation inside callbacks ---------------------------
+
+TEST(SimulatorEdges, CancelFromInsideAnEarlierEventAtTheSameTime) {
+  Simulator sim;
+  bool second_fired = false;
+  sim::EventHandle second;
+  sim.schedule_at(SimTime::from_ns(10), [&] { sim.cancel(second); });
+  second = sim.schedule_at(SimTime::from_ns(10),
+                           [&] { second_fired = true; });
+  sim.run_to_completion();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(SimulatorEdges, CancelSelfIsHarmless) {
+  Simulator sim;
+  sim::EventHandle self;
+  int fired = 0;
+  self = sim.schedule_at(SimTime::from_ns(5), [&] {
+    ++fired;
+    EXPECT_FALSE(sim.cancel(self));  // already consumed
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 1);
+}
+
+// --- static index allocation properties --------------------------------
+
+TEST(SpreadIndices, RandomConfigurationsAreValidPartitions) {
+  util::Rng rng(808);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int z = static_cast<int>(rng.uniform_i64(1, 12));
+    const int m = rng.bernoulli(0.5) ? 2 : 4;
+    std::int64_t q = m;
+    while (q < z * 4) {
+      q *= m;
+    }
+    std::vector<std::int64_t> nu(static_cast<std::size_t>(z));
+    std::int64_t total = 0;
+    for (auto& n : nu) {
+      n = rng.uniform_i64(1, 3);
+      total += n;
+    }
+    if (total > q) {
+      continue;
+    }
+    const auto indices = core::DdcrConfig::spread_indices(z, q, nu);
+    std::set<std::int64_t> seen;
+    for (int s = 0; s < z; ++s) {
+      const auto& mine = indices[static_cast<std::size_t>(s)];
+      EXPECT_EQ(static_cast<std::int64_t>(mine.size()),
+                nu[static_cast<std::size_t>(s)]);
+      EXPECT_TRUE(std::is_sorted(mine.begin(), mine.end()));
+      for (const auto index : mine) {
+        EXPECT_GE(index, 0);
+        EXPECT_LT(index, q);
+        EXPECT_TRUE(seen.insert(index).second) << "duplicate index";
+      }
+    }
+  }
+}
+
+TEST(SpreadIndices, SingleIndexAllocationsAreMaximallySpread) {
+  const auto indices = core::DdcrConfig::one_index_per_source(4, 64);
+  // Stride 16: indices {0, 16, 32, 48} — one per quaternary root subtree.
+  EXPECT_EQ(indices[0][0], 0);
+  EXPECT_EQ(indices[1][0], 16);
+  EXPECT_EQ(indices[2][0], 32);
+  EXPECT_EQ(indices[3][0], 48);
+}
+
+// --- EDF queue fuzz vs reference ---------------------------------------
+
+TEST(EdfQueueFuzz, MatchesReferenceModelOverRandomOps) {
+  util::Rng rng(909);
+  EdfQueue queue;
+  std::vector<traffic::Message> reference;
+  std::int64_t next_uid = 0;
+  for (int op = 0; op < 3000; ++op) {
+    const double dice = rng.uniform01();
+    if (dice < 0.55 || reference.empty()) {
+      traffic::Message msg;
+      msg.uid = next_uid++;
+      msg.class_id = 0;
+      msg.source = 0;
+      msg.l_bits = 100;
+      msg.arrival = SimTime::from_ns(op);
+      msg.absolute_deadline =
+          SimTime::from_ns(rng.uniform_i64(0, 500));
+      queue.push(msg);
+      reference.push_back(msg);
+    } else if (dice < 0.85) {
+      // Remove the EDF head.
+      const auto head = queue.head();
+      ASSERT_TRUE(head.has_value());
+      EXPECT_TRUE(queue.remove(head->uid));
+      const auto it = std::min_element(
+          reference.begin(), reference.end(),
+          [](const auto& a, const auto& b) {
+            if (a.absolute_deadline != b.absolute_deadline) {
+              return a.absolute_deadline < b.absolute_deadline;
+            }
+            return a.uid < b.uid;
+          });
+      EXPECT_EQ(head->uid, it->uid);
+      reference.erase(it);
+    } else {
+      // Remove a random element by uid.
+      const auto idx = static_cast<std::size_t>(rng.uniform_i64(
+          0, static_cast<std::int64_t>(reference.size()) - 1));
+      EXPECT_TRUE(queue.remove(reference[idx].uid));
+      reference.erase(reference.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+    }
+    EXPECT_EQ(queue.size(), reference.size());
+    if (!reference.empty()) {
+      const auto it = std::min_element(
+          reference.begin(), reference.end(),
+          [](const auto& a, const auto& b) {
+            if (a.absolute_deadline != b.absolute_deadline) {
+              return a.absolute_deadline < b.absolute_deadline;
+            }
+            return a.uid < b.uid;
+          });
+      ASSERT_TRUE(queue.head().has_value());
+      EXPECT_EQ(queue.head()->uid, it->uid);
+    }
+  }
+}
+
+// --- P2 composition structure -------------------------------------------
+
+TEST(P2Structure, WorstCompositionDominatesTheEqualSplit) {
+  // The *exact* xi staircase is not concave, so — unlike the asymptote of
+  // Eq. 18 — its maximising composition need not be an equal split (the
+  // adversary gravitates to the touch points k = 2 m^i). What must hold:
+  // the maximiser's value is at least the equal split's, and the whole
+  // thing stays below the concave P2 bound.
+  analysis::XiExactTable table(4, 3);  // t = 64
+  for (const std::int64_t u : {40LL, 60LL, 100LL}) {
+    const int v = 4;
+    const auto parts = analysis::p2_worst_composition(table, u, v);
+    std::int64_t value = 0;
+    for (const auto part : parts) {
+      value += table.xi(part);
+    }
+    std::int64_t equal_split = 0;
+    for (int i = 0; i < v; ++i) {
+      equal_split += table.xi(u / v + (i < u % v ? 1 : 0));
+    }
+    EXPECT_GE(value, equal_split) << "u=" << u;
+    EXPECT_LE(static_cast<double>(value),
+              analysis::p2_bound(4, 64.0, static_cast<double>(u),
+                                 static_cast<double>(v)) +
+                  1e-9)
+        << "u=" << u;
+  }
+}
+
+// --- DCR with several indices per source ---------------------------------
+
+TEST(DcrMultiIndex, SourceTransmitsUpToNuPerResolution) {
+  Simulator sim;
+  net::PhyConfig phy;
+  phy.slot_x = Duration::nanoseconds(100);
+  phy.psi_bps = 1e9;
+  net::BroadcastChannel channel(sim, phy);
+  baseline::DcrStation::Config config;
+  config.m = 2;
+  config.q = 8;
+  baseline::DcrStation a(0, config, {0, 4});  // nu = 2
+  baseline::DcrStation b(1, config, {6});
+  channel.attach(a);
+  channel.attach(b);
+  core::MetricsCollector metrics;
+  channel.add_observer(metrics);
+
+  auto enqueue = [](baseline::DcrStation& station, std::int64_t uid,
+                    int source) {
+    traffic::Message msg;
+    msg.uid = uid;
+    msg.class_id = source;
+    msg.source = source;
+    msg.l_bits = 100;
+    msg.arrival = SimTime::zero();
+    msg.absolute_deadline = SimTime::from_ns(10'000'000);
+    station.enqueue(msg);
+  };
+  enqueue(a, 1, 0);
+  enqueue(a, 2, 0);
+  enqueue(b, 3, 1);
+  channel.start();
+  sim.run_until(SimTime::from_ns(100'000));
+  // One resolution serves both of a's messages (indices 0 then 4) plus
+  // b's: all three delivered, in index order 0, 4, 6.
+  ASSERT_EQ(metrics.log().size(), 3u);
+  EXPECT_EQ(metrics.log()[0].uid, 1);
+  EXPECT_EQ(metrics.log()[1].uid, 2);
+  EXPECT_EQ(metrics.log()[2].uid, 3);
+}
+
+}  // namespace
+}  // namespace hrtdm

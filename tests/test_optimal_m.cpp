@@ -1,0 +1,65 @@
+#include "analysis/optimal_m.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/xi.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::analysis {
+namespace {
+
+TEST(OptimalM, SixtyFourLeavesReproducesFig2Dominance) {
+  // The paper's Fig. 2 observation: at 64 leaves, quaternary dominates
+  // binary everywhere on [2, 64].
+  const BranchingStudy study = compare_branching_degrees(64, 4);
+  ASSERT_EQ(study.candidates.size(), 3u);  // m = 2, 3, 4
+  const auto& binary = study.candidates[0];
+  const auto& quaternary = study.candidates[2];
+  EXPECT_EQ(binary.m, 2);
+  EXPECT_EQ(quaternary.m, 4);
+  EXPECT_EQ(binary.t, 64);
+  EXPECT_EQ(quaternary.t, 64);
+  EXPECT_TRUE(binary.dominated);
+  EXPECT_LE(quaternary.worst_xi, binary.worst_xi);
+  EXPECT_LT(quaternary.mean_xi, binary.mean_xi);
+}
+
+TEST(OptimalM, CandidateTreesCoverRequiredLeaves) {
+  const BranchingStudy study = compare_branching_degrees(40, 7);
+  for (const auto& cand : study.candidates) {
+    EXPECT_GE(cand.t, 40) << "m=" << cand.m;
+    EXPECT_LT(cand.t / cand.m, 40) << "m=" << cand.m;  // smallest power
+  }
+}
+
+TEST(OptimalM, WorstCaseValuesMatchClosedForm) {
+  const BranchingStudy study = compare_branching_degrees(64, 4, 16);
+  for (const auto& cand : study.candidates) {
+    std::int64_t worst = 0;
+    for (std::int64_t k = 2; k <= study.k_max; ++k) {
+      worst = std::max(worst, xi_closed(cand.m, cand.t, k));
+    }
+    EXPECT_EQ(cand.worst_xi, worst) << "m=" << cand.m;
+  }
+}
+
+TEST(OptimalM, BestPicksAreConsistent) {
+  const BranchingStudy study = compare_branching_degrees(256, 6);
+  std::int64_t best_worst = INT64_MAX;
+  for (const auto& cand : study.candidates) {
+    best_worst = std::min(best_worst, cand.worst_xi);
+  }
+  for (const auto& cand : study.candidates) {
+    if (cand.m == study.best_m_worst_case) {
+      EXPECT_EQ(cand.worst_xi, best_worst);
+    }
+  }
+}
+
+TEST(OptimalM, RejectsDegenerateInputs) {
+  EXPECT_THROW(compare_branching_degrees(1, 4), util::ContractViolation);
+  EXPECT_THROW(compare_branching_degrees(64, 1), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace hrtdm::analysis

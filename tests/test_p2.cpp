@@ -1,0 +1,108 @@
+// Problem P2 (section 4.2): worst-case searches over multiple consecutive
+// trees, Eq. 16-19.
+#include "analysis/p2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hrtdm::analysis {
+namespace {
+
+TEST(P2Bound, TwoFormsAgree) {
+  // Eq. 18: v xi~(u/v, t) = xi~(u, tv) - (v-1)/(m-1), an algebraic identity.
+  for (int m = 2; m <= 5; ++m) {
+    for (double t : {16.0, 64.0, 256.0}) {
+      for (double v : {1.0, 2.0, 3.0, 7.0}) {
+        for (double u = 2.0 * v; u <= t * v; u += 3.0) {
+          EXPECT_NEAR(p2_bound(m, t, u, v), p2_bound_alt(m, t, u, v), 1e-6)
+              << "m=" << m << " t=" << t << " u=" << u << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(P2Bound, SingleTreeReducesToAsymptote) {
+  EXPECT_NEAR(p2_bound(4, 64.0, 10.0, 1.0), xi_asymptotic(4, 64.0, 10.0),
+              1e-12);
+}
+
+struct P2Param {
+  int m;
+  int n;
+  int v;
+};
+
+class P2Exhaustive : public ::testing::TestWithParam<P2Param> {};
+
+TEST_P(P2Exhaustive, BoundDominatesExhaustiveMaximum) {
+  // Eq. 19: max over compositions <= v xi~(u/v, t), for every u.
+  const auto [m, n, v] = GetParam();
+  XiExactTable table(m, n);
+  const std::int64_t t = table.t();
+  for (std::int64_t u = 2 * v; u <= v * t; ++u) {
+    const std::int64_t exact = p2_exhaustive(table, u, v);
+    const double bound = p2_bound(m, static_cast<double>(t),
+                                  static_cast<double>(u),
+                                  static_cast<double>(v));
+    EXPECT_LE(static_cast<double>(exact), bound + 1e-9)
+        << "m=" << m << " t=" << t << " u=" << u << " v=" << v;
+  }
+}
+
+TEST_P(P2Exhaustive, WorstCompositionIsValidAndAchievesMaximum) {
+  const auto [m, n, v] = GetParam();
+  XiExactTable table(m, n);
+  const std::int64_t t = table.t();
+  for (std::int64_t u = 2 * v; u <= v * t; u += 5) {
+    const auto parts = p2_worst_composition(table, u, v);
+    ASSERT_EQ(static_cast<int>(parts.size()), v);
+    std::int64_t sum = 0;
+    std::int64_t cost = 0;
+    for (const std::int64_t k : parts) {
+      EXPECT_GE(k, 2);
+      EXPECT_LE(k, t);
+      sum += k;
+      cost += table.xi(k);
+    }
+    EXPECT_EQ(sum, u);
+    EXPECT_EQ(cost, p2_exhaustive(table, u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, P2Exhaustive,
+    ::testing::Values(P2Param{2, 4, 2}, P2Param{2, 4, 3}, P2Param{2, 5, 4},
+                      P2Param{3, 3, 2}, P2Param{3, 3, 3}, P2Param{4, 2, 2},
+                      P2Param{4, 3, 3}, P2Param{4, 3, 5}, P2Param{5, 2, 4}),
+    [](const ::testing::TestParamInfo<P2Param>& info) {
+      return "m" + std::to_string(info.param.m) + "n" +
+             std::to_string(info.param.n) + "v" + std::to_string(info.param.v);
+    });
+
+TEST(P2Exhaustive, EqualSplitIsWorstForTheAsymptote) {
+  // The proof of Eq. 18 rests on concavity of xi~: an equal split maximises
+  // the sum. Check numerically against random unequal splits.
+  const int m = 4;
+  const double t = 64.0;
+  const double v = 4.0;
+  const double u = 80.0;
+  const double equal = v * xi_asymptotic(m, t, u / v);
+  for (double delta = 1.0; delta <= 15.0; delta += 1.0) {
+    const double unequal = 2.0 * xi_asymptotic(m, t, u / v - delta) +
+                           2.0 * xi_asymptotic(m, t, u / v + delta);
+    EXPECT_GE(equal + 1e-9, unequal) << "delta=" << delta;
+  }
+}
+
+TEST(P2Contracts, RejectsInvalidRanges) {
+  XiExactTable table(2, 3);  // t = 8
+  EXPECT_THROW(p2_exhaustive(table, 3, 2), util::ContractViolation);   // u < 2v
+  EXPECT_THROW(p2_exhaustive(table, 17, 2), util::ContractViolation);  // u > vt
+  EXPECT_THROW(p2_bound(2, 8.0, 20.0, 2.0), util::ContractViolation);  // u/v > t
+  EXPECT_THROW(p2_bound(2, 8.0, 4.0, 0.0), util::ContractViolation);   // v < 1
+}
+
+}  // namespace
+}  // namespace hrtdm::analysis

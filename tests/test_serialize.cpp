@@ -1,0 +1,88 @@
+#include "traffic/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hrtdm::traffic {
+namespace {
+
+TEST(Serialize, RoundTripsEveryBuiltInScenario) {
+  for (const auto& name : scenario_names()) {
+    const Workload original = workload_by_name(name, 5);
+    const Workload parsed = parse_workload(serialize_workload(original));
+    EXPECT_EQ(parsed.name, original.name);
+    ASSERT_EQ(parsed.sources.size(), original.sources.size());
+    for (std::size_t s = 0; s < original.sources.size(); ++s) {
+      const auto& a = original.sources[s];
+      const auto& b = parsed.sources[s];
+      EXPECT_EQ(a.id, b.id);
+      EXPECT_EQ(a.name, b.name);
+      ASSERT_EQ(a.classes.size(), b.classes.size());
+      for (std::size_t c = 0; c < a.classes.size(); ++c) {
+        EXPECT_EQ(a.classes[c].id, b.classes[c].id);
+        EXPECT_EQ(a.classes[c].name, b.classes[c].name);
+        EXPECT_EQ(a.classes[c].source, b.classes[c].source);
+        EXPECT_EQ(a.classes[c].l_bits, b.classes[c].l_bits);
+        EXPECT_EQ(a.classes[c].d, b.classes[c].d);
+        EXPECT_EQ(a.classes[c].a, b.classes[c].a);
+        EXPECT_EQ(a.classes[c].w, b.classes[c].w);
+      }
+    }
+  }
+}
+
+TEST(Serialize, ParsesHandWrittenFileWithComments) {
+  const std::string text = R"(# two radar stations
+workload radars
+source 0 north
+class 0 track l_bits=3200 d_us=50000 a=4 w_us=100000
+class 1 alert l_bits=1024 d_us=2000 a=1 w_us=200000   # tight
+source 1 south
+
+class 2 track l_bits=3200 d_us=50000 a=4 w_us=100000
+)";
+  const Workload wl = parse_workload(text);
+  EXPECT_EQ(wl.name, "radars");
+  ASSERT_EQ(wl.sources.size(), 2u);
+  EXPECT_EQ(wl.sources[0].classes.size(), 2u);
+  EXPECT_EQ(wl.sources[1].classes.size(), 1u);
+  EXPECT_EQ(wl.sources[0].classes[1].d.ns(), 2'000'000);
+  EXPECT_EQ(wl.sources[1].classes[0].source, 1);
+}
+
+TEST(Serialize, ErrorsCarryLineNumbers) {
+  const auto expect_mentions = [](const std::string& text,
+                                  const std::string& needle) {
+    try {
+      parse_workload(text);
+      FAIL() << "expected a parse failure";
+    } catch (const util::ContractViolation& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << error.what();
+    }
+  };
+  expect_mentions("workload w\nclass 0 c l_bits=1 d_us=1 a=1 w_us=1\n",
+                  "line 2");
+  expect_mentions("workload w\nsource 0 s\nclass 0 c l_bits=x d_us=1 a=1 "
+                  "w_us=1\n",
+                  "cannot parse integer");
+  expect_mentions("workload w\nsource 0 s\nbanana\n", "unknown keyword");
+  expect_mentions("source 0 s\n", "missing `workload");
+  expect_mentions("workload w\nsource 0 s\nclass 0 c l_bits=1\n",
+                  "class line needs");
+}
+
+TEST(Serialize, ParsedWorkloadFailsValidationWhenInconsistent) {
+  // Duplicate class ids survive parsing but must be caught by validate().
+  const std::string text = R"(workload w
+source 0 a
+class 0 x l_bits=100 d_us=1000 a=1 w_us=2000
+source 1 b
+class 0 y l_bits=100 d_us=1000 a=1 w_us=2000
+)";
+  EXPECT_THROW(parse_workload(text), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace hrtdm::traffic

@@ -1,0 +1,121 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hrtdm::sim {
+namespace {
+
+TEST(Simulator, FiresInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::from_ns(30), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::from_ns(10), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::from_ns(20), [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ns(), 30);
+  EXPECT_EQ(sim.events_fired(), 3u);
+}
+
+TEST(Simulator, EqualTimestampsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::from_ns(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_completion();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime observed;
+  sim.schedule_after(Duration::nanoseconds(10), [&] {
+    sim.schedule_after(Duration::nanoseconds(5),
+                       [&] { observed = sim.now(); });
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(observed.ns(), 15);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const EventHandle handle =
+      sim.schedule_at(SimTime::from_ns(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_FALSE(sim.cancel(handle));  // second cancel is a no-op
+  sim.run_to_completion();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_fired(), 0u);
+}
+
+TEST(Simulator, CancelNullHandleIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonButAdvancesClock) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(SimTime::from_ns(10), [&] { fired.push_back(1); });
+  sim.schedule_at(SimTime::from_ns(20), [&] { fired.push_back(2); });
+  sim.schedule_at(SimTime::from_ns(30), [&] { fired.push_back(3); });
+  sim.run_until(SimTime::from_ns(20));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));  // horizon-inclusive
+  EXPECT_EQ(sim.now().ns(), 20);
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run_until(SimTime::from_ns(100));
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(sim.now().ns(), 100);  // clock advances to the horizon
+}
+
+TEST(Simulator, SelfReschedulingChainTerminatesAtHorizon) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.schedule_after(Duration::nanoseconds(10), tick);
+  };
+  sim.schedule_at(SimTime::zero(), tick);
+  sim.run_until(SimTime::from_ns(95));
+  EXPECT_EQ(count, 10);  // t = 0, 10, ..., 90
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule_at(SimTime::from_ns(10), [] {});
+  sim.run_to_completion();
+  EXPECT_THROW(sim.schedule_at(SimTime::from_ns(5), [] {}),
+               util::ContractViolation);
+  EXPECT_THROW(sim.schedule_after(Duration::nanoseconds(-1), [] {}),
+               util::ContractViolation);
+}
+
+TEST(Simulator, EventsCanScheduleAtTheirOwnTime) {
+  Simulator sim;
+  bool nested_fired = false;
+  sim.schedule_at(SimTime::from_ns(10), [&] {
+    sim.schedule_at(SimTime::from_ns(10), [&] { nested_fired = true; });
+  });
+  sim.run_to_completion();
+  EXPECT_TRUE(nested_fired);
+}
+
+TEST(Simulator, CancelledEventsDoNotBlockRunUntil) {
+  Simulator sim;
+  const auto handle = sim.schedule_at(SimTime::from_ns(50), [] {});
+  sim.cancel(handle);
+  sim.run_until(SimTime::from_ns(100));
+  EXPECT_EQ(sim.now().ns(), 100);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+}  // namespace
+}  // namespace hrtdm::sim

@@ -1,0 +1,138 @@
+// Soak grid: the full protocol stack across scenarios, tree shapes, epoch
+// modes, arrival processes, bursting and noise — checking on every
+// combination the invariants that must never break:
+//   - replica consistency on every slot,
+//   - conservation (generated = delivered + still-queued),
+//   - channel sanity (utilization <= 1, no lost frames).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/ddcr_network.hpp"
+#include "traffic/workload.hpp"
+
+namespace hrtdm::core {
+namespace {
+
+using traffic::ArrivalKind;
+
+struct SoakParam {
+  const char* scenario;
+  int z;
+  int m_time;
+  int m_static;
+  EpochMode epoch_mode;
+  ArrivalKind arrivals;
+  bool bursting;
+  double corruption;
+};
+
+std::string soak_name(const ::testing::TestParamInfo<SoakParam>& info) {
+  const auto& p = info.param;
+  std::string name = std::string(p.scenario) + "z" + std::to_string(p.z) +
+                     "mt" + std::to_string(p.m_time) + "ms" +
+                     std::to_string(p.m_static);
+  name += p.epoch_mode == EpochMode::kPerpetual ? "Perp" : "Fall";
+  switch (p.arrivals) {
+    case ArrivalKind::kSaturatingAdversary: name += "Sat"; break;
+    case ArrivalKind::kPeriodicJitter: name += "Per"; break;
+    case ArrivalKind::kSporadic: name += "Spo"; break;
+    case ArrivalKind::kBoundedPoisson: name += "Poi"; break;
+  }
+  if (p.bursting) {
+    name += "Burst";
+  }
+  if (p.corruption > 0) {
+    name += "Noise";
+  }
+  return name;
+}
+
+class Soak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(Soak, InvariantsHoldOverALongRun) {
+  const auto& p = GetParam();
+  const traffic::Workload wl = traffic::workload_by_name(p.scenario, p.z);
+
+  DdcrRunOptions options;
+  options.phy = net::PhyConfig::gigabit_ethernet();
+  options.phy.burst_budget_bits = p.bursting ? 512 * 8 : 0;
+  options.phy.corruption_prob = p.corruption;
+  options.ddcr.m_time = p.m_time;
+  // F must be a power of m_time; pick ~64 leaves.
+  options.ddcr.F = p.m_time == 2 ? 64 : (p.m_time == 4 ? 64 : 64);
+  options.ddcr.m_static = p.m_static;
+  options.ddcr.q = p.m_static == 2 ? 64 : 64;
+  options.ddcr.class_width_c =
+      DdcrConfig::class_width_for(wl.max_deadline(), options.ddcr.F);
+  options.ddcr.alpha = options.ddcr.class_width_c * 2;
+  options.ddcr.epoch_mode = p.epoch_mode;
+  options.ddcr.theta_factor = 1.0;
+  options.arrivals = p.arrivals;
+  options.seed = 20260705;
+  options.arrival_horizon = SimTime::from_ns(60'000'000);
+  options.drain_cap = SimTime::from_ns(400'000'000);
+  options.check_consistency = true;
+
+  const DdcrRunResult result = run_ddcr(wl, options);
+  EXPECT_TRUE(result.consistency_ok) << "replicas diverged";
+  EXPECT_EQ(result.metrics.delivered + result.undelivered, result.generated);
+  EXPECT_GT(result.generated, 0);
+  EXPECT_LE(result.utilization, 1.0 + 1e-9);
+  // These workloads are light enough that everything must drain.
+  EXPECT_EQ(result.undelivered, 0);
+  if (p.corruption == 0.0) {
+    EXPECT_EQ(result.metrics.misses, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Soak,
+    ::testing::Values(
+        SoakParam{"quickstart", 8, 4, 4, EpochMode::kCsmaCdFallback,
+                  ArrivalKind::kSaturatingAdversary, false, 0.0},
+        SoakParam{"quickstart", 8, 2, 4, EpochMode::kCsmaCdFallback,
+                  ArrivalKind::kBoundedPoisson, false, 0.0},
+        SoakParam{"quickstart", 5, 4, 2, EpochMode::kCsmaCdFallback,
+                  ArrivalKind::kSporadic, false, 0.0},
+        SoakParam{"videoconference", 6, 4, 4, EpochMode::kPerpetual,
+                  ArrivalKind::kSaturatingAdversary, false, 0.0},
+        SoakParam{"videoconference", 6, 4, 4, EpochMode::kCsmaCdFallback,
+                  ArrivalKind::kPeriodicJitter, true, 0.0},
+        SoakParam{"atc", 5, 2, 2, EpochMode::kCsmaCdFallback,
+                  ArrivalKind::kSaturatingAdversary, false, 0.05},
+        SoakParam{"stocks", 6, 4, 4, EpochMode::kCsmaCdFallback,
+                  ArrivalKind::kSaturatingAdversary, false, 0.0},
+        SoakParam{"stocks", 6, 4, 4, EpochMode::kPerpetual,
+                  ArrivalKind::kBoundedPoisson, true, 0.02},
+        SoakParam{"factory", 8, 2, 2, EpochMode::kCsmaCdFallback,
+                  ArrivalKind::kSaturatingAdversary, false, 0.0},
+        SoakParam{"factory", 8, 4, 4, EpochMode::kCsmaCdFallback,
+                  ArrivalKind::kBoundedPoisson, false, 0.1},
+        SoakParam{"avionics", 6, 4, 4, EpochMode::kCsmaCdFallback,
+                  ArrivalKind::kSaturatingAdversary, false, 0.0},
+        SoakParam{"avionics", 10, 2, 4, EpochMode::kPerpetual,
+                  ArrivalKind::kSporadic, false, 0.0}),
+    soak_name);
+
+TEST(SoakSeeds, ConsistencyAcrossManySeeds) {
+  // Same scenario, 12 seeds: replica consistency is seed-independent.
+  const traffic::Workload wl = traffic::stock_exchange(6);
+  DdcrRunOptions options;
+  options.ddcr.class_width_c =
+      DdcrConfig::class_width_for(wl.max_deadline(), options.ddcr.F);
+  options.ddcr.alpha = options.ddcr.class_width_c * 2;
+  options.arrivals = ArrivalKind::kBoundedPoisson;
+  options.arrival_horizon = SimTime::from_ns(15'000'000);
+  options.drain_cap = SimTime::from_ns(100'000'000);
+  options.check_consistency = true;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    options.seed = seed;
+    const auto result = run_ddcr(wl, options);
+    EXPECT_TRUE(result.consistency_ok) << "seed " << seed;
+    EXPECT_EQ(result.undelivered, 0) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace hrtdm::core

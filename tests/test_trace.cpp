@@ -1,0 +1,107 @@
+#include "net/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ddcr_network.hpp"
+#include "traffic/message.hpp"
+
+namespace hrtdm::net {
+namespace {
+
+using util::SimTime;
+
+SlotRecord make_record(SlotKind kind, std::int64_t start_ns,
+                       std::int64_t end_ns) {
+  SlotRecord record;
+  record.kind = kind;
+  record.start = SimTime::from_ns(start_ns);
+  record.end = SimTime::from_ns(end_ns);
+  if (kind == SlotKind::kSuccess) {
+    Frame frame;
+    frame.source = 3;
+    frame.msg_uid = 42;
+    frame.class_id = 1;
+    frame.l_bits = 1000;
+    record.frame = frame;
+  }
+  return record;
+}
+
+TEST(TraceRecorder, SymbolsPerKind) {
+  EXPECT_EQ(trace_symbol(make_record(SlotKind::kSilence, 0, 100)), '.');
+  EXPECT_EQ(trace_symbol(make_record(SlotKind::kCollision, 0, 100)), 'X');
+  EXPECT_EQ(trace_symbol(make_record(SlotKind::kSuccess, 0, 100)), '#');
+  auto burst = make_record(SlotKind::kSuccess, 0, 100);
+  burst.in_burst = true;
+  EXPECT_EQ(trace_symbol(burst), 'b');
+  auto arb = make_record(SlotKind::kSuccess, 0, 100);
+  arb.arbitration = true;
+  EXPECT_EQ(trace_symbol(arb), 'a');
+}
+
+TEST(TraceRecorder, CountsAndTimeline) {
+  TraceRecorder trace;
+  trace.on_slot(make_record(SlotKind::kSilence, 0, 100));
+  trace.on_slot(make_record(SlotKind::kCollision, 100, 200));
+  trace.on_slot(make_record(SlotKind::kSuccess, 200, 1200));
+  const auto counts = trace.counts();
+  EXPECT_EQ(counts.silence, 1);
+  EXPECT_EQ(counts.collision, 1);
+  EXPECT_EQ(counts.success, 1);
+  const std::string timeline = trace.ascii_timeline(80);
+  EXPECT_NE(timeline.find(".X#"), std::string::npos);
+}
+
+TEST(TraceRecorder, TimelineWrapsRows) {
+  TraceRecorder trace;
+  for (int i = 0; i < 25; ++i) {
+    trace.on_slot(make_record(SlotKind::kSilence, i * 100, (i + 1) * 100));
+  }
+  const std::string timeline = trace.ascii_timeline(10);
+  EXPECT_EQ(std::count(timeline.begin(), timeline.end(), '\n'), 3);
+}
+
+TEST(TraceRecorder, CapacityEvictsOldest) {
+  TraceRecorder trace(2);
+  trace.on_slot(make_record(SlotKind::kSilence, 0, 100));
+  trace.on_slot(make_record(SlotKind::kCollision, 100, 200));
+  trace.on_slot(make_record(SlotKind::kSuccess, 200, 300));
+  ASSERT_EQ(trace.slots().size(), 2u);
+  EXPECT_EQ(trace.dropped(), 1u);
+  EXPECT_EQ(trace.slots().front().kind, SlotKind::kCollision);
+  EXPECT_NE(trace.ascii_timeline().find("1 earlier slots dropped"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, CsvHeaderAndRows) {
+  TraceRecorder trace;
+  trace.on_slot(make_record(SlotKind::kSuccess, 200, 1200));
+  trace.on_slot(make_record(SlotKind::kSilence, 1200, 1300));
+  const std::string csv = trace.csv();
+  EXPECT_NE(csv.find("start_ns,end_ns,kind"), std::string::npos);
+  EXPECT_NE(csv.find("200,1200,success,3,42,1,1000,0,0"), std::string::npos);
+  EXPECT_NE(csv.find("1200,1300,silence,,,,,0,0"), std::string::npos);
+}
+
+TEST(TraceRecorder, AttachesToLiveChannel) {
+  core::DdcrRunOptions options;
+  options.phy.slot_x = util::Duration::nanoseconds(100);
+  options.ddcr.class_width_c = util::Duration::microseconds(10);
+  core::DdcrTestbed bed(2, options);
+  TraceRecorder trace;
+  bed.channel().add_observer(trace);
+  traffic::Message msg;
+  msg.uid = 1;
+  msg.class_id = 0;
+  msg.source = 0;
+  msg.l_bits = 100;
+  msg.arrival = SimTime::zero();
+  msg.absolute_deadline = SimTime::from_ns(50'000);
+  bed.inject(0, msg);
+  bed.run(SimTime::from_ns(5'000));
+  EXPECT_EQ(trace.counts().success, 1);
+  EXPECT_GT(trace.counts().silence, 0);
+}
+
+}  // namespace
+}  // namespace hrtdm::net

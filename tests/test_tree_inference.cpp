@@ -1,0 +1,162 @@
+// The last-child inference (classic CRA optimisation, excluded from the
+// paper's Eq. 1): correctness, exact slot savings, and replica consistency
+// when enabled protocol-wide.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/xi.hpp"
+#include "core/ddcr_network.hpp"
+#include "core/tree_search.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::core {
+namespace {
+
+/// Drives an engine against a concrete set of distinct active leaves.
+struct DriveResult {
+  std::vector<std::int64_t> order;
+  std::int64_t slots = 0;
+  std::int64_t skips = 0;
+};
+
+DriveResult drive(TreeSearchEngine& engine, std::vector<std::int64_t> active) {
+  DriveResult result;
+  engine.begin();
+  while (engine.active()) {
+    const auto interval = engine.current();
+    std::vector<std::int64_t> inside;
+    for (const std::int64_t leaf : active) {
+      if (interval.contains(leaf)) {
+        inside.push_back(leaf);
+      }
+    }
+    if (inside.empty()) {
+      engine.feedback(TreeSearchEngine::Feedback::kSilence);
+    } else if (inside.size() == 1) {
+      result.order.push_back(inside.front());
+      std::erase(active, inside.front());
+      engine.feedback(TreeSearchEngine::Feedback::kSuccess);
+    } else {
+      engine.feedback(TreeSearchEngine::Feedback::kCollision);
+    }
+  }
+  result.slots = engine.search_slots();
+  result.skips = engine.inferred_skips();
+  return result;
+}
+
+TEST(LastChildInference, PreservesResolutionOrderAndSavesExactlyTheSkips) {
+  util::Rng rng(515);
+  for (const auto& [m, t] : {std::pair<int, std::int64_t>{2, 64},
+                             {4, 64},
+                             {2, 256},
+                             {3, 81}}) {
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::int64_t k = rng.uniform_i64(2, std::min<std::int64_t>(t, 16));
+      const auto perm = rng.permutation(t);
+      std::vector<std::int64_t> leaves(perm.begin(), perm.begin() + k);
+      std::sort(leaves.begin(), leaves.end());
+
+      TreeSearchEngine plain(m, t, false);
+      TreeSearchEngine inferring(m, t, true);
+      const auto base = drive(plain, leaves);
+      const auto opt = drive(inferring, leaves);
+
+      EXPECT_EQ(base.order, opt.order) << "m=" << m << " t=" << t;
+      EXPECT_EQ(base.skips, 0);
+      // Every inference skips a probe that would have been a collision
+      // slot, and changes nothing else.
+      EXPECT_EQ(opt.slots, base.slots - opt.skips)
+          << "m=" << m << " t=" << t << " k=" << k;
+      EXPECT_LE(opt.slots, base.slots);
+    }
+  }
+}
+
+TEST(LastChildInference, SkipsFireOnRightmostPackedPlacements) {
+  // All actives in the rightmost subtree: every level's first m-1 children
+  // are silent, so the inference fires once per level above the actives.
+  TreeSearchEngine engine(2, 16, true);
+  const auto result = drive(engine, {14, 15});
+  EXPECT_EQ(result.order, (std::vector<std::int64_t>{14, 15}));
+  EXPECT_GE(result.skips, 2);
+  TreeSearchEngine plain(2, 16, false);
+  const auto base = drive(plain, {14, 15});
+  EXPECT_EQ(base.slots - result.skips, result.slots);
+}
+
+TEST(LastChildInference, LeafLastChildIsStillProbed) {
+  // A single-leaf last child is never skipped: the collision slot is the
+  // tie-break trigger (the static search's root probe) and must happen on
+  // the channel.
+  TreeSearchEngine engine(2, 4, true);
+  engine.begin();
+  ASSERT_EQ(engine.current().lo, 0);
+  ASSERT_EQ(engine.current().size, 2);
+  engine.feedback(TreeSearchEngine::Feedback::kCollision);  // [0,2) splits
+  ASSERT_EQ(engine.current().size, 1);
+  engine.feedback(TreeSearchEngine::Feedback::kSilence);  // [0,1) empty
+  // [1,2) is the last pending sibling with no activity — but it is a leaf,
+  // so it must still be exposed as a genuine probe.
+  ASSERT_TRUE(engine.active());
+  EXPECT_EQ(engine.current().lo, 1);
+  EXPECT_EQ(engine.current().size, 1);
+  const auto result = engine.feedback(TreeSearchEngine::Feedback::kCollision);
+  EXPECT_EQ(result, TreeSearchEngine::StepResult::kLeafCollision);
+}
+
+TEST(LastChildInference, WorstCaseBeatsXiOnAdversarialPlacements) {
+  // On the xi-achieving placements the inference strictly helps for
+  // shapes where the adversary packs leaves into last children.
+  analysis::XiExactTable table(2, 6);
+  bool strictly_better_somewhere = false;
+  for (std::int64_t k = 2; k <= 16; ++k) {
+    const auto leaves = analysis::worst_case_leaves(table, k);
+    TreeSearchEngine inferring(2, 64, true);
+    std::vector<std::int64_t> copy(leaves.begin(), leaves.end());
+    const auto result = drive(inferring, copy);
+    EXPECT_LE(result.slots + 1, table.xi(k)) << "k=" << k;
+    strictly_better_somewhere =
+        strictly_better_somewhere || result.slots + 1 < table.xi(k);
+  }
+  EXPECT_TRUE(strictly_better_somewhere);
+}
+
+TEST(LastChildInference, NetworkStaysConsistentWithInferenceOn) {
+  const auto wl = traffic::stock_exchange(8);
+  DdcrRunOptions options;
+  options.ddcr.infer_last_child = true;
+  options.ddcr.class_width_c =
+      DdcrConfig::class_width_for(wl.max_deadline(), options.ddcr.F);
+  options.ddcr.alpha = options.ddcr.class_width_c * 2;
+  options.arrival_horizon = SimTime::from_ns(30'000'000);
+  options.drain_cap = SimTime::from_ns(200'000'000);
+  options.check_consistency = true;
+  const auto result = run_ddcr(wl, options);
+  EXPECT_TRUE(result.consistency_ok);
+  EXPECT_EQ(result.undelivered, 0);
+  EXPECT_EQ(result.metrics.misses, 0);
+}
+
+TEST(LastChildInference, ReducesCollisionSlotsOnTheSameWorkload) {
+  const auto wl = traffic::stock_exchange(10);
+  DdcrRunOptions options;
+  options.ddcr.class_width_c =
+      DdcrConfig::class_width_for(wl.max_deadline(), options.ddcr.F);
+  options.ddcr.alpha = options.ddcr.class_width_c * 2;
+  options.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
+  options.arrival_horizon = SimTime::from_ns(30'000'000);
+  options.drain_cap = SimTime::from_ns(200'000'000);
+
+  options.ddcr.infer_last_child = false;
+  const auto plain = run_ddcr(wl, options);
+  options.ddcr.infer_last_child = true;
+  const auto inferred = run_ddcr(wl, options);
+  EXPECT_EQ(plain.metrics.delivered, inferred.metrics.delivered);
+  EXPECT_LE(inferred.channel.collision_slots, plain.channel.collision_slots);
+}
+
+}  // namespace
+}  // namespace hrtdm::core

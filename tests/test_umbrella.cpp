@@ -1,0 +1,34 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "hrtdm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, ExposesTheFullApi) {
+  // One symbol from each layer proves the includes resolve.
+  EXPECT_EQ(hrtdm::util::ipow(2, 6), 64);
+  EXPECT_EQ(hrtdm::analysis::xi_closed(4, 64, 2), 11);
+  const auto wl = hrtdm::traffic::quickstart(2);
+  EXPECT_EQ(wl.z(), 2);
+  hrtdm::sim::Simulator sim;
+  EXPECT_EQ(sim.now(), hrtdm::sim::SimTime::zero());
+  hrtdm::core::EdfQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(hrtdm::baseline::protocol_name(hrtdm::baseline::Protocol::kDdcr),
+            "CSMA/DDCR");
+}
+
+TEST(Umbrella, LogLevelGateWorks) {
+  using hrtdm::util::LogLevel;
+  const LogLevel original = hrtdm::util::log_level();
+  hrtdm::util::set_log_level(LogLevel::kError);
+  EXPECT_EQ(hrtdm::util::log_level(), LogLevel::kError);
+  // Below-threshold messages are discarded without formatting cost; this
+  // just exercises the macro path.
+  HRTDM_LOG(kDebug) << "discarded " << 42;
+  HRTDM_LOG(kError) << "";  // emitted (empty) — no crash
+  hrtdm::util::set_log_level(original);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hrtdm::util {
+namespace {
+
+TEST(Ipow, SmallValues) {
+  EXPECT_EQ(ipow(2, 0), 1);
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(3, 4), 81);
+  EXPECT_EQ(ipow(10, 6), 1'000'000);
+  EXPECT_EQ(ipow(1, 50), 1);
+}
+
+TEST(Ipow, RejectsNegativeExponent) {
+  EXPECT_THROW(ipow(2, -1), ContractViolation);
+}
+
+TEST(Ipow, DetectsOverflow) {
+  EXPECT_THROW(ipow(2, 64), ContractViolation);
+  EXPECT_THROW(ipow(10, 19), ContractViolation);
+}
+
+TEST(IsPowerOf, Basics) {
+  EXPECT_TRUE(is_power_of(2, 1));
+  EXPECT_TRUE(is_power_of(2, 64));
+  EXPECT_FALSE(is_power_of(2, 63));
+  EXPECT_TRUE(is_power_of(3, 27));
+  EXPECT_FALSE(is_power_of(3, 32));
+  EXPECT_FALSE(is_power_of(4, 0));
+  EXPECT_FALSE(is_power_of(4, -4));
+  EXPECT_TRUE(is_power_of(4, 4096));
+}
+
+TEST(IlogFloor, MatchesFloatingPointOnSafeRange) {
+  for (int m = 2; m <= 7; ++m) {
+    for (std::int64_t x = 1; x <= 100'000; x += 7) {
+      const auto expected = static_cast<std::int64_t>(
+          std::floor(std::log(static_cast<double>(x)) /
+                         std::log(static_cast<double>(m)) +
+                     1e-12));
+      EXPECT_EQ(ilog_floor(m, x), expected) << "m=" << m << " x=" << x;
+    }
+  }
+}
+
+TEST(IlogFloor, ExactAtPowers) {
+  for (int m = 2; m <= 9; ++m) {
+    for (int e = 0; e <= 12 && ipow(m, e) < (1LL << 40); ++e) {
+      const std::int64_t p = ipow(m, e);
+      EXPECT_EQ(ilog_floor(m, p), e);
+      if (p > 1) {
+        EXPECT_EQ(ilog_floor(m, p - 1), e - 1);
+      }
+      EXPECT_EQ(ilog_floor(m, p + 1), e + (p + 1 >= ipow(m, e + 1) ? 1 : 0));
+    }
+  }
+}
+
+TEST(IlogCeil, ExactAtPowersAndNeighbours) {
+  for (int m = 2; m <= 9; ++m) {
+    for (int e = 1; e <= 10 && ipow(m, e) < (1LL << 40); ++e) {
+      const std::int64_t p = ipow(m, e);
+      EXPECT_EQ(ilog_ceil(m, p), e);
+      if (p - 1 > 1) {  // ceil(log_m 1) = 0 regardless of e
+        EXPECT_EQ(ilog_ceil(m, p - 1), e);
+      }
+      EXPECT_EQ(ilog_ceil(m, p + 1), e + 1);
+    }
+  }
+  EXPECT_EQ(ilog_ceil(2, 1), 0);
+}
+
+TEST(IlogFloorRational, PositiveExponent) {
+  // floor(log_2(8/1)) = 3, floor(log_2(9/2)) = 2, floor(log_4(64/20)) = 0.
+  EXPECT_EQ(ilog_floor_rational(2, 8, 1), 3);
+  EXPECT_EQ(ilog_floor_rational(2, 9, 2), 2);
+  EXPECT_EQ(ilog_floor_rational(4, 64, 20), 0);
+  EXPECT_EQ(ilog_floor_rational(4, 64, 16), 1);
+}
+
+TEST(IlogFloorRational, NegativeExponent) {
+  // floor(log_4(16/20)) = -1 (since 1/4 <= 16/20 < 1).
+  EXPECT_EQ(ilog_floor_rational(4, 16, 20), -1);
+  EXPECT_EQ(ilog_floor_rational(2, 1, 2), -1);
+  EXPECT_EQ(ilog_floor_rational(2, 1, 3), -2);
+  EXPECT_EQ(ilog_floor_rational(3, 1, 100), -5);
+}
+
+TEST(IlogFloorRational, AgreesWithFloatingPoint) {
+  for (int m = 2; m <= 5; ++m) {
+    for (std::int64_t num = 1; num <= 300; num += 3) {
+      for (std::int64_t den = 1; den <= 300; den += 7) {
+        const double ratio =
+            static_cast<double>(num) / static_cast<double>(den);
+        const double logv =
+            std::log(ratio) / std::log(static_cast<double>(m));
+        // Only check when comfortably away from an integer boundary.
+        if (std::abs(logv - std::round(logv)) > 1e-9) {
+          EXPECT_EQ(ilog_floor_rational(m, num, den),
+                    static_cast<std::int64_t>(std::floor(logv)))
+              << "m=" << m << " " << num << "/" << den;
+        }
+      }
+    }
+  }
+}
+
+TEST(CeilFloorDiv, NegativeNumerators) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+  EXPECT_EQ(ceil_div(-6, 3), -2);
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+  EXPECT_EQ(floor_div(0, 5), 0);
+}
+
+TEST(CeilFloorDiv, Identity) {
+  for (std::int64_t a = -50; a <= 50; ++a) {
+    for (std::int64_t b = 1; b <= 7; ++b) {
+      EXPECT_EQ(ceil_div(a, b), -floor_div(-a, b));
+      EXPECT_LE(floor_div(a, b) * b, a);
+      EXPECT_GE(ceil_div(a, b) * b, a);
+    }
+  }
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1);
+  EXPECT_EQ(binomial(5, 2), 10);
+  EXPECT_EQ(binomial(64, 1), 64);
+  EXPECT_EQ(binomial(64, 63), 64);
+  EXPECT_EQ(binomial(10, 11), 0);
+  EXPECT_EQ(binomial(10, -1), 0);
+  EXPECT_EQ(binomial(52, 5), 2'598'960);
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (std::int64_t n = 1; n <= 30; ++n) {
+    for (std::int64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hrtdm::util

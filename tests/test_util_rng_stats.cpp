@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace hrtdm::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  Rng c(43);
+  Rng d(42);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    differing += c.next_u64() != d.next_u64();
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.uniform_i64(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 13u);  // all values hit
+  EXPECT_EQ(rng.uniform_i64(5, 5), 5);
+  EXPECT_THROW(rng.uniform_i64(3, 2), ContractViolation);
+}
+
+TEST(Rng, Uniform01MomentsReasonable) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    stats.add(u);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.003);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 100'000; ++i) {
+    stats.add(rng.exponential(4.0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(17);
+  const auto perm = rng.permutation(50);
+  std::set<std::int64_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(Rng, SplitDecorrelates) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += parent.next_u64() == child.next_u64();
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  OnlineStats stats;
+  const double values[] = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0.0;
+  for (const double v : values) {
+    stats.add(v);
+    sum += v;
+  }
+  EXPECT_EQ(stats.count(), 5);
+  EXPECT_NEAR(stats.mean(), sum / 5.0, 1e-12);
+  EXPECT_NEAR(stats.min(), 1.0, 1e-12);
+  EXPECT_NEAR(stats.max(), 16.0, 1e-12);
+  // Sample variance of {1,2,4,8,16}: mean 6.2, sum of squared deviations
+  // 148.8, divided by n-1 = 4 gives 37.2.
+  EXPECT_NEAR(stats.variance(), 37.2, 1e-9);
+}
+
+TEST(OnlineStats, MergeEqualsBulk) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01() * 10.0;
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_NEAR(left.min(), all.min(), 1e-12);
+  EXPECT_NEAR(left.max(), all.max(), 1e-12);
+}
+
+TEST(Samples, PercentilesNearestRank) {
+  Samples samples;
+  for (int i = 1; i <= 100; ++i) {
+    samples.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(samples.percentile(0.0), 1.0);
+  EXPECT_EQ(samples.percentile(50.0), 50.0);
+  EXPECT_EQ(samples.percentile(99.0), 99.0);
+  EXPECT_EQ(samples.percentile(100.0), 100.0);
+  EXPECT_EQ(samples.min(), 1.0);
+  EXPECT_EQ(samples.max(), 100.0);
+  Samples empty;
+  EXPECT_THROW(empty.percentile(50.0), ContractViolation);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.add(0.5);
+  hist.add(9.5);
+  hist.add(-100.0);  // clamps into the first bin
+  hist.add(100.0);   // clamps into the last bin
+  EXPECT_EQ(hist.total(), 4);
+  EXPECT_EQ(hist.bin_count(0), 2);
+  EXPECT_EQ(hist.bin_count(9), 2);
+  EXPECT_EQ(hist.bin_lo(0), 0.0);
+  EXPECT_EQ(hist.bin_hi(9), 10.0);
+  EXPECT_FALSE(hist.ascii().empty());
+}
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable table({"k", "xi", "note"});
+  table.add_row({TextTable::cell(std::int64_t{2}), TextTable::cell(11.0, 1),
+                 "anchor"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("k"), std::string::npos);
+  EXPECT_NE(out.find("11.0"), std::string::npos);
+  EXPECT_NE(out.find("anchor"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_THROW(table.add_row({"too", "few"}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace hrtdm::util

@@ -1,0 +1,70 @@
+#include "util/simtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hrtdm::util {
+namespace {
+
+TEST(Duration, Constructors) {
+  EXPECT_EQ(Duration::nanoseconds(5).ns(), 5);
+  EXPECT_EQ(Duration::microseconds(3).ns(), 3'000);
+  EXPECT_EQ(Duration::milliseconds(2).ns(), 2'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::from_seconds(4.096e-6).ns(), 4096);
+  EXPECT_EQ(Duration::from_seconds(-1e-9).ns(), -1);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::microseconds(10);
+  const Duration b = Duration::microseconds(4);
+  EXPECT_EQ((a + b).ns(), 14'000);
+  EXPECT_EQ((a - b).ns(), 6'000);
+  EXPECT_EQ((b - a).ns(), -6'000);
+  EXPECT_TRUE((b - a).is_negative());
+  EXPECT_EQ((a * 3).ns(), 30'000);
+  EXPECT_EQ((a / 4).ns(), 2'500);
+  EXPECT_EQ((-a).ns(), -10'000);
+}
+
+TEST(Duration, FloorAndCeilDiv) {
+  const Duration c = Duration::nanoseconds(100);
+  EXPECT_EQ(Duration::nanoseconds(250).floor_div(c), 2);
+  EXPECT_EQ(Duration::nanoseconds(250).ceil_div(c), 3);
+  EXPECT_EQ(Duration::nanoseconds(200).floor_div(c), 2);
+  EXPECT_EQ(Duration::nanoseconds(200).ceil_div(c), 2);
+  // Negative numerators floor toward -infinity (needed by the raw
+  // time-index computation for late messages).
+  EXPECT_EQ(Duration::nanoseconds(-50).floor_div(c), -1);
+  EXPECT_EQ(Duration::nanoseconds(-100).floor_div(c), -1);
+  EXPECT_EQ(Duration::nanoseconds(-101).floor_div(c), -2);
+  EXPECT_EQ(Duration::nanoseconds(-50).ceil_div(c), 0);
+  EXPECT_THROW(Duration::nanoseconds(1).floor_div(Duration::nanoseconds(0)),
+               ContractViolation);
+}
+
+TEST(SimTime, ArithmeticAndOrdering) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + Duration::microseconds(5);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((t1 - t0).ns(), 5'000);
+  EXPECT_EQ((t1 - Duration::microseconds(5)), t0);
+  EXPECT_LT(t1, SimTime::infinity());
+  EXPECT_EQ(SimTime::from_ns(42).ns(), 42);
+}
+
+TEST(SimTime, Rendering) {
+  EXPECT_EQ(SimTime::zero().str(), "t=0ns");
+  EXPECT_EQ(SimTime::infinity().str(), "t=inf");
+  EXPECT_EQ(Duration::nanoseconds(4096).str(), "4.096us");
+  EXPECT_EQ(Duration::milliseconds(2).str(), "2ms");
+  std::ostringstream oss;
+  oss << Duration::seconds(1);
+  EXPECT_EQ(oss.str(), "1s");
+}
+
+}  // namespace
+}  // namespace hrtdm::util

@@ -1,0 +1,279 @@
+// Cross-validation of every characterisation of the worst-case tree-search
+// cost xi(k, t) given in section 4.1 of the paper.
+#include "analysis/xi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hrtdm::analysis {
+namespace {
+
+using util::ipow;
+
+TEST(XiExactTable, TinyTreesByHand) {
+  // Binary, t = 2 (Eq. 4): xi = [1, 0, 1].
+  XiExactTable t2(2, 1);
+  EXPECT_EQ(t2.xi(0), 1);
+  EXPECT_EQ(t2.xi(1), 0);
+  EXPECT_EQ(t2.xi(2), 1);
+
+  // Binary, t = 4: worked out by hand in DESIGN review: [1, 0, 3, 2, 3].
+  XiExactTable t4(2, 2);
+  EXPECT_EQ(t4.xi(0), 1);
+  EXPECT_EQ(t4.xi(1), 0);
+  EXPECT_EQ(t4.xi(2), 3);
+  EXPECT_EQ(t4.xi(3), 2);
+  EXPECT_EQ(t4.xi(4), 3);
+
+  // Quaternary, t = 4 (Eq. 4): xi(2p) = 1 + 4 - 2p.
+  XiExactTable q4(4, 1);
+  EXPECT_EQ(q4.xi(0), 1);
+  EXPECT_EQ(q4.xi(1), 0);
+  EXPECT_EQ(q4.xi(2), 3);
+  EXPECT_EQ(q4.xi(3), 2);
+  EXPECT_EQ(q4.xi(4), 1);
+}
+
+TEST(XiExactTable, MatchesExhaustiveSubsetOracle) {
+  // Fully independent ground truth: enumerate all binomial(t, k) leaf
+  // placements and take the max DFS cost.
+  for (const auto& [m, n] : {std::pair{2, 3}, {2, 4}, {3, 2}, {4, 2}}) {
+    XiExactTable table(m, n);
+    for (std::int64_t k = 0; k <= table.t(); ++k) {
+      EXPECT_EQ(table.xi(k), xi_exhaustive_subsets(m, table.t(), k))
+          << "m=" << m << " t=" << table.t() << " k=" << k;
+    }
+  }
+}
+
+struct ShapeParam {
+  int m;
+  int n;
+};
+
+class XiCrossValidation : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(XiCrossValidation, DncMatchesExactForAllK) {
+  const auto [m, n] = GetParam();
+  XiExactTable table(m, n);
+  for (std::int64_t k = 0; k <= table.t(); ++k) {
+    EXPECT_EQ(xi_dnc(m, table.t(), k), table.xi(k))
+        << "m=" << m << " t=" << table.t() << " k=" << k;
+  }
+}
+
+TEST_P(XiCrossValidation, ClosedFormMatchesExactForAllK) {
+  const auto [m, n] = GetParam();
+  XiExactTable table(m, n);
+  for (std::int64_t k = 0; k <= table.t(); ++k) {
+    EXPECT_EQ(xi_closed(m, table.t(), k), table.xi(k))
+        << "m=" << m << " t=" << table.t() << " k=" << k;
+  }
+}
+
+TEST_P(XiCrossValidation, OddEqualsEvenMinusOne) {
+  // Eq. 3.
+  const auto [m, n] = GetParam();
+  XiExactTable table(m, n);
+  for (std::int64_t p = 0; 2 * p + 1 <= table.t(); ++p) {
+    EXPECT_EQ(table.xi(2 * p + 1), table.xi(2 * p) - 1);
+  }
+}
+
+TEST_P(XiCrossValidation, SpecialValues) {
+  // Eq. 5, 6, 7.
+  const auto [m, n] = GetParam();
+  XiExactTable table(m, n);
+  const std::int64_t t = table.t();
+  EXPECT_EQ(table.xi(2), xi_two(m, t));
+  EXPECT_EQ(table.xi(2 * t / m), xi_two_t_over_m(m, t));
+  EXPECT_EQ(table.xi(t), xi_full(m, t));
+}
+
+TEST_P(XiCrossValidation, EvenDerivative) {
+  // Eq. 8 on its stated domain p in [1, t/2 - 1] (requires n >= 2).
+  const auto [m, n] = GetParam();
+  if (n < 2) {
+    GTEST_SKIP() << "Eq. 8 requires t = m^n with n >= 2";
+  }
+  XiExactTable table(m, n);
+  const std::int64_t t = table.t();
+  for (std::int64_t p = 1; p <= t / 2 - 1; ++p) {
+    EXPECT_EQ(table.xi(2 * p + 2) - table.xi(2 * p),
+              xi_even_derivative(m, t, p))
+        << "m=" << m << " t=" << t << " p=" << p;
+  }
+}
+
+TEST_P(XiCrossValidation, LinearTail) {
+  // Eq. 15 on [2t/m, t].
+  const auto [m, n] = GetParam();
+  XiExactTable table(m, n);
+  const std::int64_t t = table.t();
+  for (std::int64_t k = 2 * t / m; k <= t; ++k) {
+    EXPECT_EQ(table.xi(k), xi_linear_tail(m, t, k))
+        << "m=" << m << " t=" << t << " k=" << k;
+  }
+}
+
+TEST_P(XiCrossValidation, AsymptoteDominatesAndTouches) {
+  // Eq. 11: xi~ >= xi on [2, 2t/m], with equality at k = 2 m^i.
+  const auto [m, n] = GetParam();
+  XiExactTable table(m, n);
+  const std::int64_t t = table.t();
+  for (std::int64_t k = 2; k <= 2 * t / m; ++k) {
+    const double asym =
+        xi_asymptotic(m, static_cast<double>(t), static_cast<double>(k));
+    EXPECT_GE(asym, static_cast<double>(table.xi(k)) - 1e-9)
+        << "m=" << m << " t=" << t << " k=" << k;
+  }
+  for (std::int64_t k = 2; k <= 2 * t / m; k *= m) {
+    const double asym =
+        xi_asymptotic(m, static_cast<double>(t), static_cast<double>(k));
+    EXPECT_NEAR(asym, static_cast<double>(table.xi(k)), 1e-6)
+        << "touch point m=" << m << " t=" << t << " k=" << k;
+  }
+}
+
+TEST_P(XiCrossValidation, AsymptoteDominatesOnTailToo) {
+  // The FCs evaluate xi~ at u/v which may exceed 2t/m; confirm it still
+  // upper-bounds the exact (linear) tail there.
+  const auto [m, n] = GetParam();
+  XiExactTable table(m, n);
+  const std::int64_t t = table.t();
+  for (std::int64_t k = 2 * t / m; k <= t; ++k) {
+    const double asym =
+        xi_asymptotic(m, static_cast<double>(t), static_cast<double>(k));
+    EXPECT_GE(asym, static_cast<double>(table.xi(k)) - 1e-9)
+        << "m=" << m << " t=" << t << " k=" << k;
+  }
+}
+
+TEST_P(XiCrossValidation, GapWithinEq13Bound) {
+  // Eq. 13 holds verbatim over even k (the parity of the Eq. 9/11
+  // derivation); over all k the odd values exceed it by an additive term
+  // that converges to m/2 from above as t grows (reproduction finding —
+  // see GapReport). Eq. 12: the even-k argmax lies in [2t/m^2, 2t/m].
+  const auto [m, n] = GetParam();
+  XiExactTable table(m, n);
+  const auto report = max_asymptote_gap(table);
+  EXPECT_LE(report.max_gap_even, report.bound + 1e-9);
+  if (table.t() >= 128) {
+    EXPECT_LE(report.max_gap,
+              report.bound + static_cast<double>(m) / 2.0 + 0.1);
+  }
+  if (table.t() >= m * m && report.max_gap_even > 0.0) {
+    EXPECT_GE(report.argmax_k_even, 2 * table.t() / (m * m));
+    EXPECT_LE(report.argmax_k_even, 2 * table.t() / m);
+  }
+}
+
+TEST_P(XiCrossValidation, WorstCasePlacementAchievesXi) {
+  const auto [m, n] = GetParam();
+  XiExactTable table(m, n);
+  for (std::int64_t k = 0; k <= table.t();
+       k += std::max<std::int64_t>(1, table.t() / 16)) {
+    const auto leaves = worst_case_leaves(table, k);
+    ASSERT_EQ(static_cast<std::int64_t>(leaves.size()), k);
+    EXPECT_EQ(search_cost_for_leaves(m, table.t(), leaves), table.xi(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, XiCrossValidation,
+    ::testing::Values(ShapeParam{2, 1}, ShapeParam{2, 2}, ShapeParam{2, 3},
+                      ShapeParam{2, 6}, ShapeParam{2, 9}, ShapeParam{2, 10},
+                      ShapeParam{3, 1}, ShapeParam{3, 2}, ShapeParam{3, 4},
+                      ShapeParam{3, 6}, ShapeParam{4, 1}, ShapeParam{4, 2},
+                      ShapeParam{4, 3}, ShapeParam{4, 5}, ShapeParam{5, 2},
+                      ShapeParam{5, 3}, ShapeParam{6, 2}, ShapeParam{6, 3},
+                      ShapeParam{7, 2}, ShapeParam{8, 2}, ShapeParam{9, 2}),
+    [](const ::testing::TestParamInfo<ShapeParam>& info) {
+      return "m" + std::to_string(info.param.m) + "n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(XiPaperFigures, Fig2QuaternaryDominatesBinaryAt64Leaves) {
+  // The paper's Fig. 2 claim: xi(k, 64, m=4) <= xi(k, 64, m=2) on [2, 64].
+  XiExactTable binary(2, 6);
+  XiExactTable quaternary(4, 3);
+  bool strictly_somewhere = false;
+  for (std::int64_t k = 2; k <= 64; ++k) {
+    EXPECT_LE(quaternary.xi(k), binary.xi(k)) << "k=" << k;
+    strictly_somewhere = strictly_somewhere || quaternary.xi(k) < binary.xi(k);
+  }
+  EXPECT_TRUE(strictly_somewhere);
+}
+
+TEST(XiPaperFigures, Fig1EndpointsFor64LeafQuaternary) {
+  // Sanity anchors for Fig. 1: xi(2, 64) = 4*3 - 1 = 11 and
+  // xi(64, 64) = 63/3 = 21 for the quaternary 64-leaf tree.
+  XiExactTable table(4, 3);
+  EXPECT_EQ(table.xi(2), 11);
+  EXPECT_EQ(table.xi(64), 21);
+  // Eq. 6: xi(2t/m = 32, 64) = 21 + (64 - 32) = 53.
+  EXPECT_EQ(table.xi(32), 53);
+}
+
+TEST(XiTightness, UniversalConstantIsNinePointFivePercent) {
+  // Eq. 14: sup_m g(m) = g(9) ~ 0.09537 ("9.54% t").
+  EXPECT_NEAR(tightness_bound_universal(), 0.09537, 5e-5);
+  for (int m = 2; m <= 64; ++m) {
+    EXPECT_LE(tightness_bound_factor(m), tightness_bound_universal() + 1e-12)
+        << "m=" << m;
+  }
+  // And the explicit closed form of Eq. 14.
+  const double expected = std::sqrt(std::sqrt(3.0)) /
+                              (2.0 * std::exp(1.0) * std::log(3.0)) -
+                          1.0 / 8.0;
+  EXPECT_NEAR(tightness_bound_universal(), expected, 1e-12);
+}
+
+TEST(XiContracts, RejectsMalformedShapes) {
+  EXPECT_THROW(xi_closed(2, 48, 3), util::ContractViolation);   // t not m^n
+  EXPECT_THROW(xi_closed(1, 1, 0), util::ContractViolation);    // m < 2
+  EXPECT_THROW(xi_closed(2, 8, 9), util::ContractViolation);    // k > t
+  EXPECT_THROW(xi_closed(2, 8, -1), util::ContractViolation);   // k < 0
+  EXPECT_THROW(xi_dnc(3, 10, 2), util::ContractViolation);      // t not 3^n
+  EXPECT_THROW(xi_asymptotic(2, 8.0, 0.0), util::ContractViolation);
+  EXPECT_THROW(xi_linear_tail(2, 8, 2), util::ContractViolation);  // below 2t/m
+}
+
+TEST(XiSearchCost, SingleLeafPlacements) {
+  // k = 1 anywhere costs 0; empty tree costs 1.
+  const std::int64_t t = 64;
+  for (std::int64_t leaf = 0; leaf < t; leaf += 5) {
+    const std::int64_t leaves[] = {leaf};
+    EXPECT_EQ(search_cost_for_leaves(4, t, leaves), 0);
+  }
+  EXPECT_EQ(search_cost_for_leaves(4, t, {}), 1);
+}
+
+TEST(XiSearchCost, AdjacentVersusSpreadPair) {
+  // Two adjacent leaves in one deepest subtree need the full descent; two
+  // leaves in different root subtrees resolve after one root collision.
+  // m=2, t=8: adjacent {0,1} -> collision at root, [0,4), [0,2) then two
+  // successes, then silences for [2,4) and [4,8): cost 3+2 = 5 = xi(2,8).
+  const std::int64_t adjacent[] = {0, 1};
+  EXPECT_EQ(search_cost_for_leaves(2, 8, adjacent), 5);
+  const std::int64_t spread[] = {0, 4};
+  EXPECT_EQ(search_cost_for_leaves(2, 8, spread), 1);
+}
+
+TEST(XiSearchCost, RejectsUnsortedOrDuplicateLeaves) {
+  const std::int64_t unsorted[] = {3, 1};
+  EXPECT_THROW(search_cost_for_leaves(2, 8, unsorted),
+               util::ContractViolation);
+  const std::int64_t dup[] = {3, 3};
+  EXPECT_THROW(search_cost_for_leaves(2, 8, dup), util::ContractViolation);
+  const std::int64_t oob[] = {8};
+  EXPECT_THROW(search_cost_for_leaves(2, 8, oob), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace hrtdm::analysis

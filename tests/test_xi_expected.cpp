@@ -1,0 +1,132 @@
+// Exact average-case search cost: closed form vs exhaustive enumeration,
+// Monte Carlo, and the worst case.
+#include "analysis/xi_expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/xi.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace hrtdm::analysis {
+namespace {
+
+/// Exact average by enumerating all binomial(t, k) subsets (small t).
+double exhaustive_average(int m, std::int64_t t, std::int64_t k) {
+  if (k == 0) {
+    return 1.0;
+  }
+  std::vector<std::int64_t> subset(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) {
+    subset[static_cast<std::size_t>(i)] = i;
+  }
+  double total = 0.0;
+  std::int64_t count = 0;
+  while (true) {
+    total += static_cast<double>(search_cost_for_leaves(m, t, subset));
+    ++count;
+    std::int64_t i = k - 1;
+    while (i >= 0 && subset[static_cast<std::size_t>(i)] == t - k + i) {
+      --i;
+    }
+    if (i < 0) {
+      break;
+    }
+    ++subset[static_cast<std::size_t>(i)];
+    for (std::int64_t j = i + 1; j < k; ++j) {
+      subset[static_cast<std::size_t>(j)] =
+          subset[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  EXPECT_EQ(count, util::binomial(t, k));
+  return total / static_cast<double>(count);
+}
+
+TEST(HypergeometricPmf, SumsToOneAndMatchesCounting) {
+  for (const auto& [t, k, s] :
+       {std::tuple<std::int64_t, std::int64_t, std::int64_t>{16, 5, 4},
+        {16, 16, 8},
+        {64, 2, 16},
+        {9, 3, 3}}) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j <= k; ++j) {
+      const double p = hypergeometric_pmf(t, k, s, j);
+      EXPECT_GE(p, 0.0);
+      // Counting identity: p = C(s,j) C(t-s,k-j) / C(t,k).
+      if (j <= s && k - j <= t - s) {
+        const double expected =
+            static_cast<double>(util::binomial(s, j)) *
+            static_cast<double>(util::binomial(t - s, k - j)) /
+            static_cast<double>(util::binomial(t, k));
+        EXPECT_NEAR(p, expected, 1e-9) << "t=" << t << " k=" << k
+                                       << " s=" << s << " j=" << j;
+      }
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(XiExpected, MatchesExhaustiveEnumerationOnSmallTrees) {
+  for (const auto& [m, n] : {std::pair{2, 3}, {2, 4}, {3, 2}, {4, 2}}) {
+    const std::int64_t t = util::ipow(m, n);
+    for (std::int64_t k = 0; k <= t; ++k) {
+      EXPECT_NEAR(xi_expected(m, t, k), exhaustive_average(m, t, k), 1e-9)
+          << "m=" << m << " t=" << t << " k=" << k;
+    }
+  }
+}
+
+TEST(XiExpected, BoundaryValues) {
+  EXPECT_NEAR(xi_expected(4, 64, 0), 1.0, 1e-12);  // one silent root probe
+  EXPECT_NEAR(xi_expected(4, 64, 1), 0.0, 1e-12);  // free transmission
+  // k = t is deterministic: every placement is the full tree.
+  EXPECT_NEAR(xi_expected(4, 64, 64),
+              static_cast<double>(xi_full(4, 64)), 1e-9);
+  EXPECT_NEAR(xi_expected(2, 1024, 1024),
+              static_cast<double>(xi_full(2, 1024)), 1e-6);
+}
+
+TEST(XiExpected, NeverExceedsWorstCase) {
+  for (const auto& [m, n] : {std::pair{2, 6}, {4, 3}, {3, 4}}) {
+    XiExactTable table(m, n);
+    for (std::int64_t k = 0; k <= table.t(); ++k) {
+      EXPECT_LE(xi_expected(m, table.t(), k),
+                static_cast<double>(table.xi(k)) + 1e-9)
+          << "m=" << m << " t=" << table.t() << " k=" << k;
+    }
+  }
+}
+
+TEST(XiExpected, MonteCarloAgreesWithClosedForm) {
+  for (const auto& [m, t, k] :
+       {std::tuple<int, std::int64_t, std::int64_t>{2, 64, 8},
+        {4, 64, 16},
+        {2, 256, 40}}) {
+    const double exact = xi_expected(m, t, k);
+    const double estimate = xi_expected_monte_carlo(m, t, k, 4000, 777);
+    // 4000 trials: standard error well under 2% of the mean here.
+    EXPECT_NEAR(estimate, exact, exact * 0.05)
+        << "m=" << m << " t=" << t << " k=" << k;
+  }
+}
+
+TEST(XiExpected, SubstantiallyBelowWorstCaseMidRange) {
+  // The gap between average and worst case is what the FCs' adversary
+  // pays for determinism guarantees; it should be large in the mid-range.
+  XiExactTable table(4, 3);
+  const double avg = xi_expected(4, 64, 16);
+  EXPECT_LT(avg, 0.8 * static_cast<double>(table.xi(16)));
+}
+
+TEST(XiExpected, RejectsMalformedInput) {
+  EXPECT_THROW(xi_expected(2, 48, 3), util::ContractViolation);
+  EXPECT_THROW(xi_expected(2, 64, 65), util::ContractViolation);
+  EXPECT_THROW(xi_expected_monte_carlo(2, 64, 2, 0, 1),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace hrtdm::analysis

@@ -1,0 +1,86 @@
+// Structural properties of xi beyond the paper's stated equations —
+// monotonicity and concavity facts the closed forms imply, exercised over
+// wide (m, t) sweeps.
+#include <gtest/gtest.h>
+
+#include "analysis/xi.hpp"
+#include "util/math.hpp"
+
+namespace hrtdm::analysis {
+namespace {
+
+TEST(XiStructure, MonotoneInTreeSizeForFixedK) {
+  // A deeper tree can only lengthen the worst-case search for the same k.
+  for (const int m : {2, 3, 4}) {
+    for (int n = 1; n + 1 <= (m == 2 ? 10 : 6); ++n) {
+      const std::int64_t t = util::ipow(m, n);
+      const std::int64_t bigger = t * m;
+      for (std::int64_t k = 0; k <= t; ++k) {
+        EXPECT_LE(xi_closed(m, t, k), xi_closed(m, bigger, k))
+            << "m=" << m << " t=" << t << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(XiStructure, EvenDerivativeNonIncreasing) {
+  // Eq. 8's derivative m(log_m t - floor(log_m m p)) - 2 is non-increasing
+  // in p: the even-k staircase is concave up to 2t/m.
+  for (const auto& [m, n] : {std::pair{2, 8}, {3, 5}, {4, 4}}) {
+    const std::int64_t t = util::ipow(m, n);
+    std::int64_t previous = xi_even_derivative(m, t, 1);
+    for (std::int64_t p = 2; p <= t / 2 - 1; ++p) {
+      const std::int64_t current = xi_even_derivative(m, t, p);
+      EXPECT_LE(current, previous) << "m=" << m << " t=" << t << " p=" << p;
+      previous = current;
+    }
+  }
+}
+
+TEST(XiStructure, PeakAtTwoTOverM) {
+  // The worst-case staircase has its maximum exactly at k = 2t/m (the
+  // crossover between the growing region and the Eq. 15 line).
+  for (const auto& [m, n] : {std::pair{2, 6}, {2, 9}, {3, 4}, {4, 3},
+                             {4, 5}, {5, 3}}) {
+    XiExactTable table(m, n);
+    const std::int64_t peak_k = 2 * table.t() / m;
+    const std::int64_t peak = table.xi(peak_k);
+    for (std::int64_t k = 0; k <= table.t(); ++k) {
+      EXPECT_LE(table.xi(k), peak) << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(XiStructure, SubtreeConsistencyAcrossLevels) {
+  // xi_at_level(j, k) must equal an independently built table for m^j.
+  XiExactTable big(3, 5);
+  for (int level = 0; level <= 5; ++level) {
+    XiExactTable small(3, level);
+    for (std::int64_t k = 0; k <= small.t(); ++k) {
+      EXPECT_EQ(big.xi_at_level(level, k), small.xi(k))
+          << "level=" << level << " k=" << k;
+    }
+  }
+}
+
+TEST(XiStructure, WorstPlacementsAreReproducible) {
+  // The adversarial reconstruction is deterministic and stable.
+  XiExactTable table(4, 4);
+  for (std::int64_t k = 2; k <= 40; k += 7) {
+    EXPECT_EQ(worst_case_leaves(table, k), worst_case_leaves(table, k));
+  }
+}
+
+TEST(XiStructure, TwoActivesWorstCaseIsSiblingLeaves) {
+  // The k = 2 adversary puts both actives under one deepest node: verify
+  // the reconstructed placement is a sibling pair.
+  for (const auto& [m, n] : {std::pair{2, 6}, {4, 3}}) {
+    XiExactTable table(m, n);
+    const auto leaves = worst_case_leaves(table, 2);
+    ASSERT_EQ(leaves.size(), 2u);
+    EXPECT_EQ(leaves[0] / m, leaves[1] / m) << "not siblings";
+  }
+}
+
+}  // namespace
+}  // namespace hrtdm::analysis

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atm_arbitration.dir/bench_atm_arbitration.cpp.o"
+  "CMakeFiles/bench_atm_arbitration.dir/bench_atm_arbitration.cpp.o.d"
+  "bench_atm_arbitration"
+  "bench_atm_arbitration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atm_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

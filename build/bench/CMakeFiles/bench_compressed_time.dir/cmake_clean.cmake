@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compressed_time.dir/bench_compressed_time.cpp.o"
+  "CMakeFiles/bench_compressed_time.dir/bench_compressed_time.cpp.o.d"
+  "bench_compressed_time"
+  "bench_compressed_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compressed_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

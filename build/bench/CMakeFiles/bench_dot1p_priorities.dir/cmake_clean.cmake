@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dot1p_priorities.dir/bench_dot1p_priorities.cpp.o"
+  "CMakeFiles/bench_dot1p_priorities.dir/bench_dot1p_priorities.cpp.o.d"
+  "bench_dot1p_priorities"
+  "bench_dot1p_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dot1p_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

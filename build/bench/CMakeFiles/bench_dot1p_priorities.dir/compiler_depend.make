@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_dot1p_priorities.
+# This may be replaced when dependencies are built.

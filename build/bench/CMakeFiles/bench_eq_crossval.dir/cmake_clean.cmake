@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq_crossval.dir/bench_eq_crossval.cpp.o"
+  "CMakeFiles/bench_eq_crossval.dir/bench_eq_crossval.cpp.o.d"
+  "bench_eq_crossval"
+  "bench_eq_crossval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq_crossval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

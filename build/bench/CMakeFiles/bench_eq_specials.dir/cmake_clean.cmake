@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq_specials.dir/bench_eq_specials.cpp.o"
+  "CMakeFiles/bench_eq_specials.dir/bench_eq_specials.cpp.o.d"
+  "bench_eq_specials"
+  "bench_eq_specials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq_specials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

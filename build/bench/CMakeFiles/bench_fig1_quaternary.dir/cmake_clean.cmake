@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_quaternary.dir/bench_fig1_quaternary.cpp.o"
+  "CMakeFiles/bench_fig1_quaternary.dir/bench_fig1_quaternary.cpp.o.d"
+  "bench_fig1_quaternary"
+  "bench_fig1_quaternary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_quaternary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

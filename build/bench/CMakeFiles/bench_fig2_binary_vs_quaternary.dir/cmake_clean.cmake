@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_binary_vs_quaternary.dir/bench_fig2_binary_vs_quaternary.cpp.o"
+  "CMakeFiles/bench_fig2_binary_vs_quaternary.dir/bench_fig2_binary_vs_quaternary.cpp.o.d"
+  "bench_fig2_binary_vs_quaternary"
+  "bench_fig2_binary_vs_quaternary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_binary_vs_quaternary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_channel.dir/bench_multi_channel.cpp.o"
+  "CMakeFiles/bench_multi_channel.dir/bench_multi_channel.cpp.o.d"
+  "bench_multi_channel"
+  "bench_multi_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimal_m.dir/bench_optimal_m.cpp.o"
+  "CMakeFiles/bench_optimal_m.dir/bench_optimal_m.cpp.o.d"
+  "bench_optimal_m"
+  "bench_optimal_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

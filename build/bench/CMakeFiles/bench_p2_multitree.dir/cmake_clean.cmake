@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p2_multitree.dir/bench_p2_multitree.cpp.o"
+  "CMakeFiles/bench_p2_multitree.dir/bench_p2_multitree.cpp.o.d"
+  "bench_p2_multitree"
+  "bench_p2_multitree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2_multitree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_packet_bursting.dir/bench_packet_bursting.cpp.o"
+  "CMakeFiles/bench_packet_bursting.dir/bench_packet_bursting.cpp.o.d"
+  "bench_packet_bursting"
+  "bench_packet_bursting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packet_bursting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

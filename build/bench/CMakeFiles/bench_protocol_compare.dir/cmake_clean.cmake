@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_compare.dir/bench_protocol_compare.cpp.o"
+  "CMakeFiles/bench_protocol_compare.dir/bench_protocol_compare.cpp.o.d"
+  "bench_protocol_compare"
+  "bench_protocol_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_vs_xi.dir/bench_sim_vs_xi.cpp.o"
+  "CMakeFiles/bench_sim_vs_xi.dir/bench_sim_vs_xi.cpp.o.d"
+  "bench_sim_vs_xi"
+  "bench_sim_vs_xi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_vs_xi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

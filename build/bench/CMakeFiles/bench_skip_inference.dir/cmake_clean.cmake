@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skip_inference.dir/bench_skip_inference.cpp.o"
+  "CMakeFiles/bench_skip_inference.dir/bench_skip_inference.cpp.o.d"
+  "bench_skip_inference"
+  "bench_skip_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skip_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

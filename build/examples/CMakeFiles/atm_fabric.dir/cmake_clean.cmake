@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_fabric.dir/atm_fabric.cpp.o"
+  "CMakeFiles/atm_fabric.dir/atm_fabric.cpp.o.d"
+  "atm_fabric"
+  "atm_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

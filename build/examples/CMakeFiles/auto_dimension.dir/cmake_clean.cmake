@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_dimension.dir/auto_dimension.cpp.o"
+  "CMakeFiles/auto_dimension.dir/auto_dimension.cpp.o.d"
+  "auto_dimension"
+  "auto_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

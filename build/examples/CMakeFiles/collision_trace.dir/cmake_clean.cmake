@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_trace.dir/collision_trace.cpp.o"
+  "CMakeFiles/collision_trace.dir/collision_trace.cpp.o.d"
+  "collision_trace"
+  "collision_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_data.dir/export_data.cpp.o"
+  "CMakeFiles/export_data.dir/export_data.cpp.o.d"
+  "export_data"
+  "export_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

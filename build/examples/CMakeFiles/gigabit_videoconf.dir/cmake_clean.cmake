@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gigabit_videoconf.dir/gigabit_videoconf.cpp.o"
+  "CMakeFiles/gigabit_videoconf.dir/gigabit_videoconf.cpp.o.d"
+  "gigabit_videoconf"
+  "gigabit_videoconf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gigabit_videoconf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

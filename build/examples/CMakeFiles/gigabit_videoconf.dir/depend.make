@@ -1,0 +1,2 @@
+# Empty dependencies file for gigabit_videoconf.
+# This may be replaced when dependencies are built.

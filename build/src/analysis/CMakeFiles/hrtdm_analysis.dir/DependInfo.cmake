@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dimensioning.cpp" "src/analysis/CMakeFiles/hrtdm_analysis.dir/dimensioning.cpp.o" "gcc" "src/analysis/CMakeFiles/hrtdm_analysis.dir/dimensioning.cpp.o.d"
+  "/root/repo/src/analysis/efficiency.cpp" "src/analysis/CMakeFiles/hrtdm_analysis.dir/efficiency.cpp.o" "gcc" "src/analysis/CMakeFiles/hrtdm_analysis.dir/efficiency.cpp.o.d"
+  "/root/repo/src/analysis/feasibility.cpp" "src/analysis/CMakeFiles/hrtdm_analysis.dir/feasibility.cpp.o" "gcc" "src/analysis/CMakeFiles/hrtdm_analysis.dir/feasibility.cpp.o.d"
+  "/root/repo/src/analysis/feasibility_atm.cpp" "src/analysis/CMakeFiles/hrtdm_analysis.dir/feasibility_atm.cpp.o" "gcc" "src/analysis/CMakeFiles/hrtdm_analysis.dir/feasibility_atm.cpp.o.d"
+  "/root/repo/src/analysis/optimal_m.cpp" "src/analysis/CMakeFiles/hrtdm_analysis.dir/optimal_m.cpp.o" "gcc" "src/analysis/CMakeFiles/hrtdm_analysis.dir/optimal_m.cpp.o.d"
+  "/root/repo/src/analysis/p2.cpp" "src/analysis/CMakeFiles/hrtdm_analysis.dir/p2.cpp.o" "gcc" "src/analysis/CMakeFiles/hrtdm_analysis.dir/p2.cpp.o.d"
+  "/root/repo/src/analysis/xi.cpp" "src/analysis/CMakeFiles/hrtdm_analysis.dir/xi.cpp.o" "gcc" "src/analysis/CMakeFiles/hrtdm_analysis.dir/xi.cpp.o.d"
+  "/root/repo/src/analysis/xi_expected.cpp" "src/analysis/CMakeFiles/hrtdm_analysis.dir/xi_expected.cpp.o" "gcc" "src/analysis/CMakeFiles/hrtdm_analysis.dir/xi_expected.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hrtdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrtdm_analysis.dir/dimensioning.cpp.o"
+  "CMakeFiles/hrtdm_analysis.dir/dimensioning.cpp.o.d"
+  "CMakeFiles/hrtdm_analysis.dir/efficiency.cpp.o"
+  "CMakeFiles/hrtdm_analysis.dir/efficiency.cpp.o.d"
+  "CMakeFiles/hrtdm_analysis.dir/feasibility.cpp.o"
+  "CMakeFiles/hrtdm_analysis.dir/feasibility.cpp.o.d"
+  "CMakeFiles/hrtdm_analysis.dir/feasibility_atm.cpp.o"
+  "CMakeFiles/hrtdm_analysis.dir/feasibility_atm.cpp.o.d"
+  "CMakeFiles/hrtdm_analysis.dir/optimal_m.cpp.o"
+  "CMakeFiles/hrtdm_analysis.dir/optimal_m.cpp.o.d"
+  "CMakeFiles/hrtdm_analysis.dir/p2.cpp.o"
+  "CMakeFiles/hrtdm_analysis.dir/p2.cpp.o.d"
+  "CMakeFiles/hrtdm_analysis.dir/xi.cpp.o"
+  "CMakeFiles/hrtdm_analysis.dir/xi.cpp.o.d"
+  "CMakeFiles/hrtdm_analysis.dir/xi_expected.cpp.o"
+  "CMakeFiles/hrtdm_analysis.dir/xi_expected.cpp.o.d"
+  "libhrtdm_analysis.a"
+  "libhrtdm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrtdm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/beb_station.cpp" "src/baseline/CMakeFiles/hrtdm_baseline.dir/beb_station.cpp.o" "gcc" "src/baseline/CMakeFiles/hrtdm_baseline.dir/beb_station.cpp.o.d"
+  "/root/repo/src/baseline/dcr_station.cpp" "src/baseline/CMakeFiles/hrtdm_baseline.dir/dcr_station.cpp.o" "gcc" "src/baseline/CMakeFiles/hrtdm_baseline.dir/dcr_station.cpp.o.d"
+  "/root/repo/src/baseline/runner.cpp" "src/baseline/CMakeFiles/hrtdm_baseline.dir/runner.cpp.o" "gcc" "src/baseline/CMakeFiles/hrtdm_baseline.dir/runner.cpp.o.d"
+  "/root/repo/src/baseline/stack_station.cpp" "src/baseline/CMakeFiles/hrtdm_baseline.dir/stack_station.cpp.o" "gcc" "src/baseline/CMakeFiles/hrtdm_baseline.dir/stack_station.cpp.o.d"
+  "/root/repo/src/baseline/tdma_station.cpp" "src/baseline/CMakeFiles/hrtdm_baseline.dir/tdma_station.cpp.o" "gcc" "src/baseline/CMakeFiles/hrtdm_baseline.dir/tdma_station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hrtdm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hrtdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hrtdm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/hrtdm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hrtdm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hrtdm_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

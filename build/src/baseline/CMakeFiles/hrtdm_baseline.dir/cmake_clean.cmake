@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrtdm_baseline.dir/beb_station.cpp.o"
+  "CMakeFiles/hrtdm_baseline.dir/beb_station.cpp.o.d"
+  "CMakeFiles/hrtdm_baseline.dir/dcr_station.cpp.o"
+  "CMakeFiles/hrtdm_baseline.dir/dcr_station.cpp.o.d"
+  "CMakeFiles/hrtdm_baseline.dir/runner.cpp.o"
+  "CMakeFiles/hrtdm_baseline.dir/runner.cpp.o.d"
+  "CMakeFiles/hrtdm_baseline.dir/stack_station.cpp.o"
+  "CMakeFiles/hrtdm_baseline.dir/stack_station.cpp.o.d"
+  "CMakeFiles/hrtdm_baseline.dir/tdma_station.cpp.o"
+  "CMakeFiles/hrtdm_baseline.dir/tdma_station.cpp.o.d"
+  "libhrtdm_baseline.a"
+  "libhrtdm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrtdm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

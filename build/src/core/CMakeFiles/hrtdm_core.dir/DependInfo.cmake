@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ddcr_config.cpp" "src/core/CMakeFiles/hrtdm_core.dir/ddcr_config.cpp.o" "gcc" "src/core/CMakeFiles/hrtdm_core.dir/ddcr_config.cpp.o.d"
+  "/root/repo/src/core/ddcr_network.cpp" "src/core/CMakeFiles/hrtdm_core.dir/ddcr_network.cpp.o" "gcc" "src/core/CMakeFiles/hrtdm_core.dir/ddcr_network.cpp.o.d"
+  "/root/repo/src/core/ddcr_station.cpp" "src/core/CMakeFiles/hrtdm_core.dir/ddcr_station.cpp.o" "gcc" "src/core/CMakeFiles/hrtdm_core.dir/ddcr_station.cpp.o.d"
+  "/root/repo/src/core/edf_queue.cpp" "src/core/CMakeFiles/hrtdm_core.dir/edf_queue.cpp.o" "gcc" "src/core/CMakeFiles/hrtdm_core.dir/edf_queue.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/hrtdm_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/hrtdm_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/multi_channel.cpp" "src/core/CMakeFiles/hrtdm_core.dir/multi_channel.cpp.o" "gcc" "src/core/CMakeFiles/hrtdm_core.dir/multi_channel.cpp.o.d"
+  "/root/repo/src/core/tree_search.cpp" "src/core/CMakeFiles/hrtdm_core.dir/tree_search.cpp.o" "gcc" "src/core/CMakeFiles/hrtdm_core.dir/tree_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hrtdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hrtdm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/hrtdm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hrtdm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hrtdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrtdm_core.dir/ddcr_config.cpp.o"
+  "CMakeFiles/hrtdm_core.dir/ddcr_config.cpp.o.d"
+  "CMakeFiles/hrtdm_core.dir/ddcr_network.cpp.o"
+  "CMakeFiles/hrtdm_core.dir/ddcr_network.cpp.o.d"
+  "CMakeFiles/hrtdm_core.dir/ddcr_station.cpp.o"
+  "CMakeFiles/hrtdm_core.dir/ddcr_station.cpp.o.d"
+  "CMakeFiles/hrtdm_core.dir/edf_queue.cpp.o"
+  "CMakeFiles/hrtdm_core.dir/edf_queue.cpp.o.d"
+  "CMakeFiles/hrtdm_core.dir/metrics.cpp.o"
+  "CMakeFiles/hrtdm_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/hrtdm_core.dir/multi_channel.cpp.o"
+  "CMakeFiles/hrtdm_core.dir/multi_channel.cpp.o.d"
+  "CMakeFiles/hrtdm_core.dir/tree_search.cpp.o"
+  "CMakeFiles/hrtdm_core.dir/tree_search.cpp.o.d"
+  "libhrtdm_core.a"
+  "libhrtdm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrtdm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhrtdm_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrtdm_net.dir/channel.cpp.o"
+  "CMakeFiles/hrtdm_net.dir/channel.cpp.o.d"
+  "CMakeFiles/hrtdm_net.dir/phy.cpp.o"
+  "CMakeFiles/hrtdm_net.dir/phy.cpp.o.d"
+  "CMakeFiles/hrtdm_net.dir/trace.cpp.o"
+  "CMakeFiles/hrtdm_net.dir/trace.cpp.o.d"
+  "libhrtdm_net.a"
+  "libhrtdm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrtdm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrtdm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hrtdm_sim.dir/simulator.cpp.o.d"
+  "libhrtdm_sim.a"
+  "libhrtdm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrtdm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

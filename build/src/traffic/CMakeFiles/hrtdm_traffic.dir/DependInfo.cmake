@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/arrival.cpp" "src/traffic/CMakeFiles/hrtdm_traffic.dir/arrival.cpp.o" "gcc" "src/traffic/CMakeFiles/hrtdm_traffic.dir/arrival.cpp.o.d"
+  "/root/repo/src/traffic/fc_adapter.cpp" "src/traffic/CMakeFiles/hrtdm_traffic.dir/fc_adapter.cpp.o" "gcc" "src/traffic/CMakeFiles/hrtdm_traffic.dir/fc_adapter.cpp.o.d"
+  "/root/repo/src/traffic/serialize.cpp" "src/traffic/CMakeFiles/hrtdm_traffic.dir/serialize.cpp.o" "gcc" "src/traffic/CMakeFiles/hrtdm_traffic.dir/serialize.cpp.o.d"
+  "/root/repo/src/traffic/workload.cpp" "src/traffic/CMakeFiles/hrtdm_traffic.dir/workload.cpp.o" "gcc" "src/traffic/CMakeFiles/hrtdm_traffic.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hrtdm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hrtdm_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrtdm_traffic.dir/arrival.cpp.o"
+  "CMakeFiles/hrtdm_traffic.dir/arrival.cpp.o.d"
+  "CMakeFiles/hrtdm_traffic.dir/fc_adapter.cpp.o"
+  "CMakeFiles/hrtdm_traffic.dir/fc_adapter.cpp.o.d"
+  "CMakeFiles/hrtdm_traffic.dir/serialize.cpp.o"
+  "CMakeFiles/hrtdm_traffic.dir/serialize.cpp.o.d"
+  "CMakeFiles/hrtdm_traffic.dir/workload.cpp.o"
+  "CMakeFiles/hrtdm_traffic.dir/workload.cpp.o.d"
+  "libhrtdm_traffic.a"
+  "libhrtdm_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrtdm_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrtdm_util.dir/check.cpp.o"
+  "CMakeFiles/hrtdm_util.dir/check.cpp.o.d"
+  "CMakeFiles/hrtdm_util.dir/cli.cpp.o"
+  "CMakeFiles/hrtdm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hrtdm_util.dir/log.cpp.o"
+  "CMakeFiles/hrtdm_util.dir/log.cpp.o.d"
+  "CMakeFiles/hrtdm_util.dir/math.cpp.o"
+  "CMakeFiles/hrtdm_util.dir/math.cpp.o.d"
+  "CMakeFiles/hrtdm_util.dir/rng.cpp.o"
+  "CMakeFiles/hrtdm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hrtdm_util.dir/simtime.cpp.o"
+  "CMakeFiles/hrtdm_util.dir/simtime.cpp.o.d"
+  "CMakeFiles/hrtdm_util.dir/stats.cpp.o"
+  "CMakeFiles/hrtdm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hrtdm_util.dir/table.cpp.o"
+  "CMakeFiles/hrtdm_util.dir/table.cpp.o.d"
+  "libhrtdm_util.a"
+  "libhrtdm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrtdm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arb_priorities.dir/test_arb_priorities.cpp.o"
+  "CMakeFiles/test_arb_priorities.dir/test_arb_priorities.cpp.o.d"
+  "test_arb_priorities"
+  "test_arb_priorities.pdb"
+  "test_arb_priorities[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arb_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

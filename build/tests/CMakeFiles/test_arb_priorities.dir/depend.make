@@ -1,0 +1,2 @@
+# Empty dependencies file for test_arb_priorities.
+# This may be replaced when dependencies are built.

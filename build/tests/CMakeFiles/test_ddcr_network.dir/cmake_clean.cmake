@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddcr_network.dir/test_ddcr_network.cpp.o"
+  "CMakeFiles/test_ddcr_network.dir/test_ddcr_network.cpp.o.d"
+  "test_ddcr_network"
+  "test_ddcr_network.pdb"
+  "test_ddcr_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddcr_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

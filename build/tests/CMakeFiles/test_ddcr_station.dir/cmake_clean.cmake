@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddcr_station.dir/test_ddcr_station.cpp.o"
+  "CMakeFiles/test_ddcr_station.dir/test_ddcr_station.cpp.o.d"
+  "test_ddcr_station"
+  "test_ddcr_station.pdb"
+  "test_ddcr_station[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddcr_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dimensioning.dir/test_dimensioning.cpp.o"
+  "CMakeFiles/test_dimensioning.dir/test_dimensioning.cpp.o.d"
+  "test_dimensioning"
+  "test_dimensioning.pdb"
+  "test_dimensioning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edf_queue.dir/test_edf_queue.cpp.o"
+  "CMakeFiles/test_edf_queue.dir/test_edf_queue.cpp.o.d"
+  "test_edf_queue"
+  "test_edf_queue.pdb"
+  "test_edf_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edf_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

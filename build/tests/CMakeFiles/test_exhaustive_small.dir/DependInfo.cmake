@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_exhaustive_small.cpp" "tests/CMakeFiles/test_exhaustive_small.dir/test_exhaustive_small.cpp.o" "gcc" "tests/CMakeFiles/test_exhaustive_small.dir/test_exhaustive_small.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hrtdm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hrtdm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hrtdm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/hrtdm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hrtdm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hrtdm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hrtdm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feasibility_atm.dir/test_feasibility_atm.cpp.o"
+  "CMakeFiles/test_feasibility_atm.dir/test_feasibility_atm.cpp.o.d"
+  "test_feasibility_atm"
+  "test_feasibility_atm.pdb"
+  "test_feasibility_atm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feasibility_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

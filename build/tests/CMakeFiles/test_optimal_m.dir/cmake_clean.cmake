@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimal_m.dir/test_optimal_m.cpp.o"
+  "CMakeFiles/test_optimal_m.dir/test_optimal_m.cpp.o.d"
+  "test_optimal_m"
+  "test_optimal_m.pdb"
+  "test_optimal_m[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimal_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

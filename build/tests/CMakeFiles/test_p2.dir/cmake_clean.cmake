@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p2.dir/test_p2.cpp.o"
+  "CMakeFiles/test_p2.dir/test_p2.cpp.o.d"
+  "test_p2"
+  "test_p2.pdb"
+  "test_p2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack_station.dir/test_stack_station.cpp.o"
+  "CMakeFiles/test_stack_station.dir/test_stack_station.cpp.o.d"
+  "test_stack_station"
+  "test_stack_station.pdb"
+  "test_stack_station[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_inference.dir/test_tree_inference.cpp.o"
+  "CMakeFiles/test_tree_inference.dir/test_tree_inference.cpp.o.d"
+  "test_tree_inference"
+  "test_tree_inference.pdb"
+  "test_tree_inference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_search.dir/test_tree_search.cpp.o"
+  "CMakeFiles/test_tree_search.dir/test_tree_search.cpp.o.d"
+  "test_tree_search"
+  "test_tree_search.pdb"
+  "test_tree_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xi.dir/test_xi.cpp.o"
+  "CMakeFiles/test_xi.dir/test_xi.cpp.o.d"
+  "test_xi"
+  "test_xi.pdb"
+  "test_xi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_xi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xi_expected.dir/test_xi_expected.cpp.o"
+  "CMakeFiles/test_xi_expected.dir/test_xi_expected.cpp.o.d"
+  "test_xi_expected"
+  "test_xi_expected.pdb"
+  "test_xi_expected[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xi_expected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_xi_expected.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xi_structure.dir/test_xi_structure.cpp.o"
+  "CMakeFiles/test_xi_structure.dir/test_xi_structure.cpp.o.d"
+  "test_xi_structure"
+  "test_xi_structure.pdb"
+  "test_xi_structure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xi_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -94,12 +94,27 @@ std::vector<std::vector<std::int64_t>> DdcrConfig::one_index_per_source(
                                   static_cast<std::size_t>(z), 1));
 }
 
-std::int64_t DdcrConfig::resync_silence_threshold() const {
+bool DdcrConfig::supports_quiet_rejoin() const {
+  return epoch_mode == EpochMode::kCsmaCdFallback &&
+         (theta_factor == 0.0 || max_empty_tts > 0);
+}
+
+void DdcrConfig::validate_rejoinable() const {
   HRTDM_EXPECT(epoch_mode == EpochMode::kCsmaCdFallback,
-               "quiet-period resync is only sound in fallback mode");
+               "quiet-period rejoin is only sound in fallback epoch mode: "
+               "perpetual mode never goes quiet, so a resyncing station "
+               "would listen forever; set epoch_mode = kCsmaCdFallback");
   HRTDM_EXPECT(theta_factor == 0.0 || max_empty_tts > 0,
-               "unbounded compressed-time chains make in-epoch silence "
-               "streaks unbounded; cap max_empty_tts for resync");
+               "this configuration livelocks a rejoining station: with "
+               "compressed time enabled (theta_factor > 0) and "
+               "max_empty_tts == 0 an epoch can produce unbounded silence "
+               "streaks, so no silence streak certifies 'no epoch in "
+               "progress'; set max_empty_tts > 0 (bounds the empty-TTs "
+               "chain) or theta_factor = 0");
+}
+
+std::int64_t DdcrConfig::resync_silence_threshold() const {
+  validate_rejoinable();
   // Longest silent run a live epoch can produce: the remaining (all-silent)
   // DFS stacks of a nested static + time search, plus the capped chain of
   // empty time tree searches, plus one slot of margin.

@@ -68,6 +68,27 @@ struct DdcrConfig {
   /// classes. Ties inside a quantum fall back to station order.
   Duration arb_priority_quantum = Duration::nanoseconds(0);
 
+  /// Divergence watchdog (docs/FAULTS.md): on a protocol-impossible
+  /// observation — a success whose sender's deadline class lies outside the
+  /// subtree under probe, or an STs success from a source owning no static
+  /// index in the probed interval — the station concludes its own replica
+  /// has silently diverged (e.g. after a receiver-local CRC error) and, when
+  /// the configuration supports the quiet-period certificate, self-
+  /// quarantines through reset_for_rejoin() instead of corrupting the
+  /// distributed state further. Detection is exact: on consistent replicas
+  /// these observations cannot occur, so the watchdog never fires in
+  /// fault-free operation. Counters: desyncs_detected / quarantines.
+  bool enable_divergence_watchdog = true;
+
+  /// Companion watchdog rule for the static search: static indices are
+  /// unique per source, so consecutive leaf-collision retries on the same
+  /// lone static leaf can only come from repeated channel noise (vanishing
+  /// probability) or from diverged replicas contending out of turn — which
+  /// is unbounded and would otherwise livelock the search. After this many
+  /// consecutive retries the station concludes divergence (note_desync).
+  /// 0 disables the rule. Only consulted when enable_divergence_watchdog.
+  int sts_retry_desync_threshold = 6;
+
   /// Caps consecutive empty time tree searches within one epoch (fallback
   /// mode only; 0 = unbounded, the paper-literal behaviour). When the cap
   /// closes an epoch the compressed reference time is carried into the
@@ -78,6 +99,20 @@ struct DdcrConfig {
   int max_empty_tts = 0;
 
   Duration theta() const;
+
+  /// True when the quiet-period (re)join certificate is sound under this
+  /// configuration: fallback epoch mode with bounded in-epoch silence
+  /// streaks (theta = 0, or the empty-TTs chain capped by max_empty_tts).
+  /// Crash recovery, the divergence watchdog's quarantine, and fault
+  /// campaigns all require this.
+  bool supports_quiet_rejoin() const;
+
+  /// Throws ContractViolation with an actionable message when
+  /// supports_quiet_rejoin() is false. Called at network construction when
+  /// a run requires rejoin capability (DdcrRunOptions::require_rejoinable,
+  /// fault plans with crashes), so an impossible-to-rejoin configuration is
+  /// rejected up front instead of livelocking a station in resync.
+  void validate_rejoinable() const;
 
   /// Length of the silence streak that certifies "no epoch in progress"
   /// to a (re)joining station: longer than any silent run a live epoch

@@ -51,12 +51,20 @@ DdcrConfig with_default_indices(DdcrConfig config, int z) {
   return config;
 }
 
+DdcrRunOptions resolve_options(DdcrRunOptions options, int z) {
+  options.ddcr = with_default_indices(options.ddcr, z);
+  if (options.require_rejoinable) {
+    options.ddcr.validate_rejoinable();
+  }
+  return options;
+}
+
 }  // namespace
 
 DdcrTestbed::DdcrTestbed(int stations, const DdcrRunOptions& options)
     : options_(options) {
   HRTDM_EXPECT(stations >= 1, "need at least one station");
-  options_.ddcr = with_default_indices(options_.ddcr, stations);
+  options_ = resolve_options(options_, stations);
   channel_ = std::make_unique<net::BroadcastChannel>(
       simulator_, options_.phy, options_.collision_mode);
   for (int s = 0; s < stations; ++s) {
@@ -122,8 +130,7 @@ DdcrRunResult run_ddcr(const traffic::Workload& workload,
   workload.validate();
   const int z = workload.z();
 
-  DdcrRunOptions resolved = options;
-  resolved.ddcr = with_default_indices(resolved.ddcr, z);
+  const DdcrRunOptions resolved = resolve_options(options, z);
 
   sim::Simulator simulator;
   net::BroadcastChannel channel(simulator, resolved.phy,
@@ -174,6 +181,9 @@ DdcrRunResult run_ddcr(const traffic::Workload& workload,
   for (const auto& station : stations) {
     result.per_station.push_back(station->counters());
     result.dropped_late += station->counters().dropped_late;
+    result.desyncs_detected += station->counters().desyncs_detected;
+    result.quarantines += station->counters().quarantines;
+    result.rejoins += station->counters().rejoins;
   }
   result.generated = traffic.total_messages;
   result.undelivered = queued();

@@ -31,6 +31,12 @@ struct DdcrRunOptions {
   /// Compare every station's protocol digest after every slot (slow; used
   /// by the distributed-consistency tests).
   bool check_consistency = false;
+  /// The run intends to exercise crash/rejoin or watchdog quarantine:
+  /// configurations under which the quiet-period certificate is unsound
+  /// (rejoin would livelock) are rejected at network construction with an
+  /// actionable message instead of failing deep inside reset_for_rejoin().
+  /// Fault campaigns (fault::run_campaign) set this implicitly.
+  bool require_rejoinable = false;
 };
 
 struct DdcrRunResult {
@@ -40,6 +46,9 @@ struct DdcrRunResult {
   std::int64_t generated = 0;    ///< messages injected
   std::int64_t undelivered = 0;  ///< still queued when the run ended
   std::int64_t dropped_late = 0; ///< shed by drop_late_messages
+  std::int64_t desyncs_detected = 0; ///< watchdog detections (all stations)
+  std::int64_t quarantines = 0;      ///< watchdog self-resets (all stations)
+  std::int64_t rejoins = 0;          ///< completed quiet-period rejoins
   double utilization = 0.0;      ///< busy fraction of channel time
   bool consistency_ok = true;    ///< all digests agreed on every slot
 };

@@ -93,9 +93,48 @@ void DdcrStation::reset_for_rejoin() {
   tts_saw_transmission_ = false;
   post_tts_attempt_ = false;
   consecutive_empty_tts_ = 0;
+  sts_retry_streak_ = 0;
   resync_silences_ = 0;
   reft_ = SimTime();
   carried_reft_ = SimTime();
+}
+
+bool DdcrStation::impossible_tts_success(const Frame& frame) const {
+  // A synced sender transmits in TTs only when its effective index
+  // max(f(reft, msg), f* + 1) lies in the probed interval; both inputs are
+  // replicated, so an out-of-interval index proves local divergence.
+  const std::int64_t idx = std::max(raw_time_index(frame.absolute_deadline),
+                                    time_engine_.resolved_up_to());
+  return idx > config_.F - 1 || !time_engine_.current().contains(idx);
+}
+
+bool DdcrStation::impossible_sts_success(const Frame& frame) const {
+  if (frame.source < 0 ||
+      frame.source >= static_cast<int>(config_.static_indices.size())) {
+    return false;  // partition unknown to this station: cannot judge
+  }
+  const auto& indices =
+      config_.static_indices[static_cast<std::size_t>(frame.source)];
+  if (indices.empty()) {
+    return false;
+  }
+  const auto probed = static_engine_.current();
+  return std::none_of(indices.begin(), indices.end(),
+                      [&probed](std::int64_t leaf) {
+                        return probed.contains(leaf);
+                      });
+}
+
+bool DdcrStation::note_desync() {
+  ++counters_.desyncs_detected;
+  if (!config_.supports_quiet_rejoin()) {
+    // No sound quiet-period certificate to re-enter through; record the
+    // detection but keep the legacy behaviour (process the observation).
+    return false;
+  }
+  ++counters_.quarantines;
+  reset_for_rejoin();
+  return true;
 }
 
 void DdcrStation::prune_late(SimTime now) {
@@ -159,6 +198,11 @@ std::optional<Frame> DdcrStation::poll_burst(SimTime now,
   // IEEE 802.3z packet bursting (section 5): having won the channel, chain
   // the next EDF-ranked messages without relinquishing, up to the budget.
   (void)now;
+  if (mode_ == Mode::kResync) {
+    // Crashed (or quarantined) mid-burst: a resyncing station is
+    // listen-only and must release the channel immediately.
+    return std::nullopt;
+  }
   const auto head = queue_.head();
   if (!head.has_value() || head->l_bits > budget_bits) {
     return std::nullopt;
@@ -293,6 +337,12 @@ void DdcrStation::observe(const SlotObservation& obs) {
       return;
     }
     case Mode::kTimeSearch: {
+      if (config_.enable_divergence_watchdog &&
+          obs.kind == net::SlotKind::kSuccess && !obs.arbitration &&
+          obs.frame.has_value() && impossible_tts_success(*obs.frame) &&
+          note_desync()) {
+        return;  // quarantined: the observation proves we are the outlier
+      }
       ++counters_.search_slots_time;
       if (obs.kind == net::SlotKind::kSuccess) {
         --counters_.search_slots_time;  // successes are not search slots
@@ -318,6 +368,7 @@ void DdcrStation::observe(const SlotObservation& obs) {
         HRTDM_ENSURE(leaf_hint >= 0, "leaf collision without a leaf");
         sts_leaf_ = leaf_hint;
         static_pos_ = 0;
+        sts_retry_streak_ = 0;
         ++counters_.sts_runs;
         static_engine_.begin();
         mode_ = Mode::kStaticSearch;
@@ -329,6 +380,12 @@ void DdcrStation::observe(const SlotObservation& obs) {
       return;
     }
     case Mode::kStaticSearch: {
+      if (config_.enable_divergence_watchdog &&
+          obs.kind == net::SlotKind::kSuccess && !obs.arbitration &&
+          obs.frame.has_value() && impossible_sts_success(*obs.frame) &&
+          note_desync()) {
+        return;  // quarantined: the observation proves we are the outlier
+      }
       ++counters_.search_slots_static;
       TreeSearchEngine::Feedback fb;
       switch (obs.kind) {
@@ -356,11 +413,22 @@ void DdcrStation::observe(const SlotObservation& obs) {
       if (result == TreeSearchEngine::StepResult::kLeafCollision) {
         // Static indices are unique per source, so a genuine tie is
         // impossible — this is a lone transmission destroyed by channel
-        // noise. The leaf cannot be split further; probe it again.
+        // noise. The leaf cannot be split further; probe it again. A
+        // *streak* of such retries is the watchdog's third rule: repeated
+        // noise has vanishing probability, but a diverged replica
+        // contending out of turn collides here every slot, so an unbounded
+        // streak means this search can never complete.
         ++counters_.static_leaf_retries;
+        if (config_.enable_divergence_watchdog &&
+            config_.sts_retry_desync_threshold > 0 &&
+            ++sts_retry_streak_ == config_.sts_retry_desync_threshold &&
+            note_desync()) {
+          return;  // quarantined: the retry loop proves divergence
+        }
         static_engine_.requeue(probed);
         return;
       }
+      sts_retry_streak_ = 0;
       if (static_engine_.done()) {
         finish_sts(now);
       }

@@ -50,6 +50,8 @@ class DdcrStation final : public net::Station {
     std::int64_t search_slots_static = 0; ///< static-tree search slots heard
     std::int64_t static_leaf_retries = 0; ///< noise-corrupted static leaves
     std::int64_t dropped_late = 0;        ///< shed past-deadline messages
+    std::int64_t desyncs_detected = 0;    ///< protocol-impossible observations
+    std::int64_t quarantines = 0;         ///< watchdog-triggered self-resets
   };
 
   /// `static_indices` is this source's ranked subset of [0, q).
@@ -66,7 +68,8 @@ class DdcrStation final : public net::Station {
   std::optional<Frame> poll_burst(SimTime now,
                                   std::int64_t budget_bits) override;
 
-  /// Crash recovery: discards all protocol state (the queue survives — a
+  /// Crash recovery — and the divergence watchdog's quarantine path:
+  /// discards all protocol state (the queue survives — a
   /// MAC reset does not lose locally buffered messages) and re-enters via
   /// a listen-only resync phase. The station transmits nothing until it
   /// has heard config.resync_silence_threshold() consecutive silent slots,
@@ -95,6 +98,24 @@ class DdcrStation final : public net::Station {
   /// With drop_late_messages set, sheds queue heads already past their
   /// deadline at `now`.
   void prune_late(SimTime now);
+
+  // --- divergence watchdog (docs/FAULTS.md) ---
+  // On consistent replicas a transmitter only speaks when its address falls
+  // inside the interval every station is probing, so a success that fails
+  // these checks proves the *local* replica has diverged (an asymmetric
+  // receive fault rewrote some earlier observation). The checks are exact:
+  // no false positives in fault-free operation.
+
+  /// TTs: the sender's effective deadline-class index must lie in the
+  /// probed interval.
+  bool impossible_tts_success(const Frame& frame) const;
+  /// STs: the sender must own a static index in the probed interval
+  /// (judged only when config_.static_indices covers the sender).
+  bool impossible_sts_success(const Frame& frame) const;
+  /// Counts the detection and, when the configuration supports the
+  /// quiet-period certificate, quarantines via reset_for_rejoin().
+  /// Returns true when quarantined (the observation must not be processed).
+  bool note_desync();
 
 
   /// f(reft, msg) with the f* + 1 floor; nullopt when the message cannot
@@ -126,6 +147,9 @@ class DdcrStation final : public net::Station {
   bool post_tts_attempt_ = false;    ///< perpetual mode: restart TTs after
                                      ///< the à-la-CSMA-CD attempt slot
   int consecutive_empty_tts_ = 0;    ///< for the max_empty_tts cap
+  int sts_retry_streak_ = 0;         ///< consecutive lone-leaf STs retries
+                                     ///< (watchdog rule: bounded unless
+                                     ///< replicas diverged)
   SimTime carried_reft_;             ///< compressed reft carried across
                                      ///< cap-closed epochs
   std::int64_t resync_silences_ = 0; ///< quiet streak heard while resyncing

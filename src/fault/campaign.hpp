@@ -1,0 +1,121 @@
+// Randomized fault-campaign harness (docs/FAULTS.md).
+//
+// One campaign = one seeded run of a full CSMA/DDCR network under a random
+// mixture of crash, symmetric-noise and asymmetric receive faults, followed
+// by a self-healing phase, checking the two invariants that must survive
+// *any* fault pattern:
+//
+//  safety        — channel-level mutual exclusion: delivered transmissions
+//                  never overlap in time (verified from the ground-truth
+//                  SlotRecords, which faults cannot rewrite);
+//  reconvergence — within a bounded number of observations after the last
+//                  injected fault, every station is synced again, all
+//                  protocol digests agree, and every queued message drains.
+//
+// Shared by tests/test_fault_campaign.cpp (50+ seeded campaigns) and the
+// asymmetric-fault-rate sweep in bench_fault_tolerance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/ddcr_network.hpp"
+#include "fault/fault_injector.hpp"
+#include "net/channel.hpp"
+
+namespace hrtdm::fault {
+
+/// Ground-truth mutual-exclusion checker: slot records must be
+/// time-ordered and non-overlapping, and every success must carry exactly
+/// one transmitter's frame.
+class SafetyChecker final : public net::ChannelObserver {
+ public:
+  void on_slot(const net::SlotRecord& record) override;
+
+  bool ok() const { return violations_ == 0; }
+  std::int64_t violations() const { return violations_; }
+
+ private:
+  std::int64_t violations_ = 0;
+  util::SimTime last_end_;
+  bool any_ = false;
+};
+
+/// Per-observation reconvergence probe: evaluates a caller-supplied
+/// consistency predicate after every delivery and remembers the last
+/// observation index at which it was false.
+class ReconvergenceProbe final : public net::ChannelObserver {
+ public:
+  explicit ReconvergenceProbe(std::function<bool()> consistent)
+      : consistent_(std::move(consistent)) {}
+
+  void on_slot(const net::SlotRecord& record) override;
+
+  std::int64_t observations() const { return observations_; }
+  /// -1 when the predicate held on every observation.
+  std::int64_t last_divergent_observation() const { return last_divergent_; }
+
+ private:
+  std::function<bool()> consistent_;
+  std::int64_t observations_ = 0;
+  std::int64_t last_divergent_ = -1;
+};
+
+struct CampaignOptions {
+  int stations = 4;
+  std::uint64_t seed = 1;
+
+  /// Base PHY/protocol parameters. Defaults are a small, fast instance;
+  /// ddcr must be rejoin-capable (checked at construction).
+  net::PhyConfig phy;
+  core::DdcrConfig ddcr;
+
+  /// Phase-1 traffic: every station enqueues `messages_per_station`
+  /// messages at shared arrival instants (worst case: z-way collisions and
+  /// same-class ties on every burst).
+  int messages_per_station = 12;
+  util::Duration arrival_spacing = util::Duration::microseconds(3);
+  util::Duration relative_deadline = util::Duration::microseconds(8);
+
+  /// Fault mixture, scattered over the first `fault_window_observations`
+  /// channel deliveries.
+  std::int64_t fault_window_observations = 300;
+  int crashes = 1;
+  int symmetric_bursts = 1;
+  double symmetric_prob = 0.3;
+  int asymmetric_bursts = 2;
+  double asymmetric_prob = 0.6;
+
+  /// Self-healing bounds: up to `max_recovery_rounds` forced reconvergence
+  /// epochs inside an overall budget of `recovery_slots_cap` slot times.
+  int max_recovery_rounds = 8;
+  std::int64_t recovery_slots_cap = 400'000;
+
+  CampaignOptions();
+};
+
+struct CampaignResult {
+  bool safety_ok = false;
+  std::int64_t safety_violations = 0;
+  bool drained = false;      ///< every queue empty at the end
+  bool reconverged = false;  ///< all synced + digests agree at the end
+  std::int64_t last_fault_observation = -1;
+  /// Observations from the last injected fault until consistency held for
+  /// good (0 when faults never broke it).
+  std::int64_t reconvergence_observations = 0;
+  int recovery_rounds_used = 0;
+  FaultInjector::Stats faults;
+  std::int64_t desyncs_detected = 0;
+  std::int64_t quarantines = 0;
+  std::int64_t rejoins = 0;
+  std::int64_t generated = 0;
+  std::int64_t delivered = 0;
+  std::int64_t misses = 0;
+
+  bool passed() const { return safety_ok && drained && reconverged; }
+};
+
+/// Runs one seeded campaign to completion. Deterministic per options.
+CampaignResult run_campaign(const CampaignOptions& options);
+
+}  // namespace hrtdm::fault

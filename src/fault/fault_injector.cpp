@@ -1,0 +1,88 @@
+#include "fault/fault_injector.hpp"
+
+#include "util/check.hpp"
+
+namespace hrtdm::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)),
+      rng_(seed),
+      crash_fired_(plan_.crashes.size(), false) {}
+
+void FaultInjector::install(net::BroadcastChannel& channel) {
+  channel.set_interceptor(this);
+  channel.add_observer(*this);
+}
+
+bool FaultInjector::corrupt_slot(std::int64_t slot_index) {
+  bool corrupt = false;
+  for (const SymmetricNoiseFault& s : plan_.symmetric) {
+    if (slot_index < s.from_observation || slot_index >= s.to_observation) {
+      continue;
+    }
+    // Draw for every covering window so the stream stays aligned with the
+    // plan regardless of earlier outcomes.
+    if (rng_.bernoulli(s.prob)) {
+      corrupt = true;
+    }
+  }
+  if (corrupt) {
+    ++stats_.symmetric_corruptions;
+  }
+  return corrupt;
+}
+
+net::SlotObservation FaultInjector::deliver_to(
+    int station_id, std::int64_t slot_index,
+    const net::SlotObservation& obs) {
+  net::SlotObservation heard = obs;
+  for (const AsymmetricFault& a : plan_.asymmetric) {
+    if (a.station != station_id || slot_index < a.from_observation ||
+        slot_index >= a.to_observation) {
+      continue;
+    }
+    if (!rng_.bernoulli(a.prob)) {
+      continue;
+    }
+    switch (a.kind) {
+      case AsymmetricKind::kCorruptReceive:
+        // Receiver-local CRC failure: the transmission is heard, but as
+        // garbage — indistinguishable from a collision of equal length.
+        if (heard.kind == net::SlotKind::kSuccess) {
+          heard.kind = net::SlotKind::kCollision;
+          heard.frame.reset();
+          heard.arbitration = false;
+          ++stats_.asymmetric_corruptions;
+        }
+        break;
+      case AsymmetricKind::kMissReceive:
+        // Deaf receiver: carrier sense missed the activity entirely.
+        if (heard.kind != net::SlotKind::kSilence) {
+          heard.kind = net::SlotKind::kSilence;
+          heard.frame.reset();
+          heard.arbitration = false;
+          heard.in_burst = false;
+          ++stats_.asymmetric_misses;
+        }
+        break;
+    }
+  }
+  return heard;
+}
+
+void FaultInjector::on_slot(const net::SlotRecord& record) {
+  (void)record;
+  const std::int64_t index = observations_seen_++;
+  for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
+    if (crash_fired_[i] || plan_.crashes[i].at_observation > index) {
+      continue;
+    }
+    crash_fired_[i] = true;
+    ++stats_.crashes_fired;
+    HRTDM_EXPECT(static_cast<bool>(crash_hook_),
+                 "a crash directive fired but no crash hook is set");
+    crash_hook_(plan_.crashes[i].station);
+  }
+}
+
+}  // namespace hrtdm::fault

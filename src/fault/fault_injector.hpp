@@ -1,0 +1,72 @@
+// Executes a FaultPlan against a live BroadcastChannel.
+//
+// The injector sits on both channel hooks: as the SlotInterceptor it
+// destroys scripted transmissions (symmetric windows) and rewrites chosen
+// stations' observations (asymmetric windows); as a ChannelObserver it
+// counts delivered observations and fires crash directives at their slot
+// boundary through a caller-supplied hook (the injector knows station *ids*,
+// the harness knows the DdcrStation objects).
+//
+// All randomness comes from one seeded stream drawn in a deterministic
+// order (symmetric draw per window per slot, then asymmetric draws in
+// station-attach order), so a (plan, seed) pair reproduces bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fault/fault_plan.hpp"
+#include "net/channel.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::fault {
+
+class FaultInjector final : public net::SlotInterceptor,
+                            public net::ChannelObserver {
+ public:
+  /// Invoked with the station id of a crash directive, at the boundary of
+  /// the observation it is scripted for (after the station observed it).
+  using CrashHook = std::function<void(int station)>;
+
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  /// Installs this injector on the channel (interceptor + observer) —
+  /// call before channel.start(); the injector must outlive the channel.
+  void install(net::BroadcastChannel& channel);
+
+  void set_crash_hook(CrashHook hook) { crash_hook_ = std::move(hook); }
+
+  struct Stats {
+    std::int64_t crashes_fired = 0;
+    std::int64_t symmetric_corruptions = 0;
+    std::int64_t asymmetric_corruptions = 0;  ///< success heard as collision
+    std::int64_t asymmetric_misses = 0;       ///< slot heard as silence
+  };
+  const Stats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+  std::int64_t last_fault_observation() const {
+    return plan_.last_fault_observation();
+  }
+  /// True once every directive's window lies strictly in the past.
+  bool exhausted(std::int64_t observation_index) const {
+    return observation_index > last_fault_observation();
+  }
+
+  // --- net::SlotInterceptor ---
+  bool corrupt_slot(std::int64_t slot_index) override;
+  net::SlotObservation deliver_to(int station_id, std::int64_t slot_index,
+                                  const net::SlotObservation& obs) override;
+
+  // --- net::ChannelObserver (crash firing) ---
+  void on_slot(const net::SlotRecord& record) override;
+
+ private:
+  FaultPlan plan_;
+  util::Rng rng_;
+  CrashHook crash_hook_;
+  std::vector<bool> crash_fired_;
+  std::int64_t observations_seen_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hrtdm::fault

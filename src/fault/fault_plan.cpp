@@ -1,0 +1,86 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::fault {
+
+std::int64_t FaultPlan::last_fault_observation() const {
+  std::int64_t last = -1;
+  for (const CrashFault& c : crashes) {
+    last = std::max(last, c.at_observation);
+  }
+  for (const SymmetricNoiseFault& s : symmetric) {
+    last = std::max(last, s.to_observation - 1);
+  }
+  for (const AsymmetricFault& a : asymmetric) {
+    last = std::max(last, a.to_observation - 1);
+  }
+  return last;
+}
+
+void FaultPlan::validate(int station_count) const {
+  for (const CrashFault& c : crashes) {
+    HRTDM_EXPECT(c.at_observation >= 0, "crash observation must be >= 0");
+    HRTDM_EXPECT(c.station >= 0 && c.station < station_count,
+                 "crash station id out of range");
+  }
+  for (const SymmetricNoiseFault& s : symmetric) {
+    HRTDM_EXPECT(s.from_observation >= 0 &&
+                     s.to_observation > s.from_observation,
+                 "symmetric noise window must be non-empty");
+    HRTDM_EXPECT(s.prob >= 0.0 && s.prob <= 1.0,
+                 "symmetric noise probability must be in [0, 1]");
+  }
+  for (const AsymmetricFault& a : asymmetric) {
+    HRTDM_EXPECT(a.from_observation >= 0 &&
+                     a.to_observation > a.from_observation,
+                 "asymmetric fault window must be non-empty");
+    HRTDM_EXPECT(a.station >= 0 && a.station < station_count,
+                 "asymmetric fault station id out of range");
+    HRTDM_EXPECT(a.prob >= 0.0 && a.prob <= 1.0,
+                 "asymmetric fault probability must be in [0, 1]");
+  }
+}
+
+FaultPlan FaultPlan::random_mix(int station_count,
+                                std::int64_t window_observations, int crashes,
+                                int symmetric_bursts, double symmetric_prob,
+                                int asymmetric_bursts, double asymmetric_prob,
+                                std::uint64_t seed) {
+  HRTDM_EXPECT(station_count >= 1, "need at least one station");
+  HRTDM_EXPECT(window_observations >= 1, "fault window must be non-empty");
+  util::Rng rng(seed);
+  FaultPlan plan;
+  for (int i = 0; i < crashes; ++i) {
+    CrashFault c;
+    c.at_observation = rng.uniform_i64(0, window_observations - 1);
+    c.station = static_cast<int>(rng.uniform_i64(0, station_count - 1));
+    plan.crashes.push_back(c);
+  }
+  const std::int64_t max_burst =
+      std::max<std::int64_t>(window_observations / 8, 1);
+  for (int i = 0; i < symmetric_bursts; ++i) {
+    SymmetricNoiseFault s;
+    s.from_observation = rng.uniform_i64(0, window_observations - 1);
+    s.to_observation = s.from_observation + rng.uniform_i64(1, max_burst);
+    s.prob = symmetric_prob;
+    plan.symmetric.push_back(s);
+  }
+  for (int i = 0; i < asymmetric_bursts; ++i) {
+    AsymmetricFault a;
+    a.from_observation = rng.uniform_i64(0, window_observations - 1);
+    a.to_observation = a.from_observation + rng.uniform_i64(1, max_burst);
+    a.station = static_cast<int>(rng.uniform_i64(0, station_count - 1));
+    a.kind = rng.bernoulli(0.5) ? AsymmetricKind::kCorruptReceive
+                                : AsymmetricKind::kMissReceive;
+    a.prob = asymmetric_prob;
+    plan.asymmetric.push_back(a);
+  }
+  plan.validate(station_count);
+  return plan;
+}
+
+}  // namespace hrtdm::fault

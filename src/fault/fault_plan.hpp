@@ -1,0 +1,86 @@
+// Deterministic, scripted fault plans (docs/FAULTS.md).
+//
+// A FaultPlan is a set of directives indexed by *observation number* — the
+// channel's delivery counter, the one deterministic time axis shared by
+// contention slots and burst continuations. Three fault classes:
+//
+//  - crash:      a station loses all protocol state at a given observation
+//                and re-enters through the listen-only quiet-period rejoin
+//                (DdcrStation::reset_for_rejoin). Violates liveness of one
+//                replica; the broadcast property is preserved.
+//  - symmetric:  a window in which each successful transmission is destroyed
+//                with probability p, seen as a collision by *everyone* —
+//                channel noise that keeps the broadcast property.
+//  - asymmetric: a window in which one chosen station's receive path lies to
+//                it — a success is heard as a collision (CRC error) or as
+//                silence (missed carrier sense) while the rest of the
+//                network hears the truth. This is the fault class the
+//                paper's correctness proofs exclude: it breaks the
+//                identical-slot-history assumption and can silently diverge
+//                the victim's replica. The divergence watchdog exists to
+//                catch it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hrtdm::fault {
+
+/// How an asymmetric receive fault rewrites the victim's observation.
+enum class AsymmetricKind {
+  /// kSuccess is heard as a collision of the same duration (receiver-local
+  /// CRC failure). The victim's tree engines descend or start a phantom
+  /// epoch while everyone else advances past a success.
+  kCorruptReceive,
+  /// kSuccess or kCollision is heard as silence (missed carrier sense /
+  /// deaf receiver). The victim prunes subtrees others saw resolve.
+  kMissReceive,
+};
+
+struct CrashFault {
+  std::int64_t at_observation = 0;  ///< fires right after this delivery
+  int station = 0;
+};
+
+struct SymmetricNoiseFault {
+  std::int64_t from_observation = 0;  ///< inclusive
+  std::int64_t to_observation = 0;    ///< exclusive
+  double prob = 0.0;                  ///< per-success destruction chance
+};
+
+struct AsymmetricFault {
+  std::int64_t from_observation = 0;  ///< inclusive
+  std::int64_t to_observation = 0;    ///< exclusive
+  int station = 0;                    ///< the victim
+  AsymmetricKind kind = AsymmetricKind::kCorruptReceive;
+  double prob = 1.0;  ///< per-qualifying-observation rewrite chance
+};
+
+struct FaultPlan {
+  std::vector<CrashFault> crashes;
+  std::vector<SymmetricNoiseFault> symmetric;
+  std::vector<AsymmetricFault> asymmetric;
+
+  bool empty() const {
+    return crashes.empty() && symmetric.empty() && asymmetric.empty();
+  }
+  bool has_crashes() const { return !crashes.empty(); }
+
+  /// Last observation index at which any directive can still act (-1 for an
+  /// empty plan). Harnesses measure reconvergence from here.
+  std::int64_t last_fault_observation() const;
+
+  /// Station ids in range, windows well-formed, probabilities in [0, 1].
+  void validate(int station_count) const;
+
+  /// A seeded random mixture of all three fault classes scattered over
+  /// [0, window_observations) — the campaign generator. Deterministic per
+  /// seed.
+  static FaultPlan random_mix(int station_count,
+                              std::int64_t window_observations, int crashes,
+                              int symmetric_bursts, double symmetric_prob,
+                              int asymmetric_bursts, double asymmetric_prob,
+                              std::uint64_t seed);
+};
+
+}  // namespace hrtdm::fault

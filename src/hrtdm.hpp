@@ -52,6 +52,11 @@
 #include "core/multi_channel.hpp"
 #include "core/tree_search.hpp"
 
+// Fault injection and the self-healing campaign harness.
+#include "fault/campaign.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+
 // Comparison baselines.
 #include "baseline/beb_station.hpp"
 #include "baseline/dcr_station.hpp"

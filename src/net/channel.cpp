@@ -63,8 +63,13 @@ void BroadcastChannel::apply(const ChannelStats& delta) {
 
 void BroadcastChannel::deliver(const SlotObservation& obs,
                                const SlotRecord& record) {
+  const std::int64_t index = observations_delivered_++;
   for (Station* station : stations_) {
-    station->observe(obs);
+    if (interceptor_ != nullptr) {
+      station->observe(interceptor_->deliver_to(station->id(), index, obs));
+    } else {
+      station->observe(obs);
+    }
   }
   for (ChannelObserver* observer : observers_) {
     observer->on_slot(record);
@@ -197,9 +202,16 @@ void BroadcastChannel::begin_slot() {
   // Channel noise: a transmission may be destroyed in flight. Corruption
   // is symmetric — every station, the transmitter included, observes a
   // collision lasting the full transmission time — so the replicated
-  // protocol state machines stay consistent and simply retry.
-  if (obs.kind == SlotKind::kSuccess && phy_.corruption_prob > 0.0 &&
-      noise_rng_.bernoulli(phy_.corruption_prob)) {
+  // protocol state machines stay consistent and simply retry. An installed
+  // interceptor can force the same outcome on scripted slots; its draw is
+  // separate from noise_rng_ so plans do not perturb the noise stream.
+  const bool noise_corrupts = obs.kind == SlotKind::kSuccess &&
+                              phy_.corruption_prob > 0.0 &&
+                              noise_rng_.bernoulli(phy_.corruption_prob);
+  const bool forced_corrupts =
+      obs.kind == SlotKind::kSuccess && interceptor_ != nullptr &&
+      interceptor_->corrupt_slot(observations_delivered_);
+  if (noise_corrupts || forced_corrupts) {
     obs.kind = record.kind = SlotKind::kCollision;
     obs.frame.reset();
     record.frame.reset();

@@ -48,6 +48,38 @@ class ChannelObserver {
   virtual void on_slot(const SlotRecord& record) = 0;
 };
 
+/// Fault-injection hook. By default the channel delivers the *same*
+/// observation to every station (the broadcast property the replicated
+/// protocol state machines depend on); an interceptor can violate that
+/// property deliberately — per-receiver CRC errors, missed carrier sense —
+/// and can destroy chosen transmissions symmetrically. Observations are
+/// indexed by delivery order (`observations_delivered()`), which is the
+/// deterministic time axis fault plans are scripted against.
+class SlotInterceptor {
+ public:
+  virtual ~SlotInterceptor() = default;
+
+  /// Called once per contention slot that resolved to kSuccess, before the
+  /// channel's own noise draw; returning true destroys the transmission
+  /// symmetrically (everyone sees a collision lasting the transmission
+  /// time, exactly like PhyConfig::corruption_prob). Burst continuations
+  /// are not offered.
+  virtual bool corrupt_slot(std::int64_t slot_index) {
+    (void)slot_index;
+    return false;
+  }
+
+  /// Per-receiver delivery hook: `obs` is the true channel outcome; the
+  /// return value is what `station_id` actually hears. SlotRecords and
+  /// ChannelObservers always see the truth — only stations can be lied to.
+  virtual SlotObservation deliver_to(int station_id, std::int64_t slot_index,
+                                     const SlotObservation& obs) {
+    (void)station_id;
+    (void)slot_index;
+    return obs;
+  }
+};
+
 /// Aggregate channel statistics (maintained continuously).
 struct ChannelStats {
   std::int64_t silence_slots = 0;
@@ -73,6 +105,18 @@ class BroadcastChannel {
   /// Stations must be attached before start() and outlive the channel.
   void attach(Station& station);
   void add_observer(ChannelObserver& observer);
+
+  /// Installs (or clears, with nullptr) the fault-injection hook. The
+  /// interceptor must outlive the channel or be cleared before teardown.
+  void set_interceptor(SlotInterceptor* interceptor) {
+    interceptor_ = interceptor;
+  }
+
+  /// Observations delivered so far; the index passed to the interceptor
+  /// for the observation currently being formed equals this value.
+  std::int64_t observations_delivered() const {
+    return observations_delivered_;
+  }
 
   /// Begins the slot loop at the simulator's current time. The loop runs
   /// until stop() or until the simulation horizon cuts it off.
@@ -101,6 +145,8 @@ class BroadcastChannel {
   util::Rng noise_rng_;
   std::vector<Station*> stations_;
   std::vector<ChannelObserver*> observers_;
+  SlotInterceptor* interceptor_ = nullptr;
+  std::int64_t observations_delivered_ = 0;
   ChannelStats stats_;
   bool running_ = false;
   bool started_once_ = false;

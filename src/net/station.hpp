@@ -6,6 +6,12 @@
 // packet burst), and delivers the *same* observation to every station at the
 // end of the slot. Protocol implementations (CSMA/DDCR, BEB, DCR, TDMA)
 // live entirely behind this interface.
+//
+// The one sanctioned exception to "same observation everywhere" is the
+// fault-injection hook (net::SlotInterceptor, driven by fault::FaultInjector):
+// it can hand a chosen receiver a corrupted or missed observation to model
+// receiver-local CRC errors and missed carrier sense — the asymmetric fault
+// class the correctness proofs exclude and docs/FAULTS.md analyses.
 #pragma once
 
 #include <optional>

@@ -1,0 +1,280 @@
+// Randomized fault campaigns: the protocol stack must survive assumption
+// *violations*, not just operate inside them. Each campaign runs a full
+// network under a seeded mixture of crash, symmetric-noise and asymmetric
+// receive faults (fault::FaultPlan / fault::FaultInjector) and asserts the
+// two invariants no fault pattern may break:
+//
+//   safety        — channel-level mutual exclusion of deliveries, checked
+//                   from the ground-truth SlotRecords;
+//   reconvergence — after the last injected fault every station is synced,
+//                   all protocol digests agree, and every queue drains,
+//                   within the campaign's bounded recovery budget.
+//
+// Plus a deterministic demonstration that a station which *would* silently
+// diverge after an asymmetric receive fault is caught by the divergence
+// watchdog and recovers through quarantine.
+#include <gtest/gtest.h>
+
+#include "core/ddcr_network.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault_injector.hpp"
+#include "traffic/message.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::fault {
+namespace {
+
+using core::DdcrRunOptions;
+using core::DdcrTestbed;
+using traffic::Message;
+using util::Duration;
+using util::SimTime;
+
+std::string describe(const CampaignResult& r) {
+  return "safety_violations=" + std::to_string(r.safety_violations) +
+         " drained=" + std::to_string(r.drained) +
+         " reconverged=" + std::to_string(r.reconverged) +
+         " desyncs=" + std::to_string(r.desyncs_detected) +
+         " quarantines=" + std::to_string(r.quarantines) +
+         " rejoins=" + std::to_string(r.rejoins) +
+         " rounds=" + std::to_string(r.recovery_rounds_used) +
+         " reconv_obs=" + std::to_string(r.reconvergence_observations);
+}
+
+TEST(FaultCampaign, FiftySeededMixedCampaignsHoldBothInvariants) {
+  // >= 50 campaigns mixing all three fault classes. Alternate the mixture
+  // across seeds so crash-heavy, noise-heavy and asymmetric-heavy patterns
+  // are all covered.
+  std::int64_t total_desyncs = 0;
+  std::int64_t total_quarantines = 0;
+  std::int64_t total_crashes = 0;
+  std::int64_t total_asym = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    CampaignOptions options;
+    options.seed = seed;
+    options.stations = 3 + static_cast<int>(seed % 3);  // 3..5
+    options.crashes = static_cast<int>(seed % 3);       // 0..2
+    options.symmetric_bursts = static_cast<int>(seed % 2);
+    options.asymmetric_bursts = 1 + static_cast<int>(seed % 3);  // 1..3
+    const CampaignResult result = run_campaign(options);
+    EXPECT_TRUE(result.safety_ok) << "seed " << seed << ": "
+                                  << describe(result);
+    EXPECT_TRUE(result.drained) << "seed " << seed << ": "
+                                << describe(result);
+    EXPECT_TRUE(result.reconverged) << "seed " << seed << ": "
+                                    << describe(result);
+    EXPECT_LE(result.reconvergence_observations, options.recovery_slots_cap)
+        << "seed " << seed;
+    total_desyncs += result.desyncs_detected;
+    total_quarantines += result.quarantines;
+    total_crashes += result.faults.crashes_fired;
+    total_asym += result.faults.asymmetric_corruptions +
+                  result.faults.asymmetric_misses;
+  }
+  // The grid must actually have exercised the hard fault class and the
+  // watchdog, not just quiet runs that trivially pass.
+  EXPECT_GT(total_crashes, 0);
+  EXPECT_GT(total_asym, 0);
+  EXPECT_GT(total_desyncs, 0);
+  EXPECT_GT(total_quarantines, 0);
+}
+
+TEST(FaultCampaign, AsymmetricOnlyCampaignsReconverge) {
+  // The fault class the correctness proofs exclude, isolated: no crashes,
+  // no symmetric noise — every divergence is a receiver-local lie.
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    CampaignOptions options;
+    options.seed = seed;
+    options.stations = 4;
+    options.crashes = 0;
+    options.symmetric_bursts = 0;
+    options.asymmetric_bursts = 3;
+    options.asymmetric_prob = 0.8;
+    const CampaignResult result = run_campaign(options);
+    EXPECT_TRUE(result.passed()) << "seed " << seed << ": "
+                                 << describe(result);
+  }
+}
+
+TEST(FaultCampaign, DeterministicPerSeed) {
+  CampaignOptions options;
+  options.seed = 7;
+  options.crashes = 2;
+  options.asymmetric_bursts = 2;
+  const CampaignResult a = run_campaign(options);
+  const CampaignResult b = run_campaign(options);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.desyncs_detected, b.desyncs_detected);
+  EXPECT_EQ(a.quarantines, b.quarantines);
+  EXPECT_EQ(a.reconvergence_observations, b.reconvergence_observations);
+  EXPECT_EQ(a.faults.crashes_fired, b.faults.crashes_fired);
+  EXPECT_EQ(a.faults.asymmetric_corruptions, b.faults.asymmetric_corruptions);
+  EXPECT_EQ(a.faults.asymmetric_misses, b.faults.asymmetric_misses);
+  EXPECT_EQ(a.faults.symmetric_corruptions, b.faults.symmetric_corruptions);
+}
+
+TEST(FaultCampaign, RejectsRejoinImpossibleConfiguration) {
+  // Satellite: a config whose quiet-period certificate is unsound must be
+  // rejected at construction with an actionable error, not livelock later.
+  CampaignOptions options;
+  options.ddcr.theta_factor = 1.0;
+  options.ddcr.max_empty_tts = 0;  // unbounded in-epoch silence streaks
+  EXPECT_THROW(run_campaign(options), util::ContractViolation);
+}
+
+TEST(FaultPlanSuite, ValidatesDirectives) {
+  FaultPlan plan;
+  plan.crashes.push_back({-1, 0});
+  EXPECT_THROW(plan.validate(2), util::ContractViolation);
+  plan.crashes.clear();
+  plan.asymmetric.push_back({0, 10, 5, AsymmetricKind::kMissReceive, 1.0});
+  EXPECT_THROW(plan.validate(2), util::ContractViolation);
+  plan.asymmetric.clear();
+  plan.symmetric.push_back({10, 10, 0.5});
+  EXPECT_THROW(plan.validate(2), util::ContractViolation);
+
+  FaultPlan ok;
+  ok.crashes.push_back({5, 1});
+  ok.symmetric.push_back({0, 8, 0.25});
+  ok.asymmetric.push_back({3, 9, 0, AsymmetricKind::kCorruptReceive, 1.0});
+  ok.validate(2);
+  EXPECT_EQ(ok.last_fault_observation(), 8);
+  EXPECT_TRUE(ok.has_crashes());
+}
+
+// --- the watchdog demonstration -----------------------------------------
+//
+// Station 1 streams back-to-back CSMA-CD successes; a single scripted
+// asymmetric fault makes station 0 hear one of them as a collision. Station
+// 0 therefore starts a collision-resolution epoch nobody else is in — the
+// silent-divergence scenario. The very next (true) success is protocol-
+// impossible from inside that phantom epoch: its deadline class lies outside
+// the probed subtree.
+
+DdcrRunOptions demo_options() {
+  DdcrRunOptions options;
+  options.phy.slot_x = Duration::nanoseconds(100);
+  options.phy.psi_bps = 1e9;
+  options.phy.overhead_bits = 0;
+  options.ddcr.m_time = 2;
+  options.ddcr.F = 16;
+  options.ddcr.m_static = 2;
+  options.ddcr.q = 16;
+  options.ddcr.class_width_c = Duration::microseconds(1);
+  options.ddcr.alpha = Duration::nanoseconds(0);
+  options.ddcr.max_empty_tts = 2;
+  return options;
+}
+
+Message demo_msg(std::int64_t uid, int source, std::int64_t arrival_ns,
+                 std::int64_t deadline_rel_ns) {
+  Message msg;
+  msg.uid = uid;
+  msg.class_id = source;
+  msg.source = source;
+  msg.l_bits = 100;
+  msg.arrival = SimTime::from_ns(arrival_ns);
+  msg.absolute_deadline = SimTime::from_ns(arrival_ns + deadline_rel_ns);
+  return msg;
+}
+
+FaultPlan demo_plan() {
+  // Station 1's six messages arrive at t = 500 ns; with 100 ns slots the
+  // first five observations are silence and successes follow back-to-back,
+  // so observation 8 is deterministically one of the successes. Station 0
+  // hears exactly that one as a collision.
+  FaultPlan plan;
+  plan.asymmetric.push_back(
+      {8, 9, 0, AsymmetricKind::kCorruptReceive, 1.0});
+  return plan;
+}
+
+void inject_demo_traffic(DdcrTestbed& bed) {
+  for (int i = 0; i < 6; ++i) {
+    bed.inject(1, demo_msg(10 + i, 1, 500, 12'000));
+  }
+}
+
+TEST(Watchdog, WithoutItAnAsymmetricFaultSilentlyDiverges) {
+  auto options = demo_options();
+  options.ddcr.enable_divergence_watchdog = false;
+  DdcrTestbed bed(2, options);
+  FaultInjector injector(demo_plan(), 1);
+  injector.install(bed.channel());
+  inject_demo_traffic(bed);
+
+  bed.run_until_delivered(6, SimTime::from_ns(1'000'000));
+  ASSERT_EQ(bed.metrics().log().size(), 6u);
+  ASSERT_EQ(injector.stats().asymmetric_corruptions, 1);
+
+  // Station 0 ran a phantom epoch and now carries a diverged reft; both
+  // stations report "synced" while their replicated state disagrees —
+  // the silent divergence the watchdog exists to catch.
+  EXPECT_TRUE(bed.station(0).synced());
+  EXPECT_FALSE(bed.digests_agree());
+  EXPECT_EQ(bed.station(0).counters().desyncs_detected, 0);
+  EXPECT_EQ(bed.station(0).counters().quarantines, 0);
+}
+
+TEST(Watchdog, DetectsTheDivergenceAndRecoversViaQuarantine) {
+  auto options = demo_options();  // watchdog on by default
+  DdcrTestbed bed(2, options);
+  FaultInjector injector(demo_plan(), 1);
+  injector.install(bed.channel());
+  inject_demo_traffic(bed);
+
+  bed.run_until_delivered(6, SimTime::from_ns(1'000'000));
+  ASSERT_EQ(injector.stats().asymmetric_corruptions, 1);
+
+  // The first success observed from inside the phantom epoch is protocol-
+  // impossible (deadline class outside the probed subtree): station 0
+  // detects its own divergence and self-quarantines.
+  EXPECT_EQ(bed.station(0).counters().desyncs_detected, 1);
+  EXPECT_EQ(bed.station(0).counters().quarantines, 1);
+
+  // Quarantine re-enters through the quiet-period certificate...
+  const auto threshold = options.ddcr.resync_silence_threshold();
+  bed.run(bed.simulator().now() + options.phy.slot_x * (threshold + 8));
+  EXPECT_TRUE(bed.station(0).synced());
+  EXPECT_EQ(bed.station(0).counters().rejoins, 1);
+
+  // ...and the next contention epoch restores full digest agreement.
+  const auto now = bed.simulator().now().ns();
+  bed.inject(0, demo_msg(100, 0, now + 1'000, 12'000));
+  bed.inject(1, demo_msg(101, 1, now + 1'000, 12'000));
+  bed.run_until_delivered(8, SimTime::from_ns(now + 1'000'000));
+  EXPECT_EQ(bed.metrics().log().size(), 8u);
+  EXPECT_TRUE(bed.digests_agree());
+}
+
+TEST(Watchdog, MissedCarrierSenseIsAlsoCaught) {
+  // Same scenario, but the victim misses the slot entirely (hears silence)
+  // during a static search it shares with the talkers: its engine prunes a
+  // subtree everyone else saw resolve, and a later success lands outside
+  // its (now diverged) probe interval.
+  auto options = demo_options();
+  DdcrTestbed bed(3, options);
+  FaultPlan plan;
+  // A window of missed receives for station 0 while an epoch resolves a
+  // three-way same-class tie.
+  plan.asymmetric.push_back({6, 10, 0, AsymmetricKind::kMissReceive, 1.0});
+  FaultInjector injector(plan, 1);
+  injector.install(bed.channel());
+  for (int s = 0; s < 3; ++s) {
+    bed.inject(s, demo_msg(s, s, 500, 12'000));
+  }
+  bed.run_until_delivered(3, SimTime::from_ns(1'000'000));
+  EXPECT_GT(injector.stats().asymmetric_misses, 0);
+
+  // Whether the watchdog fired depends on where the misses landed in the
+  // epoch; what must hold is: no silent divergence among synced stations.
+  const auto quarantines = bed.station(0).counters().quarantines;
+  if (bed.station(0).synced() && quarantines == 0) {
+    EXPECT_TRUE(bed.digests_agree());
+  } else {
+    EXPECT_GT(bed.station(0).counters().desyncs_detected, 0);
+  }
+}
+
+}  // namespace
+}  // namespace hrtdm::fault

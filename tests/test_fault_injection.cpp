@@ -7,6 +7,8 @@
 
 #include "core/ddcr_network.hpp"
 #include "core/ddcr_station.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "traffic/workload.hpp"
 #include "util/check.hpp"
 
@@ -207,6 +209,150 @@ TEST(Rejoin, RejectsUnsoundConfiguration) {
   options.ddcr.max_empty_tts = 0;
   DdcrTestbed bed(2, options);
   EXPECT_THROW(bed.station(0).reset_for_rejoin(), util::ContractViolation);
+}
+
+TEST(Rejoin, RejectsUnsoundConfigurationAtConstructionWhenRequired) {
+  // A run that intends to crash/rejoin can opt into the up-front check and
+  // get an actionable error at network construction instead of a deep
+  // failure inside reset_for_rejoin() later.
+  auto options = noisy_options(0.0);
+  options.ddcr.theta_factor = 1.0;
+  options.ddcr.max_empty_tts = 0;
+  options.require_rejoinable = true;
+  EXPECT_THROW(DdcrTestbed(2, options), util::ContractViolation);
+
+  options.ddcr.max_empty_tts = 2;  // bounded silence streaks: accepted
+  DdcrTestbed bed(2, options);
+  EXPECT_EQ(bed.station_count(), 2);
+}
+
+TEST(Rejoin, CrashDuringStaticSearchLeavesSurvivorsConsistent) {
+  // Three stations collide in the same deadline class, forcing the epoch
+  // into a static tree search; station 2 crashes while *inside* that
+  // search. The survivors must finish the (now smaller) search and deliver;
+  // the crashed station rejoins over a quiet channel and delivers its
+  // retained message afterwards.
+  auto options = noisy_options(0.0);
+  options.ddcr.max_empty_tts = 2;
+  DdcrTestbed bed(3, options);
+  for (int s = 0; s < 3; ++s) {
+    bed.inject(s, make_msg(s, s, 500, 12'000));
+  }
+  // Step slot-by-slot until station 2 is mid static search, then crash it.
+  const auto step = options.phy.slot_x;
+  while (bed.station(2).mode() != DdcrStation::Mode::kStaticSearch) {
+    bed.run(bed.simulator().now() + step);
+    ASSERT_LT(bed.simulator().now().ns(), 1'000'000) << "never reached STs";
+  }
+  bed.station(2).reset_for_rejoin();
+  EXPECT_FALSE(bed.station(2).synced());
+  EXPECT_EQ(bed.station(2).queue().size(), 1u);
+
+  // Survivors complete the epoch: step slot-by-slot (coarser runs would
+  // overshoot past the quiet-period rejoin) until their two deliveries are
+  // out, and check their digests agree while the crashed station is still
+  // resyncing.
+  while (bed.metrics().log().size() < 2u) {
+    bed.run(bed.simulator().now() + step);
+    ASSERT_LT(bed.simulator().now().ns(), 1'000'000) << "survivors stalled";
+  }
+  EXPECT_EQ(bed.station(0).protocol_digest(), bed.station(1).protocol_digest());
+
+  // The crashed station rejoins over the quiet channel and delivers its
+  // retained message once synced.
+  bed.run_until_delivered(3, SimTime::from_ns(20'000'000));
+  EXPECT_EQ(bed.metrics().log().size(), 3u);
+  EXPECT_TRUE(bed.station(2).synced());
+  EXPECT_EQ(bed.station(2).counters().rejoins, 1);
+
+  // A rejoined station carries reft = 0 until its next epoch; a fresh
+  // 3-way contention round resynchronises it and restores full agreement.
+  const auto now = bed.simulator().now().ns();
+  for (int s = 0; s < 3; ++s) {
+    bed.inject(s, make_msg(100 + s, s, now + 1'000, 12'000));
+  }
+  bed.run_until_delivered(6, SimTime::from_ns(now + 20'000'000));
+  EXPECT_EQ(bed.metrics().log().size(), 6u);
+  EXPECT_TRUE(bed.digests_agree());
+}
+
+TEST(Rejoin, CrashDuringPacketBurstReleasesTheChannel) {
+  // Station 0 wins the channel and is chaining continuation frames under
+  // the 802.3z-style burst budget when it crashes (scripted, at the slot
+  // boundary of its second continuation). A crashed station must not keep
+  // bursting from inside listen-only resync: the channel is released, the
+  // remaining message stays queued, and it goes out after the rejoin.
+  auto options = noisy_options(0.0);
+  options.ddcr.max_empty_tts = 2;
+  options.phy.burst_budget_bits = 400;
+  DdcrTestbed bed(2, options);
+  for (int i = 0; i < 4; ++i) {
+    bed.inject(0, make_msg(10 + i, 0, 500, 50'000));
+  }
+
+  // Arrivals at 500 ns with 100 ns slots: observations 0..4 are silence,
+  // 5 is the initial win, 6.. are burst continuations. Crash at the
+  // boundary of observation 7 — after the second continuation delivered,
+  // before the station is polled for the third.
+  fault::FaultPlan plan;
+  plan.crashes.push_back({7, 0});
+  fault::FaultInjector injector(std::move(plan), 1);
+  injector.set_crash_hook([&bed](int id) { bed.station(id).reset_for_rejoin(); });
+  injector.install(bed.channel());
+
+  // Run to just past the slot boundary following the crash (coarser runs
+  // would overshoot the short quiet-period rejoin): the burst is cut after
+  // two continuations and the channel falls silent.
+  bed.run(SimTime::from_ns(950));
+  ASSERT_EQ(injector.stats().crashes_fired, 1);
+  ASSERT_EQ(bed.metrics().log().size(), 3u);
+  EXPECT_EQ(bed.channel().stats().burst_continuations, 2);
+  EXPECT_FALSE(bed.station(0).synced());
+  EXPECT_EQ(bed.station(0).queue().size(), 1u);
+
+  // Quiet channel -> rejoin -> the retained fourth message goes out as a
+  // plain CSMA-CD success, not a burst continuation.
+  bed.run_until_delivered(4, SimTime::from_ns(10'000'000));
+  EXPECT_TRUE(bed.station(0).synced());
+  EXPECT_EQ(bed.station(0).counters().rejoins, 1);
+  EXPECT_EQ(bed.metrics().log().size(), 4u);
+  EXPECT_EQ(bed.channel().stats().burst_continuations, 2);
+  EXPECT_TRUE(bed.digests_agree());
+}
+
+TEST(Rejoin, TwoStationsWithOverlappingResyncWindows) {
+  // Station 2 starts its quiet-period count; station 3 crashes a few slots
+  // later, so their resync windows overlap. Both must certify
+  // independently (the certificate is pure listening — joiners do not
+  // disturb each other) and the four-way contention afterwards resolves
+  // consistently.
+  auto options = noisy_options(0.0);
+  options.ddcr.max_empty_tts = 2;
+  DdcrTestbed bed(4, options);
+  bed.inject(0, make_msg(1, 0, 0, 200'000));
+  bed.run_until_delivered(1, SimTime::from_ns(5'000'000));
+
+  bed.station(2).reset_for_rejoin();
+  bed.run(bed.simulator().now() + options.phy.slot_x * 5);
+  bed.station(3).reset_for_rejoin();
+  EXPECT_FALSE(bed.station(2).synced());
+  EXPECT_FALSE(bed.station(3).synced());
+
+  bed.run(bed.simulator().now() +
+          options.phy.slot_x * (options.ddcr.resync_silence_threshold() + 8));
+  EXPECT_TRUE(bed.station(2).synced());
+  EXPECT_TRUE(bed.station(3).synced());
+  EXPECT_EQ(bed.station(2).counters().rejoins, 1);
+  EXPECT_EQ(bed.station(3).counters().rejoins, 1);
+
+  const auto now = bed.simulator().now().ns();
+  for (int s = 0; s < 4; ++s) {
+    bed.inject(s, make_msg(100 + s, s, now + 1'000, 300'000));
+  }
+  bed.run_until_delivered(5, SimTime::from_ns(now + 20'000'000));
+  EXPECT_EQ(bed.metrics().log().size(), 5u);
+  EXPECT_TRUE(bed.digests_agree());
+  EXPECT_EQ(bed.metrics().summarize().misses, 0);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "analysis/feasibility.hpp"
 #include "analysis/feasibility_atm.hpp"
+#include "bench/harness.hpp"
 #include "core/ddcr_network.hpp"
 #include "traffic/fc_adapter.hpp"
 #include "traffic/workload.hpp"
@@ -17,6 +18,8 @@
 
 int main() {
   using namespace hrtdm;
+  bench::BenchReport report("atm_arbitration");
+  const bool smoke = bench::BenchReport::smoke();
 
   std::printf("%s", util::banner(
       "E13: destructive collisions vs ATM wired-OR arbitration "
@@ -39,8 +42,10 @@ int main() {
           wl.max_deadline(), options.ddcr.F);
       options.ddcr.alpha = options.ddcr.class_width_c * 2;
       options.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
-      options.arrival_horizon = sim::SimTime::from_ns(40'000'000);
-      options.drain_cap = sim::SimTime::from_ns(150'000'000);
+      options.arrival_horizon =
+          sim::SimTime::from_ns(smoke ? 5'000'000 : 40'000'000);
+      options.drain_cap =
+          sim::SimTime::from_ns(smoke ? 30'000'000 : 150'000'000);
       const auto result = core::run_ddcr(wl, options);
       std::int64_t epochs = 0;
       for (const auto& station : result.per_station) {
@@ -60,6 +65,18 @@ int main() {
            util::TextTable::cell(result.metrics.mean_latency_s * 1e6, 1),
            util::TextTable::cell(result.metrics.worst_latency_s * 1e6, 1),
            util::TextTable::cell(result.utilization * 100.0, 2)});
+      auto& row = report.add_row();
+      row["z"] = bench::Json(z);
+      row["mode"] = bench::Json(mode == net::CollisionMode::kDestructive
+                                    ? "destructive"
+                                    : "wired-OR");
+      row["delivered"] = bench::Json(result.metrics.delivered);
+      row["misses"] = bench::Json(result.metrics.misses);
+      row["collisions"] = bench::Json(result.channel.collision_slots);
+      row["arbitration_wins"] =
+          bench::Json(result.channel.arbitration_wins);
+      row["inversions"] = bench::Json(result.metrics.deadline_inversions);
+      row["utilization"] = bench::Json(result.utilization);
     }
   }
   std::printf("%s", out.str().c_str());
@@ -92,5 +109,6 @@ int main() {
     std::printf("(at x = 16 ns the bounds nearly coincide: tree search is "
                 "essentially free on an ATM internal bus)\n");
   }
+  report.write();
   return 0;
 }

@@ -7,12 +7,15 @@
 // inversions and latency.
 #include <cstdio>
 
+#include "bench/harness.hpp"
 #include "core/ddcr_network.hpp"
 #include "traffic/workload.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace hrtdm;
+  bench::BenchReport report("compressed_time");
+  const bool smoke = bench::BenchReport::smoke();
 
   // Deliberately under-dimensioned horizon: F * c = 64 * 100 us = 6.4 ms
   // while bulk deadlines reach 20 ms, so compressed time has real work.
@@ -30,8 +33,10 @@ int main() {
     options.ddcr.alpha = util::Duration::microseconds(200);
     options.ddcr.theta_factor = theta;
     options.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
-    options.arrival_horizon = sim::SimTime::from_ns(60'000'000);
-    options.drain_cap = sim::SimTime::from_ns(400'000'000);
+    options.arrival_horizon =
+        sim::SimTime::from_ns(smoke ? 10'000'000 : 60'000'000);
+    options.drain_cap =
+        sim::SimTime::from_ns(smoke ? 60'000'000 : 400'000'000);
     const auto result = core::run_ddcr(wl, options);
     std::int64_t compressions = 0;
     std::int64_t epochs = 0;
@@ -53,6 +58,14 @@ int main() {
                  util::TextTable::cell(result.metrics.mean_latency_s * 1e6, 1),
                  util::TextTable::cell(result.metrics.worst_latency_s * 1e6,
                                        1)});
+    auto& row = report.add_row();
+    row["theta_factor"] = bench::Json(theta);
+    row["delivered"] = bench::Json(result.metrics.delivered);
+    row["misses"] = bench::Json(result.metrics.misses);
+    row["idle_slots"] = bench::Json(result.channel.silence_slots);
+    row["inversions"] = bench::Json(result.metrics.deadline_inversions);
+    row["worst_latency_us"] =
+        bench::Json(result.metrics.worst_latency_s * 1e6);
   }
   std::printf("%s", out.str().c_str());
   std::printf(
@@ -60,5 +73,6 @@ int main() {
       "physical time (idle slots, high worst latency); large theta pulls "
       "them in early (fewer idle slots, more inversions as classes "
       "compress).\n");
+  report.write();
   return 0;
 }

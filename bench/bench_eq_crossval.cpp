@@ -7,11 +7,13 @@
 #include <cstdio>
 
 #include "analysis/xi.hpp"
+#include "bench/harness.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace hrtdm;
+  bench::BenchReport report("eq_crossval");
 
   std::printf("%s", util::banner(
       "E3: Eq.1 (exact DP) vs Eq.2/3 (divide&conquer) vs Eq.9/10 (closed)")
@@ -43,8 +45,16 @@ int main() {
                  util::TextTable::cell(table.t() + 1),
                  util::TextTable::cell(dnc_bad),
                  util::TextTable::cell(closed_bad)});
+    auto& row = report.add_row();
+    row["m"] = bench::Json(m);
+    row["n"] = bench::Json(n);
+    row["t"] = bench::Json(table.t());
+    row["dnc_mismatches"] = bench::Json(dnc_bad);
+    row["closed_mismatches"] = bench::Json(closed_bad);
   }
   std::printf("%s", out.str().c_str());
   std::printf("\nall characterisations agree: %s\n", all_ok ? "YES" : "NO");
+  report.metric("all_ok", all_ok);
+  report.write();
   return all_ok ? 0 : 1;
 }

@@ -8,11 +8,14 @@
 #include <cstdio>
 
 #include "analysis/xi.hpp"
+#include "bench/harness.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace hrtdm;
+  bench::BenchReport report("eq_specials");
+  bool identities_ok = true;
 
   std::printf("%s",
               util::banner("E4: special values Eq.5/6/7 per shape").c_str());
@@ -24,6 +27,11 @@ int main() {
          {Shape{2, 6}, {2, 10}, {3, 4}, {4, 3}, {4, 5}, {5, 3}, {8, 2}}) {
       analysis::XiExactTable table(m, n);
       const std::int64_t t = table.t();
+      identities_ok = identities_ok &&
+                      table.xi(2) == analysis::xi_two(m, t) &&
+                      table.xi(2 * t / m) ==
+                          analysis::xi_two_t_over_m(m, t) &&
+                      table.xi(t) == analysis::xi_full(m, t);
       out.add_row({util::TextTable::cell(static_cast<std::int64_t>(m)),
                    util::TextTable::cell(t),
                    util::TextTable::cell(table.xi(2)),
@@ -32,6 +40,12 @@ int main() {
                    util::TextTable::cell(analysis::xi_two_t_over_m(m, t)),
                    util::TextTable::cell(table.xi(t)),
                    util::TextTable::cell(analysis::xi_full(m, t))});
+      auto& row = report.add_row();
+      row["m"] = bench::Json(m);
+      row["t"] = bench::Json(t);
+      row["xi_2"] = bench::Json(table.xi(2));
+      row["xi_2t_over_m"] = bench::Json(table.xi(2 * t / m));
+      row["xi_t"] = bench::Json(table.xi(t));
     }
     std::printf("%s", out.str().c_str());
   }
@@ -65,5 +79,7 @@ int main() {
     }
     std::printf("%s", out.str().c_str());
   }
+  report.metric("eq567_identities_ok", identities_ok);
+  report.write();
   return 0;
 }

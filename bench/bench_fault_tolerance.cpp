@@ -12,15 +12,19 @@
 //    class the paper's broadcast assumption excludes, docs/FAULTS.md) at
 //    increasing per-station probability; reports the deadline-miss ratio
 //    and the desync-recovery latency of the watchdog + quarantine path.
-//    Emits a machine-readable JSON line alongside the table.
+//    Campaigns for each rate run per-seed on the deterministic thread
+//    pool. Results land in BENCH_fault_tolerance.json via the shared
+//    harness.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench/harness.hpp"
 #include "core/ddcr_network.hpp"
 #include "fault/campaign.hpp"
 #include "traffic/workload.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -43,6 +47,8 @@ DdcrRunOptions base_options(const traffic::Workload& wl) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("fault_tolerance");
+  const bool smoke = bench::BenchReport::smoke();
   const traffic::Workload wl = traffic::videoconference(8);
 
   std::printf("%s", util::banner(
@@ -54,6 +60,9 @@ int main() {
                          "worst lat us", "consistent"});
     for (const double p : {0.0, 0.01, 0.05, 0.1, 0.2, 0.4}) {
       auto options = base_options(wl);
+      if (smoke) {
+        options.arrival_horizon = sim::SimTime::from_ns(10'000'000);
+      }
       options.phy.corruption_prob = p;
       const auto result = core::run_ddcr(wl, options);
       out.add_row({util::TextTable::cell(p * 100.0, 1),
@@ -132,15 +141,30 @@ int main() {
       "E17: asymmetric receive-fault sweep (z = 4, watchdog on; per-station "
       "fault probability inside three scripted fault windows)").c_str());
   {
-    constexpr int kSeeds = 4;
+    const int kSeeds = smoke ? 2 : 4;
+    const int threads = kSeeds;  // per-seed campaigns on the worker pool
+    std::vector<std::uint64_t> seeds;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      seeds.push_back(static_cast<std::uint64_t>(seed));
+    }
+    report.set_threads(threads);
+    report.config("sweep_seeds", kSeeds);
+    report.config("sweep_stations", 4);
+    report.config("hardware_threads", util::ThreadPool::hardware_threads());
+
     util::TextTable out({"fault prob", "campaigns", "all passed",
                          "miss ratio", "desyncs", "quarantines",
                          "mean reconv obs", "max reconv obs"});
-    std::string json =
-        "{\"bench\":\"E17_asymmetric_sweep\",\"seeds\":" +
-        std::to_string(kSeeds) + ",\"points\":[";
-    bool first_point = true;
+    bool sweep_passed = true;
     for (const double p : {0.0, 0.002, 0.005, 0.01, 0.02, 0.05}) {
+      fault::CampaignOptions base;
+      base.stations = 4;
+      base.crashes = 0;
+      base.symmetric_bursts = 0;
+      base.asymmetric_bursts = 3;
+      base.asymmetric_prob = p;
+      const auto results = fault::run_campaigns(base, seeds, threads);
+
       std::int64_t generated = 0;
       std::int64_t misses = 0;
       std::int64_t desyncs = 0;
@@ -148,15 +172,7 @@ int main() {
       std::int64_t reconv_sum = 0;
       std::int64_t reconv_max = 0;
       bool all_passed = true;
-      for (int seed = 1; seed <= kSeeds; ++seed) {
-        fault::CampaignOptions options;
-        options.seed = static_cast<std::uint64_t>(seed);
-        options.stations = 4;
-        options.crashes = 0;
-        options.symmetric_bursts = 0;
-        options.asymmetric_bursts = 3;
-        options.asymmetric_prob = p;
-        const auto result = fault::run_campaign(options);
+      for (const auto& result : results) {
         all_passed = all_passed && result.passed();
         generated += result.generated;
         misses += result.misses;
@@ -165,6 +181,7 @@ int main() {
         reconv_sum += result.reconvergence_observations;
         reconv_max = std::max(reconv_max, result.reconvergence_observations);
       }
+      sweep_passed = sweep_passed && all_passed;
       const double miss_ratio =
           generated > 0 ? static_cast<double>(misses) /
                               static_cast<double>(generated)
@@ -179,21 +196,18 @@ int main() {
                    util::TextTable::cell(quarantines),
                    util::TextTable::cell(reconv_mean, 1),
                    util::TextTable::cell(reconv_max)});
-      char point[256];
-      std::snprintf(point, sizeof(point),
-                    "%s{\"p\":%g,\"all_passed\":%s,\"miss_ratio\":%.6f,"
-                    "\"desyncs\":%lld,\"quarantines\":%lld,"
-                    "\"mean_reconv_obs\":%.1f,\"max_reconv_obs\":%lld}",
-                    first_point ? "" : ",", p, all_passed ? "true" : "false",
-                    miss_ratio, static_cast<long long>(desyncs),
-                    static_cast<long long>(quarantines), reconv_mean,
-                    static_cast<long long>(reconv_max));
-      json += point;
-      first_point = false;
+      auto& row = report.add_row();
+      row["p"] = bench::Json(p);
+      row["all_passed"] = bench::Json(all_passed);
+      row["miss_ratio"] = bench::Json(miss_ratio);
+      row["desyncs"] = bench::Json(desyncs);
+      row["quarantines"] = bench::Json(quarantines);
+      row["mean_reconv_obs"] = bench::Json(reconv_mean);
+      row["max_reconv_obs"] = bench::Json(reconv_max);
     }
-    json += "]}";
     std::printf("%s", out.str().c_str());
-    std::printf("%s\n", json.c_str());
+    report.metric("sweep_all_passed", sweep_passed);
   }
+  report.write();
   return 0;
 }

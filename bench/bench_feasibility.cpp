@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "analysis/feasibility.hpp"
+#include "bench/harness.hpp"
 #include "traffic/fc_adapter.hpp"
 #include "traffic/workload.hpp"
 #include "util/table.hpp"
@@ -83,6 +84,7 @@ double feasibility_frontier(const traffic::Workload& wl) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("feasibility");
   const traffic::Workload workloads[] = {
       traffic::quickstart(8), traffic::videoconference(8),
       traffic::air_traffic_control(6), traffic::stock_exchange(8)};
@@ -105,7 +107,13 @@ int main() {
     out.add_row({wl.name, util::TextTable::cell(static_cast<std::int64_t>(wl.z())),
                  util::TextTable::cell(frontier, 2),
                  util::TextTable::cell(load_at, 2) + "%"});
+    auto& row = report.add_row();
+    row["workload"] = bench::Json(wl.name);
+    row["z"] = bench::Json(static_cast<std::int64_t>(wl.z()));
+    row["frontier_multiplier"] = bench::Json(frontier);
+    row["offered_load_pct_at_frontier"] = bench::Json(load_at);
   }
   std::printf("%s", out.str().c_str());
+  report.write();
   return 0;
 }

@@ -12,14 +12,19 @@
 #include <cstdio>
 
 #include "analysis/xi.hpp"
+#include "bench/harness.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace hrtdm;
+  bench::BenchReport report("fig1_quaternary");
   const int m = 4;
   const int n = 3;  // t = 64
   analysis::XiExactTable table(m, n);
   const std::int64_t t = table.t();
+  report.config("m", m);
+  report.config("n", n);
+  report.config("t", t);
 
   std::printf("%s", util::banner(
       "E1 / Fig. 1: worst-case search times, 64-leaf quaternary tree").c_str());
@@ -54,5 +59,12 @@ int main() {
   std::printf("peak of the staircase: k = 2t/m = %lld, xi = %lld\n",
               static_cast<long long>(2 * t / m),
               static_cast<long long>(table.xi(2 * t / m)));
+
+  report.metric("xi_2", table.xi(2));
+  report.metric("xi_32", table.xi(32));
+  report.metric("xi_64", table.xi(64));
+  report.metric("peak_k", 2 * t / m);
+  report.metric("peak_xi", table.xi(2 * t / m));
+  report.write();
   return 0;
 }

@@ -8,12 +8,15 @@
 #include <cstdio>
 
 #include "analysis/xi.hpp"
+#include "bench/harness.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace hrtdm;
+  bench::BenchReport report("fig2_binary_vs_quaternary");
   analysis::XiExactTable binary(2, 6);      // 2^6  = 64 leaves
   analysis::XiExactTable quaternary(4, 3);  // 4^3  = 64 leaves
+  report.config("leaves", static_cast<std::int64_t>(64));
 
   std::printf("%s", util::banner(
       "E2 / Fig. 2: 64-leaf binary vs quaternary worst-case search times")
@@ -36,5 +39,8 @@ int main() {
               "(strict somewhere: %s)\n",
               dominated_everywhere ? "CONFIRMED" : "VIOLATED",
               strict_somewhere ? "yes" : "no");
+  report.metric("quaternary_dominates", dominated_everywhere);
+  report.metric("strict_somewhere", strict_somewhere);
+  report.write();
   return dominated_everywhere ? 0 : 1;
 }

@@ -1,7 +1,15 @@
 // E15 — google-benchmark microbenchmarks: throughput of the analysis
 // kernels (exact DP, closed form, P2 DP, feasibility evaluation), the
 // tree-search engine, the event loop and a full protocol run.
+//
+// Custom main (instead of benchmark_main) so the JSON reporter output is
+// routed through the shared bench harness into BENCH_micro.json: the
+// google-benchmark result objects land verbatim in the artifact's "rows".
 #include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "bench/harness.hpp"
 
 #include "analysis/feasibility.hpp"
 #include "analysis/p2.hpp"
@@ -142,3 +150,45 @@ void BM_FullDdcrRun(benchmark::State& state) {
 BENCHMARK(BM_FullDdcrRun)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  hrtdm::bench::BenchReport report("micro");
+
+  // Smoke mode trims measurement time; explicit flags still win because
+  // Initialize consumes them after these defaults.
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (hrtdm::bench::BenchReport::smoke()) {
+    args.insert(args.begin() + 1, min_time.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+
+  // The JSON reporter runs as the *display* reporter (a custom file
+  // reporter would force --benchmark_out), captured into a stream and
+  // re-parsed into the shared artifact; a compact console summary is
+  // printed from the parsed rows below.
+  std::ostringstream json_stream;
+  benchmark::JSONReporter json;
+  json.SetOutputStream(&json_stream);
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&json);
+
+  const auto parsed = hrtdm::bench::Json::parse(json_stream.str());
+  report.metric("benchmarks_run", static_cast<std::int64_t>(ran));
+  if (parsed.contains("benchmarks")) {
+    for (const auto& entry : parsed.at("benchmarks").as_array()) {
+      report.add_row() = entry.as_object();
+      const double t = entry.contains("real_time")
+                           ? entry.at("real_time").as_double()
+                           : 0.0;
+      const std::string unit = entry.contains("time_unit")
+                                   ? entry.at("time_unit").as_string()
+                                   : "?";
+      std::printf("%-40s %14.1f %s\n", entry.at("name").as_string().c_str(),
+                  t, unit.c_str());
+    }
+  }
+  report.write();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,7 @@
 
 #include "analysis/optimal_m.hpp"
 #include "analysis/xi.hpp"
+#include "bench/harness.hpp"
 #include "core/ddcr_network.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
@@ -57,11 +58,14 @@ std::int64_t measured_epoch_slots(int m, std::int64_t F, std::int64_t k) {
 }  // namespace
 
 int main() {
+  hrtdm::bench::BenchReport report("optimal_m");
   std::printf("%s", util::banner(
       "E14: branching-degree study, 64 leaves required (cf. Fig. 2)")
       .c_str());
   {
     const auto study = analysis::compare_branching_degrees(64, 8);
+    report.metric("best_m_worst_case_64", study.best_m_worst_case);
+    report.metric("best_m_mean_64", study.best_m_mean);
     util::TextTable out({"m", "t", "worst xi", "mean xi", "dominated"});
     for (const auto& cand : study.candidates) {
       out.add_row({util::TextTable::cell(static_cast<std::int64_t>(cand.m)),
@@ -80,6 +84,8 @@ int main() {
       "E14: branching-degree study, 4096 leaves required").c_str());
   {
     const auto study = analysis::compare_branching_degrees(4096, 8, 256);
+    report.metric("best_m_worst_case_4096", study.best_m_worst_case);
+    report.metric("best_m_mean_4096", study.best_m_mean);
     util::TextTable out({"m", "t", "worst xi", "mean xi", "dominated"});
     for (const auto& cand : study.candidates) {
       out.add_row({util::TextTable::cell(static_cast<std::int64_t>(cand.m)),
@@ -103,15 +109,24 @@ int main() {
     analysis::XiExactTable t4(4, 3);
     analysis::XiExactTable t8(8, 2);
     for (const std::int64_t k : {2LL, 4LL, 6LL, 8LL, 12LL}) {
+      const std::int64_t s2 = measured_epoch_slots(2, 64, k);
+      const std::int64_t s4 = measured_epoch_slots(4, 64, k);
+      const std::int64_t s8 = measured_epoch_slots(8, 64, k);
       out.add_row({util::TextTable::cell(k),
-                   util::TextTable::cell(measured_epoch_slots(2, 64, k)),
-                   util::TextTable::cell(measured_epoch_slots(4, 64, k)),
-                   util::TextTable::cell(measured_epoch_slots(8, 64, k)),
+                   util::TextTable::cell(s2),
+                   util::TextTable::cell(s4),
+                   util::TextTable::cell(s8),
                    util::TextTable::cell(t2.xi(k)),
                    util::TextTable::cell(t4.xi(k)),
                    util::TextTable::cell(t8.xi(k))});
+      auto& row = report.add_row();
+      row["k"] = hrtdm::bench::Json(k);
+      row["slots_m2"] = hrtdm::bench::Json(s2);
+      row["slots_m4"] = hrtdm::bench::Json(s4);
+      row["slots_m8"] = hrtdm::bench::Json(s8);
     }
     std::printf("%s", out.str().c_str());
   }
+  report.write();
   return 0;
 }

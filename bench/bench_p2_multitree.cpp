@@ -10,10 +10,12 @@
 #include <sstream>
 
 #include "analysis/p2.hpp"
+#include "bench/harness.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace hrtdm;
+  bench::BenchReport report("p2_multitree");
 
   std::printf("%s", util::banner(
       "E6: multi-tree worst case vs P2 bound (Eq. 19)").c_str());
@@ -51,6 +53,14 @@ int main() {
                    util::TextTable::cell(bound, 2), ok ? "yes" : "NO",
                    util::TextTable::cell(bound - static_cast<double>(exact), 2),
                    comp.str()});
+      auto& row = report.add_row();
+      row["m"] = bench::Json(m);
+      row["t"] = bench::Json(t);
+      row["v"] = bench::Json(v);
+      row["u"] = bench::Json(u);
+      row["exhaustive_max"] = bench::Json(exact);
+      row["p2_bound"] = bench::Json(bound);
+      row["bound_ok"] = bench::Json(ok);
     }
   }
   std::printf("%s", out.str().c_str());
@@ -60,5 +70,7 @@ int main() {
                   analysis::p2_bound_alt(4, 64, 80, 4));
   std::printf("bound dominates exhaustive maximum everywhere: %s\n",
               all_ok ? "YES" : "NO");
+  report.metric("bound_dominates", all_ok);
+  report.write();
   return all_ok ? 0 : 1;
 }

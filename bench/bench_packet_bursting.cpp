@@ -5,12 +5,15 @@
 // falling as the budget grows.
 #include <cstdio>
 
+#include "bench/harness.hpp"
 #include "core/ddcr_network.hpp"
 #include "traffic/workload.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace hrtdm;
+  bench::BenchReport report("packet_bursting");
+  const bool smoke = bench::BenchReport::smoke();
   const traffic::Workload wl = traffic::videoconference(10);
 
   std::printf("%s", util::banner(
@@ -26,8 +29,10 @@ int main() {
         core::DdcrConfig::class_width_for(wl.max_deadline(), options.ddcr.F);
     options.ddcr.alpha = options.ddcr.class_width_c * 2;
     options.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
-    options.arrival_horizon = sim::SimTime::from_ns(100'000'000);
-    options.drain_cap = sim::SimTime::from_ns(400'000'000);
+    options.arrival_horizon =
+        sim::SimTime::from_ns(smoke ? 10'000'000 : 100'000'000);
+    options.drain_cap =
+        sim::SimTime::from_ns(smoke ? 60'000'000 : 400'000'000);
     const auto result = core::run_ddcr(wl, options);
     std::int64_t epochs = 0;
     for (const auto& station : result.per_station) {
@@ -45,7 +50,15 @@ int main() {
                  util::TextTable::cell(result.metrics.mean_latency_s * 1e6, 1),
                  util::TextTable::cell(result.metrics.p99_latency_s * 1e6, 1),
                  util::TextTable::cell(result.utilization * 100.0, 2)});
+    auto& row = report.add_row();
+    row["burst_bytes"] = bench::Json(burst_bytes);
+    row["delivered"] = bench::Json(result.metrics.delivered);
+    row["misses"] = bench::Json(result.metrics.misses);
+    row["bursts"] = bench::Json(result.channel.burst_continuations);
+    row["inversions"] = bench::Json(result.metrics.deadline_inversions);
+    row["utilization"] = bench::Json(result.utilization);
   }
   std::printf("%s", out.str().c_str());
+  report.write();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "baseline/runner.hpp"
+#include "bench/harness.hpp"
 #include "core/ddcr_config.hpp"
 #include "traffic/workload.hpp"
 #include "util/table.hpp"
@@ -16,6 +17,8 @@
 int main() {
   using namespace hrtdm;
   using baseline::Protocol;
+  bench::BenchReport report("protocol_compare");
+  const bool smoke = bench::BenchReport::smoke();
 
   std::printf("%s", util::banner(
       "E10: deadline-miss ratio and latency vs offered load "
@@ -32,8 +35,10 @@ int main() {
         wl.max_deadline(), options.base.ddcr.F);
     options.base.ddcr.alpha = options.base.ddcr.class_width_c * 2;
     options.base.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
-    options.base.arrival_horizon = sim::SimTime::from_ns(60'000'000);
-    options.base.drain_cap = sim::SimTime::from_ns(300'000'000);
+    options.base.arrival_horizon =
+        sim::SimTime::from_ns(smoke ? 10'000'000 : 60'000'000);
+    options.base.drain_cap =
+        sim::SimTime::from_ns(smoke ? 60'000'000 : 300'000'000);
     options.dcr_q = 64;
 
     for (const Protocol protocol :
@@ -53,8 +58,20 @@ int main() {
            util::TextTable::cell(result.metrics.p99_latency_s * 1e6, 1),
            util::TextTable::cell(result.metrics.deadline_inversions),
            util::TextTable::cell(result.utilization * 100.0, 1)});
+      auto& row = report.add_row();
+      row["load_factor"] = bench::Json(factor);
+      row["protocol"] = bench::Json(baseline::protocol_name(protocol));
+      row["delivered"] = bench::Json(result.metrics.delivered);
+      row["miss_ratio"] = bench::Json(result.miss_ratio());
+      row["mean_latency_us"] =
+          bench::Json(result.metrics.mean_latency_s * 1e6);
+      row["p99_latency_us"] = bench::Json(result.metrics.p99_latency_s * 1e6);
+      row["deadline_inversions"] =
+          bench::Json(result.metrics.deadline_inversions);
+      row["utilization"] = bench::Json(result.utilization);
     }
   }
   std::printf("%s", out.str().c_str());
+  report.write();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "analysis/feasibility.hpp"
+#include "bench/harness.hpp"
 #include "core/ddcr_network.hpp"
 #include "traffic/fc_adapter.hpp"
 #include "traffic/workload.hpp"
@@ -19,7 +20,7 @@ namespace {
 using namespace hrtdm;
 
 void sweep_workload(const traffic::Workload& wl, util::TextTable& out,
-                    bool& all_sound) {
+                    bool& all_sound, bench::BenchReport& report) {
   core::DdcrRunOptions options;
   options.ddcr.class_width_c =
       core::DdcrConfig::class_width_for(wl.max_deadline(), options.ddcr.F);
@@ -60,6 +61,13 @@ void sweep_workload(const traffic::Workload& wl, util::TextTable& out,
                        bound.b_ddcr_s > 0 ? measured / bound.b_ddcr_s : 0.0,
                        3),
                    bound.feasible ? "yes" : "no", sound ? "yes" : "NO"});
+      auto& row = report.add_row();
+      row["workload"] = bench::Json(wl.name);
+      row["class"] = bench::Json(cls.name);
+      row["measured_worst_us"] = bench::Json(measured * 1e6);
+      row["b_ddcr_us"] = bench::Json(bound.b_ddcr_s * 1e6);
+      row["fc_feasible"] = bench::Json(bound.feasible);
+      row["sound"] = bench::Json(sound);
     }
   }
 }
@@ -67,18 +75,21 @@ void sweep_workload(const traffic::Workload& wl, util::TextTable& out,
 }  // namespace
 
 int main() {
+  bench::BenchReport report("sim_vs_bound");
   std::printf("%s", util::banner(
       "E9: measured worst latency vs B_DDCR under the saturating adversary")
       .c_str());
   util::TextTable out({"workload", "class", "measured worst (us)",
                        "B_DDCR (us)", "ratio", "FC feasible", "sound"});
   bool all_sound = true;
-  sweep_workload(traffic::quickstart(4), out, all_sound);
-  sweep_workload(traffic::quickstart(8), out, all_sound);
-  sweep_workload(traffic::videoconference(6), out, all_sound);
-  sweep_workload(traffic::air_traffic_control(4), out, all_sound);
+  sweep_workload(traffic::quickstart(4), out, all_sound, report);
+  sweep_workload(traffic::quickstart(8), out, all_sound, report);
+  sweep_workload(traffic::videoconference(6), out, all_sound, report);
+  sweep_workload(traffic::air_traffic_control(4), out, all_sound, report);
   std::printf("%s", out.str().c_str());
   std::printf("\nbound dominates every measured worst case: %s\n",
               all_sound ? "YES" : "NO");
+  report.metric("all_sound", all_sound);
+  report.write();
   return all_sound ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/xi.hpp"
+#include "bench/harness.hpp"
 #include "core/ddcr_network.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
@@ -61,12 +62,14 @@ std::int64_t measure_search_slots(int m, std::int64_t F,
 }  // namespace
 
 int main() {
+  hrtdm::bench::BenchReport report("sim_vs_xi");
   std::printf("%s", util::banner(
       "E8: measured time-tree search slots vs xi(k, F) "
       "(adversarial placements)").c_str());
   util::TextTable out({"m", "F", "k", "xi(k,F)", "measured+root", "match",
                        "within bound"});
   bool all_match = true;
+  std::int64_t placements = 0;
   struct Shape { int m; int n; };
   for (const auto& [m, n] : {Shape{2, 4}, {2, 5}, {2, 6}, {4, 2}, {4, 3}}) {
     analysis::XiExactTable table(m, n);
@@ -77,6 +80,7 @@ int main() {
       const bool match = measured == table.xi(k);
       const bool bounded = measured <= table.xi(k);
       all_match = all_match && match;
+      ++placements;
       out.add_row({util::TextTable::cell(static_cast<std::int64_t>(m)),
                    util::TextTable::cell(F), util::TextTable::cell(k),
                    util::TextTable::cell(table.xi(k)),
@@ -87,5 +91,8 @@ int main() {
   std::printf("%s", out.str().c_str());
   std::printf("\nsimulated adversarial searches realise xi exactly: %s\n",
               all_match ? "YES" : "NO");
+  report.metric("placements_checked", placements);
+  report.metric("all_exact", all_match);
+  report.write();
   return all_match ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/xi.hpp"
+#include "bench/harness.hpp"
 #include "core/ddcr_network.hpp"
 #include "core/tree_search.hpp"
 #include "traffic/workload.hpp"
@@ -46,6 +47,8 @@ std::int64_t drive_slots(core::TreeSearchEngine& engine,
 }  // namespace
 
 int main() {
+  hrtdm::bench::BenchReport report("skip_inference");
+  const bool smoke = hrtdm::bench::BenchReport::smoke();
   std::printf("%s", util::banner(
       "E20: last-child inference vs Eq. 1 on adversarial placements "
       "(binary 64-leaf tree)").c_str());
@@ -69,6 +72,11 @@ int main() {
                        100.0 * static_cast<double>(base - opt) /
                            static_cast<double>(base),
                        1)});
+      auto& row = report.add_row();
+      row["k"] = hrtdm::bench::Json(k);
+      row["plain_slots"] = hrtdm::bench::Json(base);
+      row["inferred_slots"] = hrtdm::bench::Json(opt);
+      row["saved"] = hrtdm::bench::Json(base - opt);
     }
     std::printf("%s", out.str().c_str());
     std::printf("(plain realises xi exactly; the saving is one collision "
@@ -90,8 +98,10 @@ int main() {
           wl.max_deadline(), options.ddcr.F);
       options.ddcr.alpha = options.ddcr.class_width_c * 2;
       options.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
-      options.arrival_horizon = sim::SimTime::from_ns(60'000'000);
-      options.drain_cap = sim::SimTime::from_ns(300'000'000);
+      options.arrival_horizon =
+          sim::SimTime::from_ns(smoke ? 10'000'000 : 60'000'000);
+      options.drain_cap =
+          sim::SimTime::from_ns(smoke ? 60'000'000 : 300'000'000);
       options.check_consistency = true;
       const auto result = core::run_ddcr(wl, options);
       out.add_row({infer ? "on" : "off",
@@ -103,8 +113,15 @@ int main() {
                    util::TextTable::cell(result.metrics.p99_latency_s * 1e6,
                                          1),
                    result.consistency_ok ? "yes" : "NO"});
+      auto& row = report.add_row();
+      row["inference"] = hrtdm::bench::Json(infer);
+      row["delivered"] = hrtdm::bench::Json(result.metrics.delivered);
+      row["collision_slots"] =
+          hrtdm::bench::Json(result.channel.collision_slots);
+      row["consistent"] = hrtdm::bench::Json(result.consistency_ok);
     }
     std::printf("%s", out.str().c_str());
   }
+  report.write();
   return 0;
 }

@@ -12,10 +12,13 @@
 #include <cstdio>
 
 #include "analysis/xi.hpp"
+#include "bench/harness.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace hrtdm;
+  bench::BenchReport artifact("tightness");
+  bool even_bound_ok = true;
 
   std::printf("%s", util::banner(
       "E5: asymptote tightness per shape (Eq. 12/13)").c_str());
@@ -30,8 +33,16 @@ int main() {
                                {6, 4},      {8, 4}, {9, 3}}) {
       analysis::XiExactTable table(m, n);
       const auto report = analysis::max_asymptote_gap(table);
+      even_bound_ok =
+          even_bound_ok && report.max_gap_even <= report.bound + 1e-9;
       const std::int64_t lo = 2 * table.t() / (m * m);
       const std::int64_t hi = 2 * table.t() / m;
+      auto& row = artifact.add_row();
+      row["m"] = bench::Json(m);
+      row["t"] = bench::Json(table.t());
+      row["max_gap_even"] = bench::Json(report.max_gap_even);
+      row["bound"] = bench::Json(report.bound);
+      row["max_gap_all"] = bench::Json(report.max_gap);
       out.add_row(
           {util::TextTable::cell(static_cast<std::int64_t>(m)),
            util::TextTable::cell(table.t()),
@@ -60,5 +71,8 @@ int main() {
     std::printf("\nEq. 14: sup_m g(m) = g(9) = %.5f  (paper: <= 9.54%% t)\n",
                 analysis::tightness_bound_universal());
   }
+  artifact.metric("even_bound_ok", even_bound_ok);
+  artifact.metric("g_supremum", analysis::tightness_bound_universal());
+  artifact.write();
   return 0;
 }

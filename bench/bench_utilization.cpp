@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "analysis/efficiency.hpp"
+#include "bench/harness.hpp"
 #include "core/ddcr_network.hpp"
 #include "traffic/workload.hpp"
 #include "util/table.hpp"
@@ -56,6 +57,7 @@ double simulated_saturated_utilization(int z, std::int64_t l_bits) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("utilization");
   std::printf("%s", util::banner(
       "E16: worst-case channel efficiency eta(k) on Gigabit Ethernet "
       "(x = 4.096 us)").c_str());
@@ -108,6 +110,11 @@ int main() {
                      std::to_string(bytes) + "B",
                      util::TextTable::cell(measured, 3),
                      util::TextTable::cell(analytic, 3)});
+        auto& row = report.add_row();
+        row["z"] = bench::Json(z);
+        row["frame_bytes"] = bench::Json(bytes);
+        row["measured_utilization"] = bench::Json(measured);
+        row["analytic_worst_case"] = bench::Json(analytic);
       }
     }
     std::printf("%s", out.str().c_str());
@@ -115,5 +122,6 @@ int main() {
                 "assumes maximally adversarial leaf placements on every "
                 "epoch)\n");
   }
+  report.write();
   return 0;
 }

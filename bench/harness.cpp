@@ -1,0 +1,472 @@
+#include "bench/harness.hpp"
+
+#include <sys/stat.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hrtdm::bench {
+
+// --- Json accessors ------------------------------------------------------
+
+bool Json::as_bool() const {
+  HRTDM_EXPECT(kind_ == Kind::kBool, "Json value is not a bool");
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  HRTDM_EXPECT(kind_ == Kind::kInt, "Json value is not an integer");
+  return int_;
+}
+
+double Json::as_double() const {
+  if (kind_ == Kind::kInt) {
+    return static_cast<double>(int_);
+  }
+  HRTDM_EXPECT(kind_ == Kind::kDouble, "Json value is not numeric");
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  HRTDM_EXPECT(kind_ == Kind::kString, "Json value is not a string");
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  HRTDM_EXPECT(kind_ == Kind::kArray, "Json value is not an array");
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  HRTDM_EXPECT(kind_ == Kind::kObject, "Json value is not an object");
+  return object_;
+}
+
+Json::Array& Json::as_array() {
+  HRTDM_EXPECT(kind_ == Kind::kArray, "Json value is not an array");
+  return array_;
+}
+
+Json::Object& Json::as_object() {
+  HRTDM_EXPECT(kind_ == Kind::kObject, "Json value is not an object");
+  return object_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  HRTDM_EXPECT(it != obj.end(), "Json object has no member '" + key + "'");
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  const Object& obj = as_object();
+  return obj.find(key) != obj.end();
+}
+
+// --- Json writer ---------------------------------------------------------
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_value(const Json& value, std::string& out) {
+  switch (value.kind()) {
+    case Json::Kind::kNull:
+      out += "null";
+      return;
+    case Json::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case Json::Kind::kInt: {
+      out += std::to_string(value.as_int());
+      return;
+    }
+    case Json::Kind::kDouble: {
+      const double d = value.as_double();
+      HRTDM_EXPECT(d == d, "cannot serialize NaN to JSON");
+      char buf[40];
+      // %.17g round-trips every finite double exactly.
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      std::string text = buf;
+      // Keep the value typed as a number on re-parse: ensure a decimal
+      // point or exponent survives formatting of integral doubles.
+      if (text.find_first_of(".eE") == std::string::npos &&
+          text.find_first_of("0123456789") != std::string::npos) {
+        text += ".0";
+      }
+      HRTDM_EXPECT(text.find("inf") == std::string::npos,
+                   "cannot serialize infinity to JSON");
+      out += text;
+      return;
+    }
+    case Json::Kind::kString:
+      dump_string(value.as_string(), out);
+      return;
+    case Json::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& item : value.as_array()) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        dump_value(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case Json::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, item] : value.as_object()) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        dump_string(key, out);
+        out += ':';
+        dump_value(item, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+// --- Json parser ---------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    const Json value = parse_value();
+    skip_ws();
+    expect(pos_ == text_.size(), "trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  void expect(bool cond, const std::string& message) {
+    HRTDM_EXPECT(cond, "JSON parse error at offset " + std::to_string(pos_) +
+                           ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    expect(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      return parse_object();
+    }
+    if (c == '[') {
+      return parse_array();
+    }
+    if (c == '"') {
+      return Json(parse_string());
+    }
+    if (consume_word("true")) {
+      return Json(true);
+    }
+    if (consume_word("false")) {
+      return Json(false);
+    }
+    if (consume_word("null")) {
+      return Json();
+    }
+    return parse_number();
+  }
+
+  Json parse_object() {
+    consume('{');
+    Json::Object obj;
+    skip_ws();
+    if (consume('}')) {
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      expect(peek() == '"', "expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(consume(':'), "expected ':' after object key");
+      obj.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (consume(',')) {
+        continue;
+      }
+      expect(consume('}'), "expected ',' or '}' in object");
+      return Json(std::move(obj));
+    }
+  }
+
+  Json parse_array() {
+    consume('[');
+    Json::Array arr;
+    skip_ws();
+    if (consume(']')) {
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (consume(',')) {
+        continue;
+      }
+      expect(consume(']'), "expected ',' or ']' in array");
+      return Json(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect(consume('"'), "expected string");
+    std::string out;
+    for (;;) {
+      expect(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      expect(pos_ < text_.size(), "unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          expect(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              expect(false, "bad hex digit in \\u escape");
+            }
+          }
+          expect(code < 0x80, "\\u escape beyond ASCII is not supported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          expect(false, "unknown escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (consume('.')) {
+      is_double = true;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    expect(!token.empty() && token != "-", "expected a number");
+    try {
+      if (is_double) {
+        return Json(std::stod(token));
+      }
+      return Json(static_cast<std::int64_t>(std::stoll(token)));
+    } catch (const std::exception&) {
+      expect(false, "unparseable number '" + token + "'");
+    }
+    return Json();  // unreachable
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+// --- BenchReport ---------------------------------------------------------
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+  HRTDM_EXPECT(!name_.empty(), "bench report needs a name");
+}
+
+void BenchReport::config(const std::string& key, Json value) {
+  config_[key] = std::move(value);
+}
+
+void BenchReport::metric(const std::string& key, Json value) {
+  metrics_[key] = std::move(value);
+}
+
+Json::Object& BenchReport::add_row() {
+  rows_.emplace_back(Json::Object{});
+  return rows_.back().as_object();
+}
+
+void BenchReport::set_threads(int threads) {
+  HRTDM_EXPECT(threads >= 1, "thread count must be >= 1");
+  threads_ = threads;
+}
+
+Json BenchReport::to_json() const {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  Json::Object root;
+  root["schema"] = Json(kSchema);
+  root["name"] = Json(name_);
+  root["threads"] = Json(threads_);
+  root["smoke"] = Json(smoke());
+  root["wall_clock_s"] = Json(wall);
+  root["config"] = Json(config_);
+  root["metrics"] = Json(metrics_);
+  root["rows"] = Json(rows_);
+  return Json(std::move(root));
+}
+
+std::string BenchReport::write() const {
+  const std::string path = output_dir() + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  HRTDM_EXPECT(out.good(), "cannot open bench artifact '" + path + "'");
+  out << to_json().dump() << "\n";
+  out.close();
+  HRTDM_EXPECT(out.good(), "failed writing bench artifact '" + path + "'");
+  std::printf("[bench] wrote %s\n", path.c_str());
+  return path;
+}
+
+bool BenchReport::smoke() {
+  const char* env = std::getenv("HRTDM_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+namespace {
+
+bool exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::string BenchReport::output_dir() {
+  if (const char* env = std::getenv("HRTDM_BENCH_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  // Walk up from the working directory to the repo root, recognised by the
+  // markers a build tree never contains.
+  std::string dir = ".";
+  for (int depth = 0; depth < 12; ++depth) {
+    if (exists(dir + "/ROADMAP.md") || exists(dir + "/.git")) {
+      return dir;
+    }
+    dir += "/..";
+    if (!exists(dir)) {
+      break;
+    }
+  }
+  return ".";
+}
+
+}  // namespace hrtdm::bench

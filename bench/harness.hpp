@@ -1,0 +1,137 @@
+// Shared bench harness: every bench_* binary routes its results through a
+// BenchReport, which emits a schema-versioned machine-readable artifact at
+// a stable path — `BENCH_<name>.json` in the repo root (or $HRTDM_BENCH_DIR)
+// — so successive PRs accumulate a comparable perf trajectory instead of
+// scrollback tables.
+//
+// Artifact schema (kSchema = "hrtdm-bench-v1"):
+//
+//   {
+//     "schema":       "hrtdm-bench-v1",
+//     "name":         "<bench name>",
+//     "threads":      <worker threads the bench used>,
+//     "smoke":        <true when HRTDM_BENCH_SMOKE trimmed the config>,
+//     "wall_clock_s": <whole-bench wall clock, seconds>,
+//     "config":       { flat key -> scalar map },
+//     "metrics":      { flat key -> scalar map },
+//     "rows":         [ per-sweep-point objects, possibly empty ]
+//   }
+//
+// The harness also owns the two environment knobs the bench ctest wiring
+// uses: HRTDM_BENCH_SMOKE=1 asks benches to shrink their configuration to
+// a seconds-scale smoke run (ctest target: bench_smoke), HRTDM_BENCH_DIR
+// redirects the artifact directory.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hrtdm::bench {
+
+/// Minimal JSON value — just enough to write and re-read the artifact
+/// schema above (objects, arrays, strings, int64/double numbers, bools,
+/// null). Object keys serialize in sorted order, so dumps are
+/// deterministic.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(std::int64_t i) : kind_(Kind::kInt), int_(i) {}
+  Json(int i) : kind_(Kind::kInt), int_(i) {}
+  Json(double d) : kind_(Kind::kDouble), double_(d) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+  Json(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; each contract-fails when the kind does not match.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  /// Numeric accessor: accepts kInt and kDouble.
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object member access; contract-fails when absent or not an object.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Compact single-line rendering. Doubles print with enough digits to
+  /// round-trip exactly through parse().
+  std::string dump() const;
+
+  /// Strict parser for the dump() dialect (standard JSON minus exotic
+  /// escapes: \uXXXX is accepted for ASCII code points only).
+  /// Contract-fails with an offset-tagged message on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+class BenchReport {
+ public:
+  static constexpr const char* kSchema = "hrtdm-bench-v1";
+
+  /// `name` is the artifact key: the report writes BENCH_<name>.json.
+  /// The wall clock starts here.
+  explicit BenchReport(std::string name);
+
+  /// Flat config / metric scalars (config = inputs, metrics = outcomes).
+  void config(const std::string& key, Json value);
+  void metric(const std::string& key, Json value);
+
+  /// Appends an entry to "rows" (one per sweep point) and returns it for
+  /// in-place population.
+  Json::Object& add_row();
+
+  /// Worker threads the bench used (recorded in the artifact; default 1).
+  void set_threads(int threads);
+
+  /// The full artifact, with wall_clock_s as of now.
+  Json to_json() const;
+
+  /// Writes BENCH_<name>.json into output_dir() and returns the path.
+  /// Also prints a one-line pointer to stdout so interactive runs see
+  /// where the artifact went.
+  std::string write() const;
+
+  /// True when HRTDM_BENCH_SMOKE is set to a non-empty, non-"0" value:
+  /// benches should shrink sweeps/horizons to a seconds-scale sanity run.
+  static bool smoke();
+
+  /// Artifact directory: $HRTDM_BENCH_DIR when set; otherwise the nearest
+  /// ancestor of the current directory containing ROADMAP.md or .git (the
+  /// repo root, however deep the build tree the bench runs from);
+  /// otherwise the current directory.
+  static std::string output_dir();
+
+ private:
+  std::string name_;
+  int threads_ = 1;
+  Json::Object config_;
+  Json::Object metrics_;
+  Json::Array rows_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hrtdm::bench

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "util/check.hpp"
@@ -93,7 +94,9 @@ std::int64_t xi_dnc(int m, std::int64_t t, std::int64_t k) {
   check_tree_shape(m, t);
   HRTDM_EXPECT(k >= 0 && k <= t, "k must lie in [0, t]");
 
-  // Memo shared across calls, keyed by (m, t, k).
+  // Memo shared across calls, keyed by (m, t, k). Callers may now run on
+  // the util::ThreadPool workers, so the shared memo is mutex-guarded.
+  static std::mutex memo_mu;
   static std::map<std::tuple<int, std::int64_t, std::int64_t>, std::int64_t>
       memo;
 
@@ -110,8 +113,11 @@ std::int64_t xi_dnc(int m, std::int64_t t, std::int64_t k) {
         return 1 + m - k;  // Eq. 4 (k = 2p even here)
       }
       const auto key = std::make_tuple(m, t, k);
-      if (const auto it = memo.find(key); it != memo.end()) {
-        return it->second;
+      {
+        std::lock_guard<std::mutex> lock(memo_mu);
+        if (const auto it = memo.find(key); it != memo.end()) {
+          return it->second;
+        }
       }
       const std::int64_t p = k / 2;
       const std::int64_t s = t / m;
@@ -120,6 +126,7 @@ std::int64_t xi_dnc(int m, std::int64_t t, std::int64_t k) {
         sum += eval(s, 2 * ((std::min(p, s) + i) / m));
       }
       sum -= 2 * std::max<std::int64_t>(0, p - s);
+      std::lock_guard<std::mutex> lock(memo_mu);
       memo[key] = sum;
       return sum;
     }

@@ -178,7 +178,11 @@ DdcrRunResult run_ddcr(const traffic::Workload& workload,
   DdcrRunResult result;
   result.metrics = metrics.summarize();
   result.channel = channel.stats();
+  result.protocol_digest = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
   for (const auto& station : stations) {
+    result.protocol_digest =
+        (result.protocol_digest ^ station->protocol_digest()) *
+        0x100000001b3ULL;
     result.per_station.push_back(station->counters());
     result.dropped_late += station->counters().dropped_late;
     result.desyncs_detected += station->counters().desyncs_detected;

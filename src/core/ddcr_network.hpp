@@ -51,6 +51,11 @@ struct DdcrRunResult {
   std::int64_t rejoins = 0;          ///< completed quiet-period rejoins
   double utilization = 0.0;      ///< busy fraction of channel time
   bool consistency_ok = true;    ///< all digests agreed on every slot
+  /// Order-sensitive combination (FNV-1a chain, station order) of every
+  /// station's protocol_digest() at the end of the run — the replicated
+  /// protocol state as one number, used by the serial-vs-parallel
+  /// determinism tests.
+  std::uint64_t protocol_digest = 0;
 };
 
 /// Runs the workload through a CSMA/DDCR network and returns the metrics.

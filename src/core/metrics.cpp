@@ -61,11 +61,14 @@ std::int64_t count_deadline_inversions(const std::vector<TxRecord>& log) {
   if (n < 2) {
     return 0;
   }
-  // Completion order is required (the channel serialises transmissions).
+  // The sweep below relies on tx_start being non-decreasing, which holds
+  // for any log produced by the (serialising) channel. Reject anything
+  // else — a spliced or reordered log would silently produce a wrong
+  // count. (An earlier guard `completed <= tx_start || tx_start <=
+  // tx_start` was vacuously true for every completion-ordered pair.)
   for (std::size_t i = 1; i < n; ++i) {
-    HRTDM_EXPECT(log[i - 1].completed <= log[i].tx_start ||
-                     log[i - 1].tx_start <= log[i].tx_start,
-                 "transmission log must be completion-ordered");
+    HRTDM_EXPECT(log[i - 1].tx_start <= log[i].tx_start,
+                 "transmission log must be ordered by tx_start");
   }
 
   // inv = #{(i, j) : i < j, deadline_i > deadline_j, tx_start_i >= arrival_j}

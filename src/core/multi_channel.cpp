@@ -5,6 +5,8 @@
 #include <map>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hrtdm::core {
 
@@ -85,18 +87,31 @@ traffic::Workload channel_workload(const traffic::Workload& workload,
   return sub;
 }
 
+std::uint64_t channel_seed(std::uint64_t base, int channel) {
+  HRTDM_EXPECT(channel >= 0, "channel index must be non-negative");
+  util::SplitMix64 mix(base);
+  std::uint64_t seed = mix.next();
+  for (int i = 0; i < channel; ++i) {
+    seed = mix.next();
+  }
+  return seed;
+}
+
 MultiChannelResult run_multi_channel(const traffic::Workload& workload,
                                      int channels,
-                                     const DdcrRunOptions& options) {
+                                     const DdcrRunOptions& options,
+                                     int threads) {
   MultiChannelResult result;
   result.plan = plan_channels(workload, channels);
 
+  // Stage the per-channel sub-workloads serially (cheap), then run the
+  // simulations — the expensive, fully independent part — on the pool.
+  // Each run writes only its own slot, so the aggregate below is invariant
+  // under thread count.
+  std::vector<traffic::Workload> subs;
+  subs.reserve(static_cast<std::size_t>(channels));
   for (int ch = 0; ch < channels; ++ch) {
     traffic::Workload sub = channel_workload(workload, result.plan, ch);
-    if (sub.sources.empty()) {
-      result.per_channel.emplace_back();
-      continue;
-    }
     // Station ids must be contiguous from 0 for the per-channel network;
     // remap while keeping the class ids (metrics stay workload-global).
     for (std::size_t s = 0; s < sub.sources.size(); ++s) {
@@ -106,15 +121,28 @@ MultiChannelResult run_multi_channel(const traffic::Workload& workload,
       }
       sub.sources[s].id = new_id;
     }
+    subs.push_back(std::move(sub));
+  }
+
+  result.per_channel.resize(static_cast<std::size_t>(channels));
+  util::parallel_for_index(threads, channels, [&](std::int64_t ch) {
+    const auto& sub = subs[static_cast<std::size_t>(ch)];
+    if (sub.sources.empty()) {
+      return;  // slot keeps its default-constructed (empty) result
+    }
     DdcrRunOptions channel_options = options;
     channel_options.ddcr.static_indices.clear();  // re-derive per channel
-    channel_options.seed = options.seed + static_cast<std::uint64_t>(ch);
-    result.per_channel.push_back(run_ddcr(sub, channel_options));
-  }
+    channel_options.seed = channel_seed(options.seed, static_cast<int>(ch));
+    result.per_channel[static_cast<std::size_t>(ch)] =
+        run_ddcr(sub, channel_options);
+  });
 
   double utilization_sum = 0.0;
   int live_channels = 0;
+  result.protocol_digest = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
   for (const auto& run : result.per_channel) {
+    result.protocol_digest =
+        (result.protocol_digest ^ run.protocol_digest) * 0x100000001b3ULL;
     result.generated += run.generated;
     result.delivered += run.metrics.delivered;
     result.misses += run.metrics.misses;

@@ -49,12 +49,24 @@ struct MultiChannelResult {
   std::int64_t undelivered = 0;
   double worst_latency_s = 0.0;
   double mean_utilization = 0.0;
+  /// Order-sensitive combination of the per-channel protocol digests
+  /// (channel order) — one number summarizing every replica's final state.
+  std::uint64_t protocol_digest = 0;
 };
+
+/// The RNG seed channel `channel` runs under when the multi-channel run is
+/// seeded with `base`. Seeds are drawn from a SplitMix64 stream keyed by
+/// `base` (not `base + channel`, which would make run(seed=s, ch=1) replay
+/// the exact arrival stream of run(seed=s+1, ch=0)).
+std::uint64_t channel_seed(std::uint64_t base, int channel);
 
 /// Runs the workload over `channels` parallel CSMA/DDCR segments (each an
 /// independent simulation — the media do not interact) and aggregates.
+/// `threads` > 1 executes the per-channel simulations on a deterministic
+/// worker pool; results are bit-identical to the serial (threads = 1) run.
 MultiChannelResult run_multi_channel(const traffic::Workload& workload,
                                      int channels,
-                                     const DdcrRunOptions& options);
+                                     const DdcrRunOptions& options,
+                                     int threads = 1);
 
 }  // namespace hrtdm::core

@@ -7,6 +7,7 @@
 #include "traffic/message.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hrtdm::fault {
 
@@ -229,6 +230,20 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   result.delivered = static_cast<std::int64_t>(metrics.log().size());
   result.misses = metrics.summarize().misses;
   return result;
+}
+
+std::vector<CampaignResult> run_campaigns(
+    const CampaignOptions& base, const std::vector<std::uint64_t>& seeds,
+    int threads) {
+  std::vector<CampaignResult> results(seeds.size());
+  util::parallel_for_index(
+      threads, static_cast<std::int64_t>(seeds.size()),
+      [&](std::int64_t i) {
+        CampaignOptions options = base;
+        options.seed = seeds[static_cast<std::size_t>(i)];
+        results[static_cast<std::size_t>(i)] = run_campaign(options);
+      });
+  return results;
 }
 
 }  // namespace hrtdm::fault

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/ddcr_network.hpp"
 #include "fault/fault_injector.hpp"
@@ -117,5 +118,14 @@ struct CampaignResult {
 
 /// Runs one seeded campaign to completion. Deterministic per options.
 CampaignResult run_campaign(const CampaignOptions& options);
+
+/// Runs one campaign per entry of `seeds` (the base options with the seed
+/// overridden) and returns the results in seed order. Campaigns are
+/// independent simulations, so `threads` > 1 executes them on the
+/// deterministic worker pool (util::parallel_for_index); the result vector
+/// is bit-identical to the serial threads = 1 loop.
+std::vector<CampaignResult> run_campaigns(
+    const CampaignOptions& base, const std::vector<std::uint64_t>& seeds,
+    int threads = 1);
 
 }  // namespace hrtdm::fault

@@ -23,10 +23,10 @@ const char* kind_name(int kind) {
 CliFlags& CliFlags::add_int(const std::string& name,
                             std::int64_t default_value,
                             const std::string& help) {
-  HRTDM_EXPECT(flags_.emplace(name, Flag{Kind::kInt,
-                                         std::to_string(default_value), help})
-                   .second,
-               "duplicate flag");
+  const std::string text = std::to_string(default_value);
+  HRTDM_EXPECT(
+      flags_.emplace(name, Flag{Kind::kInt, text, text, help}).second,
+      "duplicate flag");
   order_.push_back(name);
   return *this;
 }
@@ -36,7 +36,8 @@ CliFlags& CliFlags::add_double(const std::string& name, double default_value,
   std::ostringstream oss;
   oss << default_value;
   HRTDM_EXPECT(
-      flags_.emplace(name, Flag{Kind::kDouble, oss.str(), help}).second,
+      flags_.emplace(name, Flag{Kind::kDouble, oss.str(), oss.str(), help})
+          .second,
       "duplicate flag");
   order_.push_back(name);
   return *this;
@@ -44,11 +45,10 @@ CliFlags& CliFlags::add_double(const std::string& name, double default_value,
 
 CliFlags& CliFlags::add_bool(const std::string& name, bool default_value,
                              const std::string& help) {
-  HRTDM_EXPECT(flags_.emplace(name, Flag{Kind::kBool,
-                                         default_value ? "true" : "false",
-                                         help})
-                   .second,
-               "duplicate flag");
+  const std::string text = default_value ? "true" : "false";
+  HRTDM_EXPECT(
+      flags_.emplace(name, Flag{Kind::kBool, text, text, help}).second,
+      "duplicate flag");
   order_.push_back(name);
   return *this;
 }
@@ -56,9 +56,11 @@ CliFlags& CliFlags::add_bool(const std::string& name, bool default_value,
 CliFlags& CliFlags::add_string(const std::string& name,
                                const std::string& default_value,
                                const std::string& help) {
-  HRTDM_EXPECT(
-      flags_.emplace(name, Flag{Kind::kString, default_value, help}).second,
-      "duplicate flag");
+  HRTDM_EXPECT(flags_
+                   .emplace(name, Flag{Kind::kString, default_value,
+                                       default_value, help})
+                   .second,
+               "duplicate flag");
   order_.push_back(name);
   return *this;
 }
@@ -158,7 +160,7 @@ std::string CliFlags::usage(const std::string& program) const {
   for (const std::string& name : order_) {
     const Flag& flag = flags_.at(name);
     oss << "  --" << name << " (" << kind_name(static_cast<int>(flag.kind))
-        << ", default " << flag.value << "): " << flag.help << "\n";
+        << ", default " << flag.default_value << "): " << flag.help << "\n";
   }
   return oss.str();
 }

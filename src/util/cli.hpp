@@ -42,7 +42,8 @@ class CliFlags {
   enum class Kind { kInt, kDouble, kBool, kString };
   struct Flag {
     Kind kind;
-    std::string value;  // textual; parsed on access
+    std::string value;          // textual; parsed on access
+    std::string default_value;  // kept separate: parse() mutates `value`
     std::string help;
   };
   const Flag& lookup(const std::string& name, Kind kind) const;

@@ -53,6 +53,10 @@ void OnlineStats::merge(const OnlineStats& other) {
 }
 
 void Samples::add(double x) {
+  // NaN breaks the strict weak ordering std::sort requires (and therefore
+  // every percentile/min/max derived from the sorted values); reject it at
+  // the boundary where the caller can still be identified.
+  HRTDM_EXPECT(!std::isnan(x), "NaN sample");
   values_.push_back(x);
   sorted_ = false;
 }
@@ -106,10 +110,20 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  // A NaN sample would make `frac` NaN, and float->int conversion of NaN
+  // is undefined behaviour *before* the clamp can fix anything. Count the
+  // sample as dropped instead.
+  if (std::isnan(x)) {
+    ++nan_dropped_;
+    return;
+  }
   const double frac = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::int64_t>(frac * static_cast<double>(counts_.size()));
-  idx = std::clamp<std::int64_t>(idx, 0,
-                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  double scaled = frac * static_cast<double>(counts_.size());
+  // +/-inf (and finite out-of-range values) clamp to the edge bins; clamp
+  // in floating point first so the int conversion is always defined.
+  scaled = std::clamp(scaled, 0.0,
+                      static_cast<double>(counts_.size()) - 1.0);
+  const auto idx = static_cast<std::int64_t>(scaled);
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
 }

@@ -37,6 +37,8 @@ class OnlineStats {
 /// used in the benches (<= a few million samples).
 class Samples {
  public:
+  /// Contract-fails on NaN (which would break sorting and every order
+  /// statistic); +/-inf is accepted.
   void add(double x);
   std::int64_t count() const { return static_cast<std::int64_t>(values_.size()); }
   /// p in [0, 100]; nearest-rank percentile. Requires at least one sample.
@@ -53,13 +55,17 @@ class Samples {
 };
 
 /// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-/// edge bins so no sample is silently dropped.
+/// edge bins so no finite sample is silently dropped. NaN samples cannot
+/// be binned (and converting NaN to an integer index is UB); they are
+/// counted in nan_dropped() instead.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
   std::int64_t total() const { return total_; }
+  /// NaN inputs to add(), excluded from total() and every bin.
+  std::int64_t nan_dropped() const { return nan_dropped_; }
   std::size_t bins() const { return counts_.size(); }
   std::int64_t bin_count(std::size_t i) const;
   double bin_lo(std::size_t i) const;
@@ -73,6 +79,7 @@ class Histogram {
   double hi_;
   std::vector<std::int64_t> counts_;
   std::int64_t total_ = 0;
+  std::int64_t nan_dropped_ = 0;
 };
 
 }  // namespace hrtdm::util

@@ -1,0 +1,160 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hrtdm::util {
+
+namespace {
+
+struct Failure {
+  std::int64_t index = -1;  // -1: no exception on this worker
+  std::exception_ptr error;
+};
+
+/// Runs the static slice {start, start+stride, ...} < n, attempting every
+/// task and keeping only the first (lowest-index) exception.
+Failure run_slice(std::int64_t start, std::int64_t stride, std::int64_t n,
+                  const std::function<void(std::int64_t)>& fn) {
+  Failure failure;
+  for (std::int64_t i = start; i < n; i += stride) {
+    try {
+      fn(i);
+    } catch (...) {
+      if (failure.index < 0) {
+        failure = {i, std::current_exception()};
+      }
+    }
+  }
+  return failure;
+}
+
+/// Rethrows the lowest-index failure of a batch, if any.
+void rethrow_first(const std::vector<Failure>& failures) {
+  const Failure* first = nullptr;
+  for (const Failure& failure : failures) {
+    if (failure.index >= 0 &&
+        (first == nullptr || failure.index < first->index)) {
+      first = &failure;
+    }
+  }
+  if (first != nullptr) {
+    std::rethrow_exception(first->error);
+  }
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+  std::vector<std::thread> workers;
+
+  // Batch state, guarded by mu. `generation` bumps once per batch so a
+  // worker never re-runs a batch it has already seen.
+  std::uint64_t generation = 0;
+  bool stop = false;
+  std::int64_t n = 0;
+  const std::function<void(std::int64_t)>* fn = nullptr;
+  int remaining = 0;
+  std::vector<Failure> failures;
+
+  // Serialises concurrent for_index() callers.
+  std::mutex submit_mu;
+};
+
+ThreadPool::ThreadPool(int threads)
+    : impl_(new Impl),
+      threads_(threads <= 0 ? hardware_threads() : threads) {
+  impl_->failures.resize(static_cast<std::size_t>(threads_));
+  for (int w = 0; w < threads_; ++w) {
+    impl_->workers.emplace_back([this, w] {
+      Impl& impl = *impl_;
+      std::uint64_t seen = 0;
+      for (;;) {
+        std::unique_lock<std::mutex> lock(impl.mu);
+        impl.work_ready.wait(
+            lock, [&] { return impl.stop || impl.generation != seen; });
+        if (impl.stop) {
+          return;
+        }
+        seen = impl.generation;
+        const std::int64_t n = impl.n;
+        const auto* fn = impl.fn;
+        lock.unlock();
+
+        Failure failure = run_slice(w, threads_, n, *fn);
+
+        lock.lock();
+        impl.failures[static_cast<std::size_t>(w)] = failure;
+        if (--impl.remaining == 0) {
+          impl.batch_done.notify_all();
+        }
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& worker : impl_->workers) {
+    worker.join();
+  }
+  delete impl_;
+}
+
+void ThreadPool::for_index(std::int64_t n,
+                           const std::function<void(std::int64_t)>& fn) {
+  HRTDM_EXPECT(n >= 0, "task count must be non-negative");
+  if (n == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(impl_->submit_mu);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->n = n;
+    impl_->fn = &fn;
+    impl_->remaining = threads_;
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+  std::vector<Failure> failures;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->batch_done.wait(lock, [&] { return impl_->remaining == 0; });
+    failures = impl_->failures;
+    impl_->fn = nullptr;
+  }
+  rethrow_first(failures);
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void parallel_for_index(int threads, std::int64_t n,
+                        const std::function<void(std::int64_t)>& fn) {
+  HRTDM_EXPECT(n >= 0, "task count must be non-negative");
+  if (threads <= 1 || n <= 1) {
+    std::vector<Failure> failures = {run_slice(0, 1, n, fn)};
+    rethrow_first(failures);
+    return;
+  }
+  ThreadPool pool(static_cast<int>(
+      std::min<std::int64_t>(threads, n)));
+  pool.for_index(n, fn);
+}
+
+}  // namespace hrtdm::util

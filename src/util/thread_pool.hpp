@@ -1,0 +1,57 @@
+// Deterministic fork-join worker pool.
+//
+// Built for the embarrassingly parallel layers of the repo (independent
+// per-channel simulations, per-seed fault campaigns, per-point bench
+// sweeps): a fixed set of index-addressed tasks is split across a fixed
+// set of workers with a *static* round-robin assignment — no work
+// stealing, no shared queue — so the task -> worker mapping is a pure
+// function of (n, threads). Callers write results into pre-sized slots
+// keyed by task index; because tasks share nothing, the combined result
+// is bit-identical to a serial loop regardless of scheduling.
+//
+// Exception semantics match a serial loop as closely as possible: every
+// task is attempted, and the pending exception with the *lowest task
+// index* is rethrown once the batch completes (so which error surfaces
+// does not depend on thread timing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace hrtdm::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` persistent workers; threads <= 0 selects
+  /// hardware_threads().
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, n) and blocks until all tasks finish.
+  /// Worker w executes exactly the indices {w, w + T, w + 2T, ...}
+  /// (T = threads()). Rethrows the lowest-index pending exception after
+  /// the whole batch has been attempted. Not reentrant from inside fn.
+  void for_index(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  static int hardware_threads();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int threads_;
+};
+
+/// One-shot convenience: `threads <= 1` runs the loop inline (still with
+/// run-every-task / rethrow-lowest-index semantics); otherwise a temporary
+/// ThreadPool executes it. Results must be written into index-keyed slots
+/// by the caller, which is what makes parallel == serial bit-identical.
+void parallel_for_index(int threads, std::int64_t n,
+                        const std::function<void(std::int64_t)>& fn);
+
+}  // namespace hrtdm::util

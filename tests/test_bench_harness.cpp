@@ -1,0 +1,153 @@
+// Bench harness (bench/harness): artifact schema fields, deterministic
+// dump / strict parse round-trips (including workload serialisation text
+// through JSON string escaping), and parse error reporting.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench/harness.hpp"
+#include "traffic/serialize.hpp"
+#include "traffic/workload.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace hrtdm;
+using bench::BenchReport;
+using bench::Json;
+
+TEST(Json, ScalarDumpAndParse) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(Json("hi\n\"there\"").dump(), "\"hi\\n\\\"there\\\"\"");
+
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+  EXPECT_EQ(Json::parse("\"a\\tb\"").as_string(), "a\tb");
+}
+
+TEST(Json, DoubleRoundTripsExactly) {
+  for (const double value : {0.1, 1.0 / 3.0, -2.5e-7, 1e300, 4.096e-6}) {
+    const Json parsed = Json::parse(Json(value).dump());
+    EXPECT_EQ(parsed.as_double(), value) << Json(value).dump();
+  }
+  // Whole doubles keep a distinguishing ".0" so they re-parse as kDouble.
+  const Json two = Json::parse(Json(2.0).dump());
+  EXPECT_EQ(two.kind(), Json::Kind::kDouble);
+  EXPECT_EQ(two.as_double(), 2.0);
+}
+
+TEST(Json, ObjectKeysSortedAndNestedRoundTrip) {
+  Json::Object obj;
+  obj["zeta"] = Json(std::int64_t{1});
+  obj["alpha"] = Json("x");
+  obj["mid"] = Json(Json::Array{Json(true), Json(), Json(2.5)});
+  const Json value(obj);
+  const std::string text = value.dump();
+  // Sorted key order makes dumps deterministic across runs.
+  EXPECT_EQ(text, "{\"alpha\":\"x\",\"mid\":[true,null,2.5],\"zeta\":1}");
+  const Json back = Json::parse(text);
+  EXPECT_EQ(back.dump(), text);
+  EXPECT_EQ(back.at("mid").as_array()[2].as_double(), 2.5);
+}
+
+TEST(Json, WorkloadSerializationSurvivesJsonEscaping) {
+  // The harness embeds free-form text (e.g. a serialized workload) in
+  // string fields; the exact bytes must survive dump -> parse.
+  const traffic::Workload wl = traffic::videoconference(4);
+  const std::string text = traffic::serialize_workload(wl);
+  Json::Object obj;
+  obj["workload"] = Json(text);
+  const Json back = Json::parse(Json(obj).dump());
+  EXPECT_EQ(back.at("workload").as_string(), text);
+  // And the recovered text still parses as the same workload.
+  const traffic::Workload recovered =
+      traffic::parse_workload(back.at("workload").as_string());
+  EXPECT_EQ(traffic::serialize_workload(recovered), text);
+}
+
+TEST(Json, TypedAccessorsEnforceKind) {
+  EXPECT_THROW(Json(std::int64_t{1}).as_string(), util::ContractViolation);
+  EXPECT_THROW(Json("x").as_int(), util::ContractViolation);
+  EXPECT_THROW(Json(true).as_double(), util::ContractViolation);
+  // as_double accepts ints (metrics mix both).
+  EXPECT_EQ(Json(std::int64_t{7}).as_double(), 7.0);
+  const Json obj(Json::Object{});
+  EXPECT_THROW(obj.at("missing"), util::ContractViolation);
+  EXPECT_FALSE(obj.contains("missing"));
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), util::ContractViolation);
+  EXPECT_THROW(Json::parse("{"), util::ContractViolation);
+  EXPECT_THROW(Json::parse("[1,]"), util::ContractViolation);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), util::ContractViolation);
+  EXPECT_THROW(Json::parse("tru"), util::ContractViolation);
+  EXPECT_THROW(Json::parse("1 2"), util::ContractViolation);
+  EXPECT_THROW(Json::parse("\"unterminated"), util::ContractViolation);
+}
+
+TEST(BenchReport, ArtifactHasSchemaFields) {
+  BenchReport report("unit_test");
+  report.config("channels", 4);
+  report.metric("speedup", 2.0);
+  report.set_threads(4);
+  auto& row = report.add_row();
+  row["k"] = Json(std::int64_t{2});
+
+  const Json artifact = report.to_json();
+  EXPECT_EQ(artifact.at("schema").as_string(), BenchReport::kSchema);
+  EXPECT_EQ(artifact.at("name").as_string(), "unit_test");
+  EXPECT_EQ(artifact.at("threads").as_int(), 4);
+  EXPECT_EQ(artifact.at("smoke").kind(), Json::Kind::kBool);
+  EXPECT_GE(artifact.at("wall_clock_s").as_double(), 0.0);
+  EXPECT_EQ(artifact.at("config").at("channels").as_int(), 4);
+  EXPECT_EQ(artifact.at("metrics").at("speedup").as_double(), 2.0);
+  ASSERT_EQ(artifact.at("rows").as_array().size(), 1u);
+  EXPECT_EQ(artifact.at("rows").as_array()[0].at("k").as_int(), 2);
+
+  // The whole artifact round-trips through its own parser.
+  const Json reparsed = Json::parse(artifact.dump());
+  EXPECT_EQ(reparsed.dump(), artifact.dump());
+}
+
+TEST(BenchReport, WriteHonoursBenchDirOverride) {
+  const std::string dir = ::testing::TempDir();
+  ::setenv("HRTDM_BENCH_DIR", dir.c_str(), 1);
+  BenchReport report("harness_selftest");
+  report.metric("ok", true);
+  const std::string path = report.write();
+  ::unsetenv("HRTDM_BENCH_DIR");
+
+  EXPECT_EQ(path.rfind(dir, 0), 0u) << path;
+  EXPECT_NE(path.find("BENCH_harness_selftest.json"), std::string::npos);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  const Json artifact = Json::parse(content);
+  EXPECT_EQ(artifact.at("name").as_string(), "harness_selftest");
+  EXPECT_EQ(artifact.at("metrics").at("ok").as_bool(), true);
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, SmokeFlagReadsEnvironment) {
+  ::unsetenv("HRTDM_BENCH_SMOKE");
+  EXPECT_FALSE(BenchReport::smoke());
+  ::setenv("HRTDM_BENCH_SMOKE", "0", 1);
+  EXPECT_FALSE(BenchReport::smoke());
+  ::setenv("HRTDM_BENCH_SMOKE", "1", 1);
+  EXPECT_TRUE(BenchReport::smoke());
+  ::unsetenv("HRTDM_BENCH_SMOKE");
+}
+
+}  // namespace

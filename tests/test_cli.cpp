@@ -78,6 +78,23 @@ TEST(CliFlags, HelpReturnsFalseAndRendersUsage) {
   EXPECT_NE(usage.find("default 8"), std::string::npos);
 }
 
+TEST(CliFlags, UsageShowsDefaultsNotCurrentValues) {
+  // Regression: usage() used to print the flag's *current* value as the
+  // "default", so `--z 12 --help`-style flows showed "default 12".
+  CliFlags flags = sample_flags();
+  ASSERT_TRUE(parse(flags, {"--z", "12", "--load=2.5", "--burst",
+                            "--scenario=atc"}));
+  EXPECT_EQ(flags.get_int("z"), 12);
+  const std::string usage = flags.usage("prog");
+  EXPECT_NE(usage.find("default 8"), std::string::npos);
+  EXPECT_NE(usage.find("default 1"), std::string::npos);
+  EXPECT_NE(usage.find("default false"), std::string::npos);
+  EXPECT_NE(usage.find("default quickstart"), std::string::npos);
+  EXPECT_EQ(usage.find("default 12"), std::string::npos);
+  EXPECT_EQ(usage.find("default 2.5"), std::string::npos);
+  EXPECT_EQ(usage.find("default atc"), std::string::npos);
+}
+
 TEST(CliFlags, TypeSafetyOnAccess) {
   CliFlags flags = sample_flags();
   ASSERT_TRUE(parse(flags, {}));

@@ -113,6 +113,41 @@ TEST(FaultCampaign, DeterministicPerSeed) {
   EXPECT_EQ(a.faults.symmetric_corruptions, b.faults.symmetric_corruptions);
 }
 
+TEST(FaultCampaign, ParallelCampaignsMatchSerialLoop) {
+  // run_campaigns on the worker pool must equal the serial per-seed loop
+  // result-for-result (campaigns share nothing; slots are index-keyed).
+  CampaignOptions base;
+  base.stations = 4;
+  base.crashes = 1;
+  base.asymmetric_bursts = 2;
+  const std::vector<std::uint64_t> seeds = {3, 5, 8, 13, 21};
+
+  std::vector<CampaignResult> serial;
+  for (const std::uint64_t seed : seeds) {
+    CampaignOptions options = base;
+    options.seed = seed;
+    serial.push_back(run_campaign(options));
+  }
+
+  const auto parallel = run_campaigns(base, seeds, 4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].delivered, serial[i].delivered) << "seed idx " << i;
+    EXPECT_EQ(parallel[i].generated, serial[i].generated) << i;
+    EXPECT_EQ(parallel[i].misses, serial[i].misses) << i;
+    EXPECT_EQ(parallel[i].desyncs_detected, serial[i].desyncs_detected) << i;
+    EXPECT_EQ(parallel[i].quarantines, serial[i].quarantines) << i;
+    EXPECT_EQ(parallel[i].reconvergence_observations,
+              serial[i].reconvergence_observations)
+        << i;
+    EXPECT_EQ(parallel[i].faults.crashes_fired, serial[i].faults.crashes_fired)
+        << i;
+    EXPECT_EQ(parallel[i].faults.asymmetric_corruptions,
+              serial[i].faults.asymmetric_corruptions)
+        << i;
+  }
+}
+
 TEST(FaultCampaign, RejectsRejoinImpossibleConfiguration) {
   // Satellite: a config whose quiet-period certificate is unsound must be
   // rejected at construction with an actionable error, not livelock later.

@@ -142,6 +142,38 @@ TEST(Metrics, DropLateShedsExpiredMessages) {
   EXPECT_EQ(bed.metrics().summarize().misses, 0);
 }
 
+TxRecord tx_record(std::int64_t uid, std::int64_t tx_start_ns,
+                   std::int64_t deadline_ns, std::int64_t arrival_ns = 0) {
+  TxRecord record;
+  record.uid = uid;
+  record.arrival = SimTime::from_ns(arrival_ns);
+  record.deadline = SimTime::from_ns(deadline_ns);
+  record.tx_start = SimTime::from_ns(tx_start_ns);
+  record.completed = SimTime::from_ns(tx_start_ns + 50);
+  return record;
+}
+
+TEST(Metrics, InversionCountOnOrderedLog) {
+  // Record 1 (deadline 900) transmits before record 2 (deadline 500)
+  // although 2 was already waiting -> one inversion.
+  std::vector<TxRecord> log;
+  log.push_back(tx_record(1, 100, 900));
+  log.push_back(tx_record(2, 200, 500));
+  log.push_back(tx_record(3, 300, 950));
+  EXPECT_EQ(count_deadline_inversions(log), 1);
+}
+
+TEST(Metrics, InversionCountRejectsUnorderedLog) {
+  // Regression: the precondition used to be `a.completed <= b.tx_start ||
+  // a.tx_start <= b.tx_start`, whose second disjunct is always true for a
+  // log sorted by anything at all — a spliced log with decreasing
+  // tx_start sailed through and produced a wrong count. It must throw.
+  std::vector<TxRecord> log;
+  log.push_back(tx_record(1, 500, 900));
+  log.push_back(tx_record(2, 100, 500));  // tx_start goes backwards
+  EXPECT_THROW(count_deadline_inversions(log), util::ContractViolation);
+}
+
 TEST(Metrics, DropLateOffTransmitsLateMessages) {
   DdcrRunOptions options;
   options.phy.slot_x = util::Duration::nanoseconds(100);

@@ -106,6 +106,53 @@ TEST(MultiChannel, MoreChannelsNeverLoseMessages) {
   }
 }
 
+TEST(MultiChannel, ChannelSeedsAreDecorrelatedAcrossBaseSeeds) {
+  // Regression: channels used to be seeded `base + ch`, so run(seed=s)'s
+  // channel 1 replayed run(seed=s+1)'s channel 0 stream — adjacent-seed
+  // multi-channel runs were correlated by construction.
+  EXPECT_NE(channel_seed(1, 1), channel_seed(2, 0));
+  EXPECT_NE(channel_seed(41, 1), channel_seed(42, 0));
+  // Distinct per-channel streams under one base seed.
+  EXPECT_NE(channel_seed(1, 0), channel_seed(1, 1));
+  EXPECT_NE(channel_seed(1, 1), channel_seed(1, 2));
+  // And deterministic.
+  EXPECT_EQ(channel_seed(7, 3), channel_seed(7, 3));
+}
+
+TEST(MultiChannel, ParallelRunBitIdenticalToSerial) {
+  // The tentpole determinism requirement: the thread-pool run must produce
+  // the same protocol digest and the same aggregate metrics as threads=1,
+  // including with more workers than this host has cores.
+  const auto wl = traffic::stock_exchange(8).scaled_load(4.0);
+  DdcrRunOptions options;
+  options.ddcr.class_width_c =
+      DdcrConfig::class_width_for(wl.max_deadline(), options.ddcr.F);
+  options.ddcr.alpha = options.ddcr.class_width_c * 2;
+  options.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
+  options.arrival_horizon = SimTime::from_ns(10'000'000);
+  options.drain_cap = SimTime::from_ns(50'000'000);
+
+  const auto serial = run_multi_channel(wl, 4, options, 1);
+  EXPECT_NE(serial.protocol_digest, 0u);
+  for (const int threads : {2, 4, 8}) {
+    const auto parallel = run_multi_channel(wl, 4, options, threads);
+    EXPECT_EQ(parallel.protocol_digest, serial.protocol_digest)
+        << threads << " threads";
+    EXPECT_EQ(parallel.generated, serial.generated) << threads;
+    EXPECT_EQ(parallel.delivered, serial.delivered) << threads;
+    EXPECT_EQ(parallel.misses, serial.misses) << threads;
+    EXPECT_EQ(parallel.undelivered, serial.undelivered) << threads;
+    EXPECT_EQ(parallel.worst_latency_s, serial.worst_latency_s) << threads;
+    EXPECT_EQ(parallel.mean_utilization, serial.mean_utilization) << threads;
+    ASSERT_EQ(parallel.per_channel.size(), serial.per_channel.size());
+    for (std::size_t ch = 0; ch < serial.per_channel.size(); ++ch) {
+      EXPECT_EQ(parallel.per_channel[ch].protocol_digest,
+                serial.per_channel[ch].protocol_digest)
+          << threads << " threads, channel " << ch;
+    }
+  }
+}
+
 TEST(MultiChannel, RelievesAnOverloadedSegment) {
   // A load that backlogs one channel within the run window drains cleanly
   // over four.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "util/check.hpp"
@@ -144,6 +145,42 @@ TEST(Histogram, BinningAndClamping) {
   EXPECT_EQ(hist.bin_lo(0), 0.0);
   EXPECT_EQ(hist.bin_hi(9), 10.0);
   EXPECT_FALSE(hist.ascii().empty());
+}
+
+TEST(Histogram, NanSamplesCountedNotBinned) {
+  // Regression: add() used to cast the scaled sample straight to int64,
+  // which is UB for NaN (the "clamp" below the cast never saw it). NaN now
+  // lands in nan_dropped() and leaves total() and every bin untouched.
+  Histogram hist(0.0, 10.0, 10);
+  hist.add(5.0);
+  hist.add(std::nan(""));
+  hist.add(-std::nan(""));
+  EXPECT_EQ(hist.total(), 1);
+  EXPECT_EQ(hist.nan_dropped(), 2);
+  std::int64_t binned = 0;
+  for (std::size_t i = 0; i < hist.bins(); ++i) {
+    binned += hist.bin_count(i);
+  }
+  EXPECT_EQ(binned, 1);
+
+  // Infinities are finite-ordered and clamp into the edge bins as before.
+  hist.add(std::numeric_limits<double>::infinity());
+  hist.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(hist.total(), 3);
+  EXPECT_EQ(hist.bin_count(0), 1);
+  EXPECT_EQ(hist.bin_count(9), 1);
+}
+
+TEST(Samples, RejectsNanInput) {
+  // NaN breaks sorting (and thus every percentile); add() contract-fails
+  // instead of silently poisoning the order statistics.
+  Samples samples;
+  samples.add(1.0);
+  EXPECT_THROW(samples.add(std::nan("")), ContractViolation);
+  samples.add(std::numeric_limits<double>::infinity());  // inf is ordered
+  EXPECT_EQ(samples.count(), 2);
+  EXPECT_EQ(samples.percentile(100.0),
+            std::numeric_limits<double>::infinity());
 }
 
 TEST(TextTable, RendersAlignedRows) {

@@ -29,9 +29,12 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hrtdm;
 
+  // --trace-out <file> (or HRTDM_TRACE_OUT) emits a Perfetto trace of the
+  // runs below: one process per channel, one track per station.
+  bench::apply_trace_flag(argc, argv);
   bench::BenchReport report("multi_channel");
   const bool smoke = bench::BenchReport::smoke();
 

@@ -5,9 +5,14 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "core/ddcr_station.hpp"
+#include "net/channel.hpp"
+#include "obs/event_tracer.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace hrtdm::bench {
@@ -420,6 +425,7 @@ Json BenchReport::to_json() const {
   root["config"] = Json(config_);
   root["metrics"] = Json(metrics_);
   root["rows"] = Json(rows_);
+  root["obs"] = obs_section();
   return Json(std::move(root));
 }
 
@@ -431,6 +437,14 @@ std::string BenchReport::write() const {
   out.close();
   HRTDM_EXPECT(out.good(), "failed writing bench artifact '" + path + "'");
   std::printf("[bench] wrote %s\n", path.c_str());
+  // Flush the Perfetto trace alongside the artifact whenever tracing was
+  // requested (HRTDM_TRACE_OUT / --trace-out): the report write marks the
+  // natural end of a bench's instrumented work.
+  const std::string trace = obs::write_global_trace();
+  if (!trace.empty()) {
+    std::printf("[bench] wrote %s (open at https://ui.perfetto.dev)\n",
+                trace.c_str());
+  }
   return path;
 }
 
@@ -467,6 +481,111 @@ std::string BenchReport::output_dir() {
     }
   }
   return ".";
+}
+
+// --- observability bridge -------------------------------------------------
+
+namespace {
+
+Json::Array int_array(const std::vector<std::int64_t>& values) {
+  Json::Array out;
+  out.reserve(values.size());
+  for (const std::int64_t v : values) {
+    out.emplace_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Json obs_section() {
+  const auto snap = obs::Registry::global().snapshot();
+  Json::Object counters;
+  for (const auto& c : snap.counters) {
+    counters[c.name] = Json(c.value);
+  }
+  Json::Object gauges;
+  for (const auto& g : snap.gauges) {
+    gauges[g.name] = Json(g.value);
+  }
+  Json::Object histograms;
+  for (const auto& h : snap.histograms) {
+    Json::Object hist;
+    hist["count"] = Json(h.count);
+    hist["sum"] = Json(h.sum);
+    hist["min"] = Json(h.min);
+    hist["max"] = Json(h.max);
+    hist["bounds"] = Json(int_array(h.bounds));
+    hist["buckets"] = Json(int_array(h.buckets));
+    histograms[h.name] = Json(std::move(hist));
+  }
+  auto& tracer = obs::EventTracer::global();
+  Json::Object trace;
+  trace["enabled"] = Json(tracer.enabled());
+  trace["out"] = Json(obs::trace_out_path());
+  trace["events"] = Json(static_cast<std::int64_t>(tracer.size()));
+  trace["dropped"] = Json(tracer.dropped());
+  Json::Object root;
+  root["counters"] = Json(std::move(counters));
+  root["gauges"] = Json(std::move(gauges));
+  root["histograms"] = Json(std::move(histograms));
+  root["trace"] = Json(std::move(trace));
+  return Json(std::move(root));
+}
+
+Json snapshot_json(const core::StationSnapshot& snap) {
+  Json::Object out;
+  out["id"] = Json(snap.id);
+  out["mode"] = Json(snap.mode);
+  out["synced"] = Json(snap.synced);
+  out["queue_depth"] = Json(static_cast<std::int64_t>(snap.queue_depth));
+  out["has_head"] = Json(snap.has_head);
+  out["head_uid"] = Json(snap.head_uid);
+  out["head_deadline_ns"] = Json(snap.head_deadline_ns);
+  out["reft_ns"] = Json(snap.reft_ns);
+  out["tts_active"] = Json(snap.tts_active);
+  out["tts_lo"] = Json(snap.tts_lo);
+  out["tts_size"] = Json(snap.tts_size);
+  out["tts_resolved"] = Json(snap.tts_resolved);
+  out["sts_active"] = Json(snap.sts_active);
+  out["sts_lo"] = Json(snap.sts_lo);
+  out["sts_size"] = Json(snap.sts_size);
+  out["sts_leaf"] = Json(snap.sts_leaf);
+  out["resync_silences"] = Json(snap.resync_silences);
+  return Json(std::move(out));
+}
+
+Json snapshot_json(const net::ChannelSnapshot& snap) {
+  Json::Object out;
+  out["stations"] = Json(static_cast<std::int64_t>(snap.stations));
+  out["running"] = Json(snap.running);
+  out["observations_delivered"] = Json(snap.observations_delivered);
+  out["utilization"] = Json(snap.utilization);
+  out["silence_slots"] = Json(snap.stats.silence_slots);
+  out["collision_slots"] = Json(snap.stats.collision_slots);
+  out["successes"] = Json(snap.stats.successes);
+  out["burst_continuations"] = Json(snap.stats.burst_continuations);
+  out["arbitration_wins"] = Json(snap.stats.arbitration_wins);
+  out["corrupted_frames"] = Json(snap.stats.corrupted_frames);
+  out["bits_delivered"] = Json(snap.stats.bits_delivered);
+  out["busy_ns"] = Json(snap.stats.busy_time.ns());
+  out["idle_ns"] = Json(snap.stats.idle_time.ns());
+  out["contention_ns"] = Json(snap.stats.contention_time.ns());
+  return Json(std::move(out));
+}
+
+void apply_trace_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
+      obs::set_trace_out(argv[i + 1]);
+      return;
+    }
+    if (std::strncmp(arg, "--trace-out=", 12) == 0 && arg[12] != '\0') {
+      obs::set_trace_out(arg + 12);
+      return;
+    }
+  }
 }
 
 }  // namespace hrtdm::bench

@@ -29,6 +29,13 @@
 #include <string>
 #include <vector>
 
+namespace hrtdm::core {
+struct StationSnapshot;
+}
+namespace hrtdm::net {
+struct ChannelSnapshot;
+}
+
 namespace hrtdm::bench {
 
 /// Minimal JSON value — just enough to write and re-read the artifact
@@ -133,5 +140,23 @@ class BenchReport {
   Json::Array rows_;
   std::chrono::steady_clock::time_point start_;
 };
+
+// --- observability bridge (docs/OBSERVABILITY.md) ------------------------
+
+/// The artifact's "obs" section: the global metrics registry rendered as
+/// {"counters": {name: value}, "gauges": {name: value},
+///  "histograms": {name: {count,sum,min,max,bounds,buckets}},
+///  "trace": {enabled, out, events, dropped}}.
+/// Every BenchReport embeds it automatically (to_json()).
+Json obs_section();
+
+/// Introspection snapshots rendered through the same JSON dialect.
+Json snapshot_json(const core::StationSnapshot& snap);
+Json snapshot_json(const net::ChannelSnapshot& snap);
+
+/// CLI wiring for --trace-out <path> / --trace-out=<path>: routes the path
+/// into obs::set_trace_out (equivalent to HRTDM_TRACE_OUT, which it
+/// overrides). Unknown flags are left untouched for the caller.
+void apply_trace_flag(int argc, char** argv);
 
 }  // namespace hrtdm::bench

@@ -4,14 +4,21 @@
 // (#) and the return to silence — exactly the slot sequence the paper's
 // xi analysis counts.
 //
-// Build & run:  ./build/examples/collision_trace
+// Alongside the ASCII view, the same epoch is exported as a Perfetto
+// trace (Chrome trace-event JSON) through obs::EventTracer: the channel's
+// slot track sits next to one track per station showing the TTs/STs
+// descent probes and epoch markers. Open the file at
+// https://ui.perfetto.dev (or chrome://tracing).
+//
+// Build & run:  ./build/examples/collision_trace [trace-out.json]
 #include <cstdio>
 
 #include "core/ddcr_network.hpp"
 #include "net/trace.hpp"
+#include "obs/event_tracer.hpp"
 #include "traffic/message.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hrtdm;
 
   core::DdcrRunOptions options;
@@ -24,6 +31,11 @@ int main() {
   options.ddcr.q = 16;
   options.ddcr.class_width_c = util::Duration::microseconds(1);
   options.ddcr.alpha = util::Duration::nanoseconds(0);
+
+  // An explicit tracer (not the HRTDM_TRACE_OUT-gated global) so the
+  // example always demonstrates the Perfetto export.
+  obs::EventTracer tracer;
+  options.tracer = &tracer;
 
   core::DdcrTestbed bed(5, options);
   net::TraceRecorder trace;
@@ -74,6 +86,25 @@ int main() {
     const std::size_t next = csv.find('\n', pos);
     std::printf("  %s\n", csv.substr(pos, next - pos).c_str());
     pos = next == std::string::npos ? next : next + 1;
+  }
+
+  // End-of-run introspection: every station should be back in CSMA-CD
+  // with an empty queue.
+  std::printf("\nstation snapshots:\n");
+  for (const auto& snap : bed.station_snapshots()) {
+    std::printf("  station %d: mode=%s queue=%zu reft=%lld ns\n", snap.id,
+                snap.mode, snap.queue_depth,
+                static_cast<long long>(snap.reft_ns));
+  }
+
+  const char* trace_path =
+      argc > 1 ? argv[1] : "collision_trace.perfetto.json";
+  if (tracer.write_chrome_json(trace_path)) {
+    std::printf("\nwrote %s (%zu events; open at https://ui.perfetto.dev)\n",
+                trace_path, tracer.size());
+  } else {
+    std::printf("\nfailed to write %s\n", trace_path);
+    return 1;
   }
   return 0;
 }

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/channel_tracer.hpp"
 #include "util/check.hpp"
 
 namespace hrtdm::core {
+
+obs::EventTracer* effective_tracer(const DdcrRunOptions& options) {
+  if (options.tracer != nullptr) {
+    return options.tracer;
+  }
+  obs::EventTracer& global = obs::EventTracer::global();
+  return global.enabled() ? &global : nullptr;
+}
 
 namespace {
 
@@ -74,7 +83,17 @@ DdcrTestbed::DdcrTestbed(int stations, const DdcrRunOptions& options)
     channel_->attach(*stations_.back());
   }
   channel_->add_observer(metrics_);
+  if (obs::EventTracer* tracer = effective_tracer(options_)) {
+    channel_tracer_ =
+        std::make_unique<obs::ChannelTracer>(*tracer, options_.trace_channel);
+    channel_->add_observer(*channel_tracer_);
+    for (auto& station : stations_) {
+      station->set_trace(tracer, options_.trace_channel);
+    }
+  }
 }
+
+DdcrTestbed::~DdcrTestbed() = default;
 
 void DdcrTestbed::inject(int source, const traffic::Message& msg) {
   HRTDM_EXPECT(source >= 0 && source < station_count(),
@@ -125,6 +144,19 @@ std::int64_t DdcrTestbed::queued() const {
   return total;
 }
 
+net::ChannelSnapshot DdcrTestbed::channel_snapshot() const {
+  return channel_->snapshot();
+}
+
+std::vector<StationSnapshot> DdcrTestbed::station_snapshots() const {
+  std::vector<StationSnapshot> snaps;
+  snaps.reserve(stations_.size());
+  for (const auto& station : stations_) {
+    snaps.push_back(station->snapshot());
+  }
+  return snaps;
+}
+
 DdcrRunResult run_ddcr(const traffic::Workload& workload,
                        const DdcrRunOptions& options) {
   workload.validate();
@@ -144,6 +176,15 @@ DdcrRunResult run_ddcr(const traffic::Workload& workload,
   }
   MetricsCollector metrics;
   channel.add_observer(metrics);
+  std::unique_ptr<obs::ChannelTracer> channel_tracer;
+  if (obs::EventTracer* tracer = effective_tracer(resolved)) {
+    channel_tracer =
+        std::make_unique<obs::ChannelTracer>(*tracer, resolved.trace_channel);
+    channel.add_observer(*channel_tracer);
+    for (auto& station : stations) {
+      station->set_trace(tracer, resolved.trace_channel);
+    }
+  }
   ConsistencyChecker checker(stations);
   if (resolved.check_consistency) {
     channel.add_observer(checker);
@@ -184,6 +225,7 @@ DdcrRunResult run_ddcr(const traffic::Workload& workload,
         (result.protocol_digest ^ station->protocol_digest()) *
         0x100000001b3ULL;
     result.per_station.push_back(station->counters());
+    result.snapshots.push_back(station->snapshot());
     result.dropped_late += station->counters().dropped_late;
     result.desyncs_detected += station->counters().desyncs_detected;
     result.quarantines += station->counters().quarantines;
@@ -192,6 +234,7 @@ DdcrRunResult run_ddcr(const traffic::Workload& workload,
   result.generated = traffic.total_messages;
   result.undelivered = queued();
   result.utilization = channel.utilization();
+  result.channel_snapshot = channel.snapshot();
   result.consistency_ok = !resolved.check_consistency || checker.ok();
   return result;
 }

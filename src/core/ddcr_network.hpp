@@ -13,6 +13,11 @@
 #include "sim/simulator.hpp"
 #include "traffic/workload.hpp"
 
+namespace hrtdm::obs {
+class ChannelTracer;
+class EventTracer;
+}  // namespace hrtdm::obs
+
 namespace hrtdm::core {
 
 struct DdcrRunOptions {
@@ -37,6 +42,14 @@ struct DdcrRunOptions {
   /// actionable message instead of failing deep inside reset_for_rejoin().
   /// Fault campaigns (fault::run_campaign) set this implicitly.
   bool require_rejoinable = false;
+  /// Protocol event tracer for this run. nullptr means "use the global
+  /// tracer when HRTDM_TRACE_OUT / obs::set_trace_out enabled it"; pass a
+  /// tracer explicitly to capture one run in isolation. Tracing never
+  /// affects protocol state or digests.
+  obs::EventTracer* tracer = nullptr;
+  /// Perfetto process id for this run's channel track (multi-channel runs
+  /// assign each channel its own id so tracks do not collide).
+  int trace_channel = 0;
 };
 
 struct DdcrRunResult {
@@ -56,6 +69,9 @@ struct DdcrRunResult {
   /// protocol state as one number, used by the serial-vs-parallel
   /// determinism tests.
   std::uint64_t protocol_digest = 0;
+  /// End-of-run introspection snapshots (docs/OBSERVABILITY.md).
+  std::vector<StationSnapshot> snapshots;
+  net::ChannelSnapshot channel_snapshot;
 };
 
 /// Runs the workload through a CSMA/DDCR network and returns the metrics.
@@ -67,6 +83,8 @@ DdcrRunResult run_ddcr(const traffic::Workload& workload,
 class DdcrTestbed {
  public:
   DdcrTestbed(int stations, const DdcrRunOptions& options);
+  /// Out of line: the ChannelTracer member is only forward-declared here.
+  ~DdcrTestbed();
 
   sim::Simulator& simulator() { return simulator_; }
   net::BroadcastChannel& channel() { return *channel_; }
@@ -91,13 +109,23 @@ class DdcrTestbed {
   /// Total queued messages across stations.
   std::int64_t queued() const;
 
+  /// Introspection snapshots of the current state (docs/OBSERVABILITY.md).
+  net::ChannelSnapshot channel_snapshot() const;
+  std::vector<StationSnapshot> station_snapshots() const;
+
  private:
   sim::Simulator simulator_;
   DdcrRunOptions options_;
   std::unique_ptr<net::BroadcastChannel> channel_;
   std::vector<std::unique_ptr<DdcrStation>> stations_;
   MetricsCollector metrics_;
+  std::unique_ptr<obs::ChannelTracer> channel_tracer_;
   bool started_ = false;
 };
+
+/// The tracer a run should emit into: options.tracer when set, else the
+/// global tracer when it is enabled (HRTDM_TRACE_OUT / --trace-out), else
+/// nullptr (tracing off).
+obs::EventTracer* effective_tracer(const DdcrRunOptions& options);
 
 }  // namespace hrtdm::core

@@ -2,11 +2,83 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 
 namespace hrtdm::core {
+
+const char* DdcrStation::mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kCsmaCd:
+      return "csma-cd";
+    case Mode::kTimeSearch:
+      return "tts";
+    case Mode::kStaticSearch:
+      return "sts";
+    case Mode::kResync:
+      return "resync";
+  }
+  return "?";
+}
+
+void DdcrStation::set_trace(obs::EventTracer* tracer, int channel_id) {
+  tracer_ = tracer;
+  trace_pid_ = channel_id;
+  if (tracer_ != nullptr) {
+    tracer_->set_thread_name(trace_pid_, id_ + 1,
+                             "station " + std::to_string(id_));
+  }
+}
+
+void DdcrStation::trace_instant(const char* name, const char* arg_names,
+                                std::int64_t a0, std::int64_t a1,
+                                std::int64_t a2) {
+  if (!tracing()) {
+    return;
+  }
+  tracer_->instant(trace_pid_, id_ + 1, trace_now_.ns(), name, arg_names, a0,
+                   a1, a2);
+}
+
+void DdcrStation::trace_span(SimTime start, SimTime end, const char* name,
+                             const char* arg_names, std::int64_t a0,
+                             std::int64_t a1, std::int64_t a2) {
+  if (!tracing()) {
+    return;
+  }
+  tracer_->complete(trace_pid_, id_ + 1, start.ns(), end.ns() - start.ns(),
+                    name, arg_names, a0, a1, a2);
+}
+
+StationSnapshot DdcrStation::snapshot() const {
+  StationSnapshot snap;
+  snap.id = id_;
+  snap.mode = mode_name(mode_);
+  snap.synced = synced();
+  snap.queue_depth = queue_.size();
+  if (const auto head = queue_.head()) {
+    snap.has_head = true;
+    snap.head_uid = head->uid;
+    snap.head_deadline_ns = head->absolute_deadline.ns();
+  }
+  snap.reft_ns = reft_.ns();
+  snap.tts_active = time_engine_.active();
+  if (snap.tts_active) {
+    snap.tts_lo = time_engine_.current().lo;
+    snap.tts_size = time_engine_.current().size;
+  }
+  snap.tts_resolved = time_engine_.resolved_up_to();
+  snap.sts_active = static_engine_.active();
+  if (snap.sts_active) {
+    snap.sts_lo = static_engine_.current().lo;
+    snap.sts_size = static_engine_.current().size;
+  }
+  snap.sts_leaf = sts_leaf_;
+  snap.resync_silences = resync_silences_;
+  return snap;
+}
 
 DdcrStation::DdcrStation(int id, const DdcrConfig& config,
                          std::vector<std::int64_t> static_indices)
@@ -85,6 +157,7 @@ void DdcrStation::reset_for_rejoin() {
   // Validates that the configuration makes the quiet-period certificate
   // sound (bounded in-epoch silence streaks).
   (void)config_.resync_silence_threshold();
+  trace_instant("resync-enter");
   time_engine_.abort();
   static_engine_.abort();
   mode_ = Mode::kResync;
@@ -127,12 +200,16 @@ bool DdcrStation::impossible_sts_success(const Frame& frame) const {
 
 bool DdcrStation::note_desync() {
   ++counters_.desyncs_detected;
+  HRTDM_COUNT("ddcr.desyncs_detected");
+  trace_instant("desync-detected");
   if (!config_.supports_quiet_rejoin()) {
     // No sound quiet-period certificate to re-enter through; record the
     // detection but keep the legacy behaviour (process the observation).
     return false;
   }
   ++counters_.quarantines;
+  HRTDM_COUNT("ddcr.quarantines");
+  trace_instant("quarantine");
   reset_for_rejoin();
   return true;
 }
@@ -147,6 +224,7 @@ void DdcrStation::prune_late(SimTime now) {
     }
     queue_.remove(head->uid);
     ++counters_.dropped_late;
+    HRTDM_COUNT("ddcr.dropped_late");
   }
 }
 
@@ -212,6 +290,8 @@ std::optional<Frame> DdcrStation::poll_burst(SimTime now,
 
 void DdcrStation::start_epoch(SimTime now) {
   ++counters_.epochs;
+  HRTDM_COUNT("ddcr.epochs");
+  trace_instant("epoch-start", "epoch", counters_.epochs);
   // "reft is always set to local physical time whenever CSMA/DDCR is
   // started" — except that compression progress carried out of an epoch
   // the max_empty_tts cap closed must not be lost (every station carries
@@ -224,6 +304,9 @@ void DdcrStation::start_epoch(SimTime now) {
 
 void DdcrStation::start_tts() {
   ++counters_.tts_runs;
+  HRTDM_COUNT("ddcr.tts_runs");
+  trace_instant("tts-start", "run,resolved", counters_.tts_runs,
+                time_engine_.resolved_up_to());
   tts_saw_transmission_ = false;
   time_engine_.begin();  // root already probed by the triggering collision
   mode_ = Mode::kTimeSearch;
@@ -233,6 +316,9 @@ void DdcrStation::finish_tts(SimTime now) {
   // Boolean `out`: true iff at least one message was transmitted during
   // this time tree search (including inside nested static searches).
   const bool out = tts_saw_transmission_;
+  HRTDM_OBSERVE("ddcr.tts_search_slots", time_engine_.search_slots());
+  trace_instant("tts-end", "out,search_slots", out ? 1 : 0,
+                time_engine_.search_slots());
   if (out) {
     // "attempt transmit msg* à la CSMA-CD": the next contention slot is a
     // plain CSMA-CD attempt; a collision there starts a fresh epoch.
@@ -244,6 +330,7 @@ void DdcrStation::finish_tts(SimTime now) {
     carried_reft_ = SimTime();
     mode_ = Mode::kCsmaCd;
     post_tts_attempt_ = (config_.epoch_mode == EpochMode::kPerpetual);
+    trace_instant("epoch-end", "epoch", counters_.epochs);
     return;
   }
   // out = false: pending messages sit beyond the horizon. Compressed time
@@ -252,6 +339,7 @@ void DdcrStation::finish_tts(SimTime now) {
   ++consecutive_empty_tts_;
   if (config_.theta_factor > 0.0) {
     ++counters_.compressions;
+    HRTDM_COUNT("ddcr.compressions");
     reft_ += config_.theta();
     if (config_.epoch_mode == EpochMode::kCsmaCdFallback &&
         config_.max_empty_tts > 0 &&
@@ -261,6 +349,7 @@ void DdcrStation::finish_tts(SimTime now) {
       carried_reft_ = reft_;
       consecutive_empty_tts_ = 0;
       mode_ = Mode::kCsmaCd;
+      trace_instant("epoch-end", "epoch", counters_.epochs);
       return;
     }
     start_tts();
@@ -270,10 +359,14 @@ void DdcrStation::finish_tts(SimTime now) {
   consecutive_empty_tts_ = 0;
   mode_ = Mode::kCsmaCd;
   post_tts_attempt_ = (config_.epoch_mode == EpochMode::kPerpetual);
+  trace_instant("epoch-end", "epoch", counters_.epochs);
 }
 
 void DdcrStation::finish_sts(SimTime now) {
   // "Variable reft is updated by STs, upon completion."
+  HRTDM_OBSERVE("ddcr.sts_search_slots", static_engine_.search_slots());
+  trace_instant("sts-end", "leaf,search_slots", sts_leaf_,
+                static_engine_.search_slots());
   reft_ = now;
   sts_leaf_ = -1;
   mode_ = Mode::kTimeSearch;
@@ -285,6 +378,7 @@ void DdcrStation::finish_sts(SimTime now) {
 void DdcrStation::observe(const SlotObservation& obs) {
   const bool mine = obs.frame.has_value() && obs.frame->source == id_;
   const SimTime now = obs.slot_end;
+  trace_now_ = now;
 
   // Frame bookkeeping is mode-independent: every delivered frame of ours
   // leaves the queue.
@@ -292,8 +386,10 @@ void DdcrStation::observe(const SlotObservation& obs) {
     const bool removed = queue_.remove(obs.frame->msg_uid);
     HRTDM_ENSURE(removed, "delivered frame was not queued");
     ++counters_.transmitted;
+    HRTDM_COUNT("ddcr.transmitted");
     if (obs.in_burst) {
       ++counters_.burst_transmitted;
+      HRTDM_COUNT("ddcr.burst_transmitted");
     }
   }
 
@@ -314,6 +410,8 @@ void DdcrStation::observe(const SlotObservation& obs) {
           // Quiet certificate: no epoch can still be in progress, so every
           // live station is in CSMA-CD mode — joining it is consistent.
           ++counters_.rejoins;
+          HRTDM_COUNT("ddcr.rejoins");
+          trace_instant("rejoin", "quiet_slots", resync_silences_);
           mode_ = Mode::kCsmaCd;
         }
       } else {
@@ -357,11 +455,17 @@ void DdcrStation::observe(const SlotObservation& obs) {
               : obs.kind == net::SlotKind::kSuccess
                     ? TreeSearchEngine::Feedback::kSuccess
                     : TreeSearchEngine::Feedback::kCollision;
+      const auto probed_time = time_engine_.current();
       const auto leaf_hint = obs.kind == net::SlotKind::kCollision &&
-                                     time_engine_.current().size == 1
-                                 ? time_engine_.current().lo
+                                     probed_time.size == 1
+                                 ? probed_time.lo
                                  : -1;
       const auto result = time_engine_.feedback(fb);
+      // Descent step span: the probed deadline-class interval laid over the
+      // slot it consumed, on this station's Perfetto track.
+      trace_span(obs.slot_start, obs.slot_end, "tts-probe", "lo,size,resolved",
+                 probed_time.lo, probed_time.size,
+                 time_engine_.resolved_up_to());
       if (result == TreeSearchEngine::StepResult::kLeafCollision) {
         // s > 1 messages share one deadline class: run the static tree
         // tie-break. Its root probe was this very collision.
@@ -370,6 +474,8 @@ void DdcrStation::observe(const SlotObservation& obs) {
         static_pos_ = 0;
         sts_retry_streak_ = 0;
         ++counters_.sts_runs;
+        HRTDM_COUNT("ddcr.sts_runs");
+        trace_instant("sts-start", "leaf", sts_leaf_);
         static_engine_.begin();
         mode_ = Mode::kStaticSearch;
         return;
@@ -410,6 +516,8 @@ void DdcrStation::observe(const SlotObservation& obs) {
       }
       const auto probed = static_engine_.current();
       const auto result = static_engine_.feedback(fb);
+      trace_span(obs.slot_start, obs.slot_end, "sts-probe", "lo,size,leaf",
+                 probed.lo, probed.size, sts_leaf_);
       if (result == TreeSearchEngine::StepResult::kLeafCollision) {
         // Static indices are unique per source, so a genuine tie is
         // impossible — this is a lone transmission destroyed by channel
@@ -419,6 +527,7 @@ void DdcrStation::observe(const SlotObservation& obs) {
         // contending out of turn collides here every slot, so an unbounded
         // streak means this search can never complete.
         ++counters_.static_leaf_retries;
+        HRTDM_COUNT("ddcr.static_leaf_retries");
         if (config_.enable_divergence_watchdog &&
             config_.sts_retry_desync_threshold > 0 &&
             ++sts_retry_streak_ == config_.sts_retry_desync_threshold &&

@@ -25,6 +25,7 @@
 #include "core/edf_queue.hpp"
 #include "core/tree_search.hpp"
 #include "net/station.hpp"
+#include "obs/event_tracer.hpp"
 #include "traffic/message.hpp"
 
 namespace hrtdm::core {
@@ -34,9 +35,33 @@ using net::SlotObservation;
 using traffic::Message;
 using util::SimTime;
 
+/// Point-in-time introspection of one station (docs/OBSERVABILITY.md).
+/// Plain data; the bench harness serializes it into the "obs" section.
+struct StationSnapshot {
+  int id = 0;
+  const char* mode = "csma-cd";
+  bool synced = true;
+  std::size_t queue_depth = 0;
+  bool has_head = false;
+  std::int64_t head_uid = -1;
+  std::int64_t head_deadline_ns = 0;
+  std::int64_t reft_ns = 0;
+  bool tts_active = false;
+  std::int64_t tts_lo = 0;       ///< probed interval (valid iff tts_active)
+  std::int64_t tts_size = 0;
+  std::int64_t tts_resolved = 0; ///< f* + 1: leaves already searched
+  bool sts_active = false;
+  std::int64_t sts_lo = 0;       ///< probed interval (valid iff sts_active)
+  std::int64_t sts_size = 0;
+  std::int64_t sts_leaf = -1;    ///< time leaf under tie-break
+  std::int64_t resync_silences = 0;
+};
+
 class DdcrStation final : public net::Station {
  public:
   enum class Mode { kCsmaCd, kTimeSearch, kStaticSearch, kResync };
+
+  static const char* mode_name(Mode mode);
 
   struct Counters {
     std::int64_t epochs = 0;            ///< CSMA/DDCR invocations
@@ -91,6 +116,14 @@ class DdcrStation final : public net::Station {
   /// stations at every slot boundary).
   std::uint64_t protocol_digest() const;
 
+  /// Plain-data snapshot of mode, queue, tree positions and counters.
+  StationSnapshot snapshot() const;
+
+  /// Attaches a protocol event tracer: epoch/TTs/STs/watchdog events land
+  /// on track (pid = channel_id, tid = id() + 1). nullptr detaches.
+  /// Tracing never touches replicated state or protocol_digest().
+  void set_trace(obs::EventTracer* tracer, int channel_id);
+
   /// The raw deadline-class index floor((DM - (alpha + reft)) / c).
   std::int64_t raw_time_index(SimTime absolute_deadline) const;
 
@@ -132,6 +165,16 @@ class DdcrStation final : public net::Station {
   void finish_tts(SimTime now);
   void finish_sts(SimTime now);
 
+  /// True when an attached tracer is live (the emit helpers below bail out
+  /// early otherwise, keeping the uninstrumented path to one branch).
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  void trace_instant(const char* name, const char* arg_names = "",
+                     std::int64_t a0 = 0, std::int64_t a1 = 0,
+                     std::int64_t a2 = 0);
+  void trace_span(SimTime start, SimTime end, const char* name,
+                  const char* arg_names = "", std::int64_t a0 = 0,
+                  std::int64_t a1 = 0, std::int64_t a2 = 0);
+
   int id_;
   DdcrConfig config_;
   std::vector<std::int64_t> my_indices_;
@@ -154,6 +197,11 @@ class DdcrStation final : public net::Station {
                                      ///< cap-closed epochs
   std::int64_t resync_silences_ = 0; ///< quiet streak heard while resyncing
   Counters counters_;
+
+  // --- observability only (never part of protocol_digest()) ---
+  obs::EventTracer* tracer_ = nullptr;
+  std::int32_t trace_pid_ = 0;       ///< channel id = Perfetto process id
+  SimTime trace_now_;                ///< timestamp for event-less hooks
 };
 
 }  // namespace hrtdm::core

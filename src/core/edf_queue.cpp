@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace hrtdm::core {
@@ -12,6 +13,8 @@ void EdfQueue::push(const Message& msg) {
                "duplicate message uid in EDF queue");
   const bool inserted = by_deadline_.insert(msg).second;
   HRTDM_ENSURE(inserted, "EDF order collision despite distinct uids");
+  HRTDM_COUNT("edf.push");
+  HRTDM_OBSERVE("edf.depth", by_deadline_.size());
 }
 
 std::optional<Message> EdfQueue::head() const {
@@ -28,6 +31,7 @@ bool EdfQueue::remove(std::int64_t uid) {
   for (auto it = by_deadline_.begin(); it != by_deadline_.end(); ++it) {
     if (it->uid == uid) {
       by_deadline_.erase(it);
+      HRTDM_COUNT("edf.remove");
       return true;
     }
   }

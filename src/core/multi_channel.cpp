@@ -133,6 +133,9 @@ MultiChannelResult run_multi_channel(const traffic::Workload& workload,
     DdcrRunOptions channel_options = options;
     channel_options.ddcr.static_indices.clear();  // re-derive per channel
     channel_options.seed = channel_seed(options.seed, static_cast<int>(ch));
+    // Each channel gets its own Perfetto process so their slot tracks and
+    // station tracks land side by side instead of colliding on pid 0.
+    channel_options.trace_channel = static_cast<int>(ch);
     result.per_channel[static_cast<std::size_t>(ch)] =
         run_ddcr(sub, channel_options);
   });

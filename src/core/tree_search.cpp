@@ -1,5 +1,6 @@
 #include "core/tree_search.hpp"
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -61,6 +62,15 @@ void TreeSearchEngine::normalize() {
 
 void TreeSearchEngine::begin() {
   HRTDM_EXPECT(stack_.empty(), "previous search still in progress");
+  // Registry totals are flushed here — once per search, not per feedback
+  // slot — so the feedback() hot path (bench E15 BM_TreeSearchEngine)
+  // stays untouched. The per-search *distributions* (including the last
+  // search of a run) are captured by the ddcr.*_search_slots histograms in
+  // DdcrStation; these totals lag by the search in progress.
+  HRTDM_COUNT("tree.searches");
+  HRTDM_COUNT_N("tree.silence_slots", silence_slots_);
+  HRTDM_COUNT_N("tree.collision_slots", collision_slots_);
+  HRTDM_COUNT_N("tree.inferred_skips", inferred_skips_);
   search_slots_ = 0;
   collision_slots_ = 0;
   silence_slots_ = 0;

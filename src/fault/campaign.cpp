@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "obs/registry.hpp"
 #include "traffic/message.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -229,6 +230,14 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   result.generated = generated;
   result.delivered = static_cast<std::int64_t>(metrics.log().size());
   result.misses = metrics.summarize().misses;
+  HRTDM_COUNT("fault.campaigns");
+  if (result.passed()) {
+    HRTDM_COUNT("fault.campaigns_passed");
+  }
+  // Rejoin latency, in channel observations from the last injected fault
+  // to the last divergent digest — the self-healing figure of merit.
+  HRTDM_OBSERVE("fault.rejoin_latency_obs", result.reconvergence_observations);
+  HRTDM_OBSERVE("fault.recovery_rounds", result.recovery_rounds_used);
   return result;
 }
 

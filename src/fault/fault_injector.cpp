@@ -1,5 +1,6 @@
 #include "fault/fault_injector.hpp"
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace hrtdm::fault {
@@ -28,6 +29,7 @@ bool FaultInjector::corrupt_slot(std::int64_t slot_index) {
   }
   if (corrupt) {
     ++stats_.symmetric_corruptions;
+    HRTDM_COUNT("fault.symmetric_corruptions");
   }
   return corrupt;
 }
@@ -53,6 +55,7 @@ net::SlotObservation FaultInjector::deliver_to(
           heard.frame.reset();
           heard.arbitration = false;
           ++stats_.asymmetric_corruptions;
+          HRTDM_COUNT("fault.asymmetric_corruptions");
         }
         break;
       case AsymmetricKind::kMissReceive:
@@ -63,6 +66,7 @@ net::SlotObservation FaultInjector::deliver_to(
           heard.arbitration = false;
           heard.in_burst = false;
           ++stats_.asymmetric_misses;
+          HRTDM_COUNT("fault.asymmetric_misses");
         }
         break;
     }
@@ -79,6 +83,7 @@ void FaultInjector::on_slot(const net::SlotRecord& record) {
     }
     crash_fired_[i] = true;
     ++stats_.crashes_fired;
+    HRTDM_COUNT("fault.crashes_fired");
     HRTDM_EXPECT(static_cast<bool>(crash_hook_),
                  "a crash directive fired but no crash hook is set");
     crash_hook_(plan_.crashes[i].station);

@@ -52,6 +52,11 @@
 #include "core/multi_channel.hpp"
 #include "core/tree_search.hpp"
 
+// Observability: metrics registry, event tracing, Perfetto export.
+#include "obs/channel_tracer.hpp"
+#include "obs/event_tracer.hpp"
+#include "obs/registry.hpp"
+
 // Fault injection and the self-healing campaign harness.
 #include "fault/campaign.hpp"
 #include "fault/fault_injector.hpp"

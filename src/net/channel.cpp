@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -48,6 +49,16 @@ double BroadcastChannel::utilization() const {
   return stats_.busy_time.to_seconds() / elapsed.to_seconds();
 }
 
+ChannelSnapshot BroadcastChannel::snapshot() const {
+  ChannelSnapshot snap;
+  snap.stations = stations_.size();
+  snap.running = running_;
+  snap.observations_delivered = observations_delivered_;
+  snap.stats = stats_;
+  snap.utilization = utilization();
+  return snap;
+}
+
 void BroadcastChannel::apply(const ChannelStats& delta) {
   stats_.silence_slots += delta.silence_slots;
   stats_.collision_slots += delta.collision_slots;
@@ -63,6 +74,24 @@ void BroadcastChannel::apply(const ChannelStats& delta) {
 
 void BroadcastChannel::deliver(const SlotObservation& obs,
                                const SlotRecord& record) {
+  switch (record.kind) {
+    case SlotKind::kSilence:
+      HRTDM_COUNT("channel.slots.silence");
+      break;
+    case SlotKind::kCollision:
+      HRTDM_COUNT("channel.slots.collision");
+      break;
+    case SlotKind::kSuccess:
+      HRTDM_COUNT("channel.slots.success");
+      if (record.in_burst) {
+        HRTDM_COUNT("channel.burst_continuations");
+      }
+      if (record.arbitration) {
+        HRTDM_COUNT("channel.arbitration_wins");
+      }
+      break;
+  }
+  HRTDM_OBSERVE("channel.contenders", record.contenders);
   const std::int64_t index = observations_delivered_++;
   for (Station* station : stations_) {
     if (interceptor_ != nullptr) {

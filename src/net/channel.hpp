@@ -94,6 +94,16 @@ struct ChannelStats {
   util::Duration contention_time;      ///< collision/arbitration slots
 };
 
+/// Point-in-time introspection of a channel (docs/OBSERVABILITY.md).
+/// Plain data; the bench harness serializes it into the "obs" section.
+struct ChannelSnapshot {
+  std::size_t stations = 0;
+  bool running = false;
+  std::int64_t observations_delivered = 0;
+  ChannelStats stats;
+  double utilization = 0.0;
+};
+
 class BroadcastChannel {
  public:
   /// `noise_seed` feeds the corruption draw stream (only used when
@@ -130,6 +140,9 @@ class BroadcastChannel {
 
   /// Fraction of elapsed channel time spent delivering payload bits.
   double utilization() const;
+
+  /// Plain-data snapshot of stats + delivery progress.
+  ChannelSnapshot snapshot() const;
 
  private:
   void begin_slot();

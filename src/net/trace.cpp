@@ -6,7 +6,7 @@ namespace hrtdm::net {
 
 void TraceRecorder::on_slot(const SlotRecord& record) {
   if (capacity_ > 0 && slots_.size() >= capacity_) {
-    slots_.erase(slots_.begin());
+    slots_.pop_front();
     ++dropped_;
   }
   slots_.push_back(record);

@@ -6,8 +6,8 @@
 //                      b  burst continuation           a  arbitration win
 #pragma once
 
+#include <deque>
 #include <string>
-#include <vector>
 
 #include "net/channel.hpp"
 
@@ -20,7 +20,7 @@ class TraceRecorder final : public ChannelObserver {
 
   void on_slot(const SlotRecord& record) override;
 
-  const std::vector<SlotRecord>& slots() const { return slots_; }
+  const std::deque<SlotRecord>& slots() const { return slots_; }
   std::size_t dropped() const { return dropped_; }
 
   /// One-line-per-row ASCII timeline, `width` slots per row, annotated
@@ -43,7 +43,9 @@ class TraceRecorder final : public ChannelObserver {
  private:
   std::size_t capacity_;
   std::size_t dropped_ = 0;
-  std::vector<SlotRecord> slots_;
+  // Deque so capacity eviction (pop_front) is O(1) instead of shifting the
+  // whole window on every slot once the recorder is full.
+  std::deque<SlotRecord> slots_;
 };
 
 /// Symbol used by ascii_timeline for one record.

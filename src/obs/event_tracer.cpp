@@ -1,0 +1,318 @@
+#include "obs/event_tracer.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace hrtdm::obs {
+
+namespace {
+
+// JSON string escape for track names (event names are literals we control,
+// but process/thread names may carry arbitrary text).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ts is microseconds in the trace-event format; print ns-precision
+// fractional microseconds deterministically from the integer ns value.
+void append_ts_us(std::string& out, std::int64_t ns) {
+  char buf[48];
+  const char* sign = ns < 0 ? "-" : "";
+  const std::uint64_t mag =
+      ns < 0 ? 0ull - static_cast<std::uint64_t>(ns)
+             : static_cast<std::uint64_t>(ns);
+  std::snprintf(buf, sizeof(buf), "%s%llu.%03llu", sign,
+                static_cast<unsigned long long>(mag / 1000),
+                static_cast<unsigned long long>(mag % 1000));
+  out += buf;
+}
+
+void append_args(std::string& out, const TraceEvent& ev) {
+  if (ev.arg_names[0] == '\0') {
+    return;
+  }
+  out += ",\"args\":{";
+  const char* p = ev.arg_names;
+  int idx = 0;
+  bool first = true;
+  while (*p != '\0' && idx < 3) {
+    const char* start = p;
+    while (*p != '\0' && *p != ',') {
+      ++p;
+    }
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out.append(start, static_cast<std::size_t>(p - start));
+    out += "\":";
+    out += std::to_string(ev.args[idx]);
+    ++idx;
+    if (*p == ',') {
+      ++p;
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+EventTracer::EventTracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void EventTracer::record(const TraceEvent& ev) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[head_] = ev;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+void EventTracer::instant(std::int32_t pid, std::int32_t tid,
+                          std::int64_t ts_ns, const char* name,
+                          const char* arg_names, std::int64_t a0,
+                          std::int64_t a1, std::int64_t a2) {
+  TraceEvent ev;
+  ev.phase = 'i';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_ns = ts_ns;
+  ev.name = name;
+  ev.arg_names = arg_names;
+  ev.args[0] = a0;
+  ev.args[1] = a1;
+  ev.args[2] = a2;
+  record(ev);
+}
+
+void EventTracer::complete(std::int32_t pid, std::int32_t tid,
+                           std::int64_t ts_ns, std::int64_t dur_ns,
+                           const char* name, const char* arg_names,
+                           std::int64_t a0, std::int64_t a1, std::int64_t a2) {
+  TraceEvent ev;
+  ev.phase = 'X';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.name = name;
+  ev.arg_names = arg_names;
+  ev.args[0] = a0;
+  ev.args[1] = a1;
+  ev.args[2] = a2;
+  record(ev);
+}
+
+void EventTracer::set_process_name(std::int32_t pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_names_[pid] = name;
+}
+
+void EventTracer::set_thread_name(std::int32_t pid, std::int32_t tid,
+                                  const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[{pid, tid}] = name;
+}
+
+std::vector<TraceEvent> EventTracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // head_ is the oldest slot once the ring has wrapped.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+  return out;
+}
+
+std::size_t EventTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::int64_t EventTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto retained = static_cast<std::int64_t>(ring_.size());
+  return total_ > retained ? total_ - retained : 0;
+}
+
+std::string EventTracer::chrome_json() const {
+  const auto evs = events();
+  std::map<std::int32_t, std::string> pnames;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::string> tnames;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pnames = process_names_;
+    tnames = thread_names_;
+  }
+
+  std::string out;
+  out.reserve(evs.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+  };
+  for (const auto& [pid, name] : pnames) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    out += json_escape(name);
+    out += "\"}}";
+  }
+  for (const auto& [key, name] : tnames) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    out += std::to_string(key.first);
+    out += ",\"tid\":";
+    out += std::to_string(key.second);
+    out += ",\"args\":{\"name\":\"";
+    out += json_escape(name);
+    out += "\"}}";
+  }
+  for (const auto& ev : evs) {
+    sep();
+    out += "{\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"name\":\"";
+    out += ev.name;  // literal, never needs escaping
+    out += "\",\"cat\":\"";
+    out += ev.cat;
+    out += "\",\"pid\":";
+    out += std::to_string(ev.pid);
+    out += ",\"tid\":";
+    out += std::to_string(ev.tid);
+    out += ",\"ts\":";
+    append_ts_us(out, ev.ts_ns);
+    if (ev.phase == 'X') {
+      out += ",\"dur\":";
+      append_ts_us(out, ev.dur_ns);
+    }
+    if (ev.phase == 'i') {
+      out += ",\"s\":\"t\"";  // thread-scoped instant marker
+    }
+    append_args(out, ev);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool EventTracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    return false;
+  }
+  f << chrome_json();
+  return static_cast<bool>(f);
+}
+
+void EventTracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+EventTracer& EventTracer::global() {
+  // Heap singleton (never destroyed): hooks may fire during static
+  // destruction of other objects.
+  static EventTracer* instance = [] {
+    auto* t = new EventTracer();
+    // Only trace when an output path is configured; otherwise every hook
+    // is a relaxed load + branch.
+    t->set_enabled(!trace_out_path().empty());
+    return t;
+  }();
+  return *instance;
+}
+
+namespace {
+std::mutex g_trace_path_mu;
+std::string g_trace_path;
+bool g_trace_path_init = false;
+}  // namespace
+
+std::string trace_out_path() {
+  std::lock_guard<std::mutex> lock(g_trace_path_mu);
+  if (!g_trace_path_init) {
+    g_trace_path_init = true;
+    if (const char* env = std::getenv("HRTDM_TRACE_OUT")) {
+      g_trace_path = env;
+    }
+  }
+  return g_trace_path;
+}
+
+void set_trace_out(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(g_trace_path_mu);
+    g_trace_path = path;
+    g_trace_path_init = true;
+  }
+  if (!path.empty()) {
+    EventTracer::global().set_enabled(true);
+  }
+}
+
+std::string write_global_trace() {
+  const auto path = trace_out_path();
+  if (path.empty()) {
+    return "";
+  }
+  if (!EventTracer::global().write_chrome_json(path)) {
+    return "";
+  }
+  return path;
+}
+
+}  // namespace hrtdm::obs

@@ -1,0 +1,122 @@
+// Structured protocol event tracer with Chrome trace-event JSON export
+// (loadable in Perfetto / chrome://tracing — see docs/OBSERVABILITY.md).
+//
+// Events land in a bounded ring buffer (oldest evicted first) so tracing a
+// long run costs bounded memory; `dropped()` reports the eviction count.
+// Only 'X' (complete, with duration), 'i' (instant) and counter-free
+// metadata events are emitted — never 'B'/'E' begin/end pairs, whose
+// nesting would break as soon as the ring evicts one half of a pair.
+//
+// Track model: pid = channel id ("channel <id>" process), tid 0 = the
+// channel's slot track, tid s+1 = station s's protocol track. Auxiliary
+// producers (the thread pool) use their own pid.
+//
+// Dependency-free (std only): the rest of the tree links this without
+// cycles. The ChannelObserver adapter lives in channel_tracer.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hrtdm::obs {
+
+/// One trace event. `name`/`cat`/`arg_names` must point at storage that
+/// outlives the tracer — string literals in practice — so the ring stays a
+/// flat POD array with no per-event allocation.
+struct TraceEvent {
+  char phase = 'i';    ///< 'X' complete, 'i' instant
+  std::int32_t pid = 0;
+  std::int32_t tid = 0;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;  ///< 'X' only
+  const char* name = "";
+  const char* cat = "protocol";
+  /// Comma-separated argument names ("lo,size,leaves"); empty = no args.
+  const char* arg_names = "";
+  std::int64_t args[3] = {0, 0, 0};
+};
+
+class EventTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
+
+  explicit EventTracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Cheap global kill switch: record() is a relaxed load + branch when
+  /// disabled, so hooks can stay installed unconditionally.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record(const TraceEvent& ev);
+
+  /// Convenience: instant event ('i') at `ts_ns`.
+  void instant(std::int32_t pid, std::int32_t tid, std::int64_t ts_ns,
+               const char* name, const char* arg_names = "",
+               std::int64_t a0 = 0, std::int64_t a1 = 0, std::int64_t a2 = 0);
+
+  /// Convenience: complete span ('X') covering [ts_ns, ts_ns + dur_ns].
+  void complete(std::int32_t pid, std::int32_t tid, std::int64_t ts_ns,
+                std::int64_t dur_ns, const char* name,
+                const char* arg_names = "", std::int64_t a0 = 0,
+                std::int64_t a1 = 0, std::int64_t a2 = 0);
+
+  /// Track naming (Perfetto metadata events; kept outside the ring so
+  /// labels survive arbitrarily long runs).
+  void set_process_name(std::int32_t pid, const std::string& name);
+  void set_thread_name(std::int32_t pid, std::int32_t tid,
+                       const std::string& name);
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Events evicted by the ring (total recorded - retained).
+  std::int64_t dropped() const;
+
+  /// Chrome trace-event JSON: {"displayTimeUnit":"ns","traceEvents":[...]}.
+  /// Timestamps are emitted in microseconds (the format's unit) with ns
+  /// precision as fractional digits.
+  std::string chrome_json() const;
+
+  /// Writes chrome_json() to `path`; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+  /// Drops all events and the dropped() count; track names survive.
+  void clear();
+
+  /// Process-wide tracer used by default wiring; enabled automatically
+  /// when HRTDM_TRACE_OUT / set_trace_out() configure an output path.
+  static EventTracer& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;   ///< next write position
+  std::int64_t total_ = 0; ///< events ever recorded
+  std::atomic<bool> enabled_{true};
+  std::map<std::int32_t, std::string> process_names_;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::string> thread_names_;
+};
+
+/// Trace output path: HRTDM_TRACE_OUT env var (read once) unless
+/// set_trace_out() overrode it. Empty = tracing to file disabled.
+std::string trace_out_path();
+
+/// Programmatic override (e.g. from a --trace-out CLI flag). Enables the
+/// global tracer when `path` is non-empty.
+void set_trace_out(const std::string& path);
+
+/// Writes the global tracer to trace_out_path() if configured. Returns the
+/// path written, or "" when no path is configured or the write failed.
+std::string write_global_trace();
+
+}  // namespace hrtdm::obs

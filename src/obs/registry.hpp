@@ -1,0 +1,189 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms
+// with a lock-free hot path (docs/OBSERVABILITY.md).
+//
+// Registration (name -> instrument) takes a mutex once; after that every
+// update is a single relaxed atomic RMW, safe to call from the worker pool
+// (concurrent increments sum exactly — integer addition commutes, so the
+// totals are identical to a serial run regardless of interleaving, which is
+// what keeps the registry compatible with the repo's parallel == serial
+// determinism contract).
+//
+// The HRTDM_COUNT / HRTDM_OBSERVE macros cache the registry lookup in a
+// function-local static, so a hot call site costs one predicted branch plus
+// one relaxed fetch_add. Building with -DHRTDM_OBS_OFF compiles every macro
+// to `((void)0)` — zero code, zero registrations.
+//
+// This subsystem is deliberately dependency-free (std only) so that even
+// the lowest layer (util/thread_pool, net/channel) can be instrumented
+// without a dependency cycle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hrtdm::obs {
+
+/// Monotonic event count. All operations are relaxed: counters order
+/// nothing, they only total.
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket integer histogram. Bucket i counts observations v with
+/// v <= bounds[i] (and > bounds[i-1]); one extra overflow bucket catches
+/// everything beyond the last bound. Bounds are plain int64 values fixed at
+/// registration, so bucket boundaries are bit-identical on every platform.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  /// Power-of-two bounds {0, 1, 2, 4, ..., 2^(buckets-2)}: integer-exact
+  /// everywhere, covering [0, 2^38] ns-scale values with the default below.
+  static std::vector<std::int64_t> exp2_bounds(int buckets = kDefaultBuckets);
+  static constexpr int kDefaultBuckets = 40;
+
+  void observe(std::int64_t v);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// INT64_MAX / INT64_MIN respectively while count() == 0.
+  std::int64_t min() const { return min_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::int64_t> bucket_counts() const;
+
+  void reset();
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{INT64_MAX};
+  std::atomic<std::int64_t> max_{INT64_MIN};
+};
+
+// --- snapshots (plain data, serialized by the bench harness) -------------
+
+struct CounterSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  ///< 0 when count == 0
+  std::int64_t max = 0;  ///< 0 when count == 0
+  std::vector<std::int64_t> bounds;
+  std::vector<std::int64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+};
+
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;    ///< sorted by name
+  std::vector<GaugeSnapshot> gauges;        ///< sorted by name
+  std::vector<HistogramSnapshot> histograms;  ///< sorted by name
+};
+
+/// Name -> instrument map. Instruments live for the registry's lifetime and
+/// their addresses are stable, so call sites may cache references.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Finds or creates; `bounds` applies only on creation (the first
+  /// registration of a name fixes its buckets).
+  Histogram& histogram(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::int64_t> bounds);
+
+  RegistrySnapshot snapshot() const;
+
+  /// Zeroes every instrument but keeps registrations (tests; the macro
+  /// static caches stay valid).
+  void reset();
+
+  /// The process-wide registry the macros write into.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hrtdm::obs
+
+// --- hot-path macros ------------------------------------------------------
+//
+// The `name` argument must be a string with static storage duration (in
+// practice: a literal); the lookup happens once per call site.
+
+#if !defined(HRTDM_OBS_OFF)
+
+#define HRTDM_COUNT_N(name, n)                                   \
+  do {                                                           \
+    static ::hrtdm::obs::Counter& hrtdm_obs_counter_ =           \
+        ::hrtdm::obs::Registry::global().counter(name);          \
+    hrtdm_obs_counter_.inc(n);                                   \
+  } while (0)
+
+#define HRTDM_COUNT(name) HRTDM_COUNT_N(name, 1)
+
+#define HRTDM_OBSERVE(name, value)                               \
+  do {                                                           \
+    static ::hrtdm::obs::Histogram& hrtdm_obs_hist_ =            \
+        ::hrtdm::obs::Registry::global().histogram(name);        \
+    hrtdm_obs_hist_.observe(static_cast<std::int64_t>(value));   \
+  } while (0)
+
+#define HRTDM_GAUGE_SET(name, value)                             \
+  do {                                                           \
+    static ::hrtdm::obs::Gauge& hrtdm_obs_gauge_ =               \
+        ::hrtdm::obs::Registry::global().gauge(name);            \
+    hrtdm_obs_gauge_.set(static_cast<std::int64_t>(value));      \
+  } while (0)
+
+#else  // HRTDM_OBS_OFF: every macro is a no-op; arguments are not evaluated.
+
+#define HRTDM_COUNT_N(name, n) ((void)0)
+#define HRTDM_COUNT(name) ((void)0)
+#define HRTDM_OBSERVE(name, value) ((void)0)
+#define HRTDM_GAUGE_SET(name, value) ((void)0)
+
+#endif  // HRTDM_OBS_OFF

@@ -1,12 +1,13 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 namespace hrtdm::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,10 +19,37 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// HRTDM_LOG_LEVEL, case-insensitive: trace|debug|info|warn|warning|error.
+/// Unset or unrecognized values keep the kInfo default.
+LogLevel initial_level() {
+  const char* env = std::getenv("HRTDM_LOG_LEVEL");
+  if (env == nullptr) {
+    return LogLevel::kInfo;
+  }
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "trace") return LogLevel::kTrace;
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn" || value == "warning") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+/// Function-local static so the environment is read exactly once, at first
+/// use — safe from any static initializer that logs.
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) { level_ref().store(level); }
+LogLevel log_level() { return level_ref().load(); }
 
 void log_line(LogLevel level, const std::string& message) {
   std::cerr << "[" << level_name(level) << "] " << message << "\n";

@@ -1,17 +1,33 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/event_tracer.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace hrtdm::util {
 
 namespace {
+
+// Pool trace events live on their own Perfetto process (the protocol pids
+// are channel ids) and use host wall-clock nanoseconds since the first
+// batch, not simulated time — the pool runs outside the simulation.
+constexpr std::int32_t kPoolTracePid = 1'000'000;
+
+std::int64_t pool_trace_clock_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point base = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              base)
+      .count();
+}
 
 struct Failure {
   std::int64_t index = -1;  // -1: no exception on this worker
@@ -90,7 +106,24 @@ ThreadPool::ThreadPool(int threads)
         const auto* fn = impl.fn;
         lock.unlock();
 
+        const std::int64_t t0 = pool_trace_clock_ns();
         Failure failure = run_slice(w, threads_, n, *fn);
+        const std::int64_t t1 = pool_trace_clock_ns();
+
+        // Worker w owns the static slice {w, w+T, ...} < n.
+        const std::int64_t slice_tasks =
+            w < n ? (n - w + threads_ - 1) / threads_ : 0;
+        HRTDM_COUNT_N("pool.worker_tasks", slice_tasks);
+        HRTDM_OBSERVE("pool.worker_busy_us", (t1 - t0) / 1000);
+        auto& tracer = obs::EventTracer::global();
+        if (tracer.enabled()) {
+          tracer.set_process_name(kPoolTracePid, "thread pool");
+          tracer.set_thread_name(kPoolTracePid, w,
+                                 "worker " + std::to_string(w));
+          tracer.complete(kPoolTracePid, w, t0, t1 - t0, "pool-slice",
+                          "worker,tasks,batch", w, slice_tasks,
+                          static_cast<std::int64_t>(seen));
+        }
 
         lock.lock();
         impl.failures[static_cast<std::size_t>(w)] = failure;
@@ -121,6 +154,11 @@ void ThreadPool::for_index(std::int64_t n,
     return;
   }
   std::lock_guard<std::mutex> submit_lock(impl_->submit_mu);
+  HRTDM_COUNT("pool.batches");
+  HRTDM_COUNT_N("pool.tasks", n);
+  HRTDM_OBSERVE("pool.batch_tasks", n);
+  const std::int64_t batch_t0 = pool_trace_clock_ns();
+  (void)batch_t0;  // unused in HRTDM_OBS_OFF builds
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->n = n;
@@ -136,6 +174,8 @@ void ThreadPool::for_index(std::int64_t n,
     failures = impl_->failures;
     impl_->fn = nullptr;
   }
+  HRTDM_OBSERVE("pool.batch_wall_us",
+                (pool_trace_clock_ns() - batch_t0) / 1000);
   rethrow_first(failures);
 }
 

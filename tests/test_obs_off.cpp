@@ -1,0 +1,53 @@
+// Compiled with -DHRTDM_OBS_OFF (see tests/CMakeLists.txt): proves the
+// observability macros disappear entirely — no code, no argument
+// evaluation, no registry registrations — so an instrumented hot path
+// costs nothing in an obs-off build.
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#ifndef HRTDM_OBS_OFF
+#error "this test must be compiled with HRTDM_OBS_OFF"
+#endif
+
+namespace hrtdm::obs {
+namespace {
+
+TEST(ObsOff, MacrosDoNotEvaluateArguments) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return std::int64_t{1};
+  };
+  (void)touch;  // only "used" when the macros expand to real code
+  HRTDM_COUNT("off.counter");
+  HRTDM_COUNT_N("off.counter", touch());
+  HRTDM_OBSERVE("off.hist", touch());
+  HRTDM_GAUGE_SET("off.gauge", touch());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ObsOff, MacrosRegisterNothing) {
+  // This TU's macros above are no-ops, so none of the "off.*" names exist.
+  // (The registry API itself stays available: explicit calls still work,
+  // which is what keeps snapshot plumbing compilable in obs-off builds.)
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  for (const auto& counter : snap.counters) {
+    EXPECT_NE(counter.name.substr(0, 4), "off.");
+  }
+  for (const auto& gauge : snap.gauges) {
+    EXPECT_NE(gauge.name.substr(0, 4), "off.");
+  }
+  for (const auto& hist : snap.histograms) {
+    EXPECT_NE(hist.name.substr(0, 4), "off.");
+  }
+}
+
+TEST(ObsOff, ExplicitRegistryStillWorks) {
+  Registry reg;
+  reg.counter("explicit").inc(2);
+  EXPECT_EQ(reg.counter("explicit").value(), 2);
+}
+
+}  // namespace
+}  // namespace hrtdm::obs

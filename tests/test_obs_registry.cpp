@@ -1,0 +1,166 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace hrtdm::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Registry, FindOrCreateReturnsStableInstrument) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(reg.counter("x").value(), 3);
+  // Distinct names are distinct instruments.
+  EXPECT_NE(&reg.counter("y"), &a);
+}
+
+TEST(Registry, SnapshotSortedByName) {
+  Registry reg;
+  reg.counter("zeta").inc(1);
+  reg.counter("alpha").inc(2);
+  reg.gauge("mid").set(5);
+  reg.histogram("h").observe(9);
+  const RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[0].value, 2);
+  EXPECT_EQ(snap.counters[1].name, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1);
+  EXPECT_EQ(snap.histograms[0].sum, 9);
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistrations) {
+  Registry reg;
+  Counter& c = reg.counter("keep");
+  c.inc(10);
+  reg.histogram("h").observe(3);
+  reg.reset();
+  // The cached reference stays valid (macro static caches rely on this).
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  EXPECT_EQ(reg.counter("keep").value(), 1);
+  EXPECT_EQ(reg.histogram("h").count(), 0);
+}
+
+TEST(Histogram, Exp2BoundsArePlatformStableIntegers) {
+  const auto bounds = Histogram::exp2_bounds();
+  ASSERT_EQ(bounds.size(),
+            static_cast<std::size_t>(Histogram::kDefaultBuckets));
+  EXPECT_EQ(bounds[0], 0);
+  EXPECT_EQ(bounds[1], 1);
+  EXPECT_EQ(bounds[2], 2);
+  EXPECT_EQ(bounds[3], 4);
+  // Bound i (i >= 1) is exactly 2^(i-1): no floating point anywhere.
+  for (std::size_t i = 2; i < bounds.size(); ++i) {
+    EXPECT_EQ(bounds[i], 2 * bounds[i - 1]);
+  }
+}
+
+TEST(Histogram, BucketPlacementAndStats) {
+  // Bucket i counts v <= bounds[i] (and > bounds[i-1]); last is overflow.
+  Histogram h({0, 10, 100});
+  h.observe(0);    // bucket 0 (v <= 0)
+  h.observe(5);    // bucket 1 (0 < v <= 10)
+  h.observe(10);   // bucket 1 (inclusive upper bound)
+  h.observe(11);   // bucket 2
+  h.observe(500);  // overflow bucket
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1);
+  EXPECT_EQ(buckets[1], 2);
+  EXPECT_EQ(buckets[2], 1);
+  EXPECT_EQ(buckets[3], 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 526);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 500);
+}
+
+TEST(Histogram, EmptyMinMaxSentinels) {
+  Histogram h({1});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), INT64_MAX);
+  EXPECT_EQ(h.max(), INT64_MIN);
+  // ...but the registry snapshot reports 0/0 for an empty histogram.
+  Registry reg;
+  reg.histogram("empty");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].min, 0);
+  EXPECT_EQ(snap.histograms[0].max, 0);
+}
+
+// Macro behaviour: only meaningful when instrumentation is compiled in
+// (a global -DHRTDM_OBS_OFF=ON build turns the macros into no-ops, and
+// tests/test_obs_off.cpp covers that contract).
+#ifndef HRTDM_OBS_OFF
+
+TEST(Macros, ConcurrentCountSumsExactly) {
+  Registry::global().counter("test.concurrent").reset();
+  util::ThreadPool pool(4);
+  constexpr std::int64_t kTasks = 10'000;
+  pool.for_index(kTasks, [](std::int64_t i) {
+    HRTDM_COUNT("test.concurrent");
+    HRTDM_COUNT_N("test.concurrent", i % 3);
+  });
+  // Relaxed increments commute: the total is exact, not approximate.
+  std::int64_t expected = kTasks;
+  for (std::int64_t i = 0; i < kTasks; ++i) {
+    expected += i % 3;
+  }
+  EXPECT_EQ(Registry::global().counter("test.concurrent").value(), expected);
+}
+
+TEST(Macros, ConcurrentObserveCountsEverySample) {
+  Registry::global().histogram("test.concurrent_hist").reset();
+  util::ThreadPool pool(4);
+  constexpr std::int64_t kTasks = 5'000;
+  pool.for_index(kTasks, [](std::int64_t i) {
+    HRTDM_OBSERVE("test.concurrent_hist", i);
+  });
+  Histogram& h = Registry::global().histogram("test.concurrent_hist");
+  EXPECT_EQ(h.count(), kTasks);
+  EXPECT_EQ(h.sum(), kTasks * (kTasks - 1) / 2);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), kTasks - 1);
+}
+
+TEST(Macros, GaugeSetWritesGlobal) {
+  HRTDM_GAUGE_SET("test.gauge", 123);
+  EXPECT_EQ(Registry::global().gauge("test.gauge").value(), 123);
+}
+
+#endif  // HRTDM_OBS_OFF
+
+}  // namespace
+}  // namespace hrtdm::obs

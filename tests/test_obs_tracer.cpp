@@ -1,0 +1,174 @@
+#include "obs/event_tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "bench/harness.hpp"
+#include "core/ddcr_network.hpp"
+#include "traffic/message.hpp"
+
+namespace hrtdm::obs {
+namespace {
+
+TEST(EventTracer, RecordsInstantAndComplete) {
+  EventTracer tracer;
+  tracer.instant(0, 1, 100, "tick", "a,b", 7, 8);
+  tracer.complete(0, 2, 200, 50, "span");
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_EQ(events[0].ts_ns, 100);
+  EXPECT_EQ(events[0].args[0], 7);
+  EXPECT_EQ(events[0].args[1], 8);
+  EXPECT_EQ(events[1].phase, 'X');
+  EXPECT_EQ(events[1].dur_ns, 50);
+  EXPECT_EQ(tracer.dropped(), 0);
+}
+
+TEST(EventTracer, RingEvictsOldestAndCountsDropped) {
+  EventTracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.instant(0, 0, i * 10, "e");
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: the retained window is events 6..9.
+  EXPECT_EQ(events[0].ts_ns, 60);
+  EXPECT_EQ(events[3].ts_ns, 90);
+}
+
+TEST(EventTracer, DisabledRecordsNothing) {
+  EventTracer tracer;
+  tracer.set_enabled(false);
+  tracer.instant(0, 0, 1, "e");
+  tracer.complete(0, 0, 2, 3, "s");
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.set_enabled(true);
+  tracer.instant(0, 0, 4, "e");
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(EventTracer, ClearDropsEventsKeepsTrackNames) {
+  EventTracer tracer;
+  tracer.set_process_name(3, "channel 3");
+  tracer.instant(3, 0, 1, "e");
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0);
+  // The metadata event for pid 3 must still be emitted.
+  EXPECT_NE(tracer.chrome_json().find("channel 3"), std::string::npos);
+}
+
+TEST(EventTracer, ChromeJsonParsesWithTracksAndArgs) {
+  EventTracer tracer;
+  tracer.set_process_name(0, "channel 0");
+  tracer.set_thread_name(0, 1, "station 0");
+  tracer.instant(0, 1, 1500, "epoch-start", "epoch", 3);
+  tracer.complete(0, 0, 2000, 100, "tx");
+  const bench::Json doc = bench::Json::parse(tracer.chrome_json());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ns");
+  const auto& events = doc.at("traceEvents").as_array();
+  // 2 metadata (process_name, thread_name) + 2 recorded.
+  ASSERT_EQ(events.size(), 4u);
+  std::set<std::string> phases;
+  for (const auto& ev : events) {
+    phases.insert(ev.at("ph").as_string());
+  }
+  EXPECT_EQ(phases, (std::set<std::string>{"M", "X", "i"}));
+  // The instant event: ts in microseconds with ns as fractional digits.
+  bool found_instant = false;
+  for (const auto& ev : events) {
+    if (ev.at("ph").as_string() != "i") {
+      continue;
+    }
+    found_instant = true;
+    EXPECT_DOUBLE_EQ(ev.at("ts").as_double(), 1.5);
+    EXPECT_EQ(ev.at("s").as_string(), "t");
+    EXPECT_EQ(ev.at("args").at("epoch").as_int(), 3);
+  }
+  EXPECT_TRUE(found_instant);
+}
+
+TEST(EventTracer, WriteChromeJsonRoundTrips) {
+  EventTracer tracer;
+  tracer.instant(0, 0, 1, "e");
+  const std::string path =
+      testing::TempDir() + "hrtdm_tracer_roundtrip.json";
+  ASSERT_TRUE(tracer.write_chrome_json(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const bench::Json doc = bench::Json::parse(buffer.str());
+  EXPECT_EQ(doc.at("traceEvents").as_array().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EventTracer, TestbedEmitsPerStationAndChannelTracks) {
+  EventTracer tracer;
+  core::DdcrRunOptions options;
+  options.phy.slot_x = util::Duration::nanoseconds(100);
+  options.ddcr.class_width_c = util::Duration::microseconds(10);
+  options.tracer = &tracer;
+  core::DdcrTestbed bed(3, options);
+  for (int s = 0; s < 3; ++s) {
+    traffic::Message msg;
+    msg.uid = s;
+    msg.class_id = 0;
+    msg.source = s;
+    msg.l_bits = 100;
+    msg.arrival = sim::SimTime::zero();
+    msg.absolute_deadline = sim::SimTime::from_ns(100'000);
+    bed.inject(s, msg);
+  }
+  bed.run(sim::SimTime::from_ns(50'000));
+  std::set<std::int32_t> tids;
+  bool saw_channel_span = false;
+  for (const auto& ev : tracer.events()) {
+    tids.insert(ev.tid);
+    if (ev.tid == 0 && ev.phase == 'X') {
+      saw_channel_span = true;
+    }
+  }
+  // tid 0 = channel track; tids 1..3 = stations 0..2.
+  EXPECT_EQ(tids, (std::set<std::int32_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(saw_channel_span);
+  // The exported JSON parses and names all four tracks.
+  const bench::Json doc = bench::Json::parse(tracer.chrome_json());
+  std::set<std::string> track_names;
+  for (const auto& ev : doc.at("traceEvents").as_array()) {
+    if (ev.at("ph").as_string() == "M" &&
+        ev.at("name").as_string() == "thread_name") {
+      track_names.insert(ev.at("args").at("name").as_string());
+    }
+  }
+  EXPECT_EQ(track_names,
+            (std::set<std::string>{"channel", "station 0", "station 1",
+                                   "station 2"}));
+}
+
+TEST(TraceOutPath, SetTraceOutEnablesGlobal) {
+  // Session-local override; HRTDM_TRACE_OUT is unset in test runs, so the
+  // global starts disabled and set_trace_out("") restores that.
+  set_trace_out("");
+  ASSERT_TRUE(trace_out_path().empty());
+  EXPECT_EQ(write_global_trace(), "");
+  const std::string path = testing::TempDir() + "hrtdm_global_trace.json";
+  set_trace_out(path);
+  EXPECT_EQ(trace_out_path(), path);
+  EXPECT_TRUE(EventTracer::global().enabled());
+  EventTracer::global().instant(0, 0, 1, "e");
+  EXPECT_EQ(write_global_trace(), path);
+  std::remove(path.c_str());
+  set_trace_out("");
+  EventTracer::global().set_enabled(false);
+  EventTracer::global().clear();
+}
+
+}  // namespace
+}  // namespace hrtdm::obs

@@ -73,6 +73,44 @@ TEST(TraceRecorder, CapacityEvictsOldest) {
             std::string::npos);
 }
 
+TEST(TraceRecorder, CapacityKeepsExactWindowAndDropCount) {
+  TraceRecorder trace(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.on_slot(make_record(SlotKind::kSilence, i * 100, (i + 1) * 100));
+  }
+  ASSERT_EQ(trace.slots().size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  // Slots 0..5 were evicted; the retained window is slots 6..9.
+  EXPECT_EQ(trace.slots().front().start.ns(), 600);
+  EXPECT_EQ(trace.slots().back().start.ns(), 900);
+}
+
+TEST(TraceRecorder, TimelineAnnotationReflectsRetainedWindow) {
+  TraceRecorder trace(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.on_slot(make_record(SlotKind::kSilence, i * 100, (i + 1) * 100));
+  }
+  const std::string timeline = trace.ascii_timeline(4);
+  // The first row must be annotated with the start time of the first
+  // RETAINED slot (600 ns), not the first recorded one (0 ns).
+  const std::string expected_prefix = trace.slots().front().start.str();
+  EXPECT_EQ(timeline.substr(0, expected_prefix.size()), expected_prefix);
+  EXPECT_NE(timeline.find("6 earlier slots dropped"), std::string::npos);
+}
+
+TEST(TraceRecorder, CsvContainsOnlyRetainedRows) {
+  TraceRecorder trace(3);
+  for (int i = 0; i < 8; ++i) {
+    trace.on_slot(make_record(SlotKind::kSilence, i * 100, (i + 1) * 100));
+  }
+  const std::string csv = trace.csv();
+  // Header + 3 retained rows, nothing from the evicted prefix.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_EQ(csv.find("\n0,100,"), std::string::npos);
+  EXPECT_NE(csv.find("500,600,silence"), std::string::npos);
+  EXPECT_NE(csv.find("700,800,silence"), std::string::npos);
+}
+
 TEST(TraceRecorder, CsvHeaderAndRows) {
   TraceRecorder trace;
   trace.on_slot(make_record(SlotKind::kSuccess, 200, 1200));

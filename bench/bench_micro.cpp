@@ -7,6 +7,7 @@
 // google-benchmark result objects land verbatim in the artifact's "rows".
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <sstream>
 
 #include "bench/harness.hpp"
@@ -15,6 +16,7 @@
 #include "analysis/p2.hpp"
 #include "analysis/xi.hpp"
 #include "core/ddcr_network.hpp"
+#include "core/edf_queue.hpp"
 #include "core/tree_search.hpp"
 #include "sim/simulator.hpp"
 #include "traffic/fc_adapter.hpp"
@@ -39,7 +41,9 @@ BENCHMARK(BM_XiExactTableBuild)
     ->Args({2, 8})
     ->Args({2, 10})
     ->Args({4, 5})
-    ->Args({4, 6});
+    ->Args({4, 6})
+    ->Args({4, 8})     // 65536 leaves
+    ->Args({4, 10});   // ~1M leaves; intractable before the concave kernel
 
 void BM_XiClosedForm(benchmark::State& state) {
   const std::int64_t t = 4096;
@@ -133,6 +137,68 @@ void BM_SimulatorEventLoop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
 BENCHMARK(BM_SimulatorEventLoop);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  // Schedule/cancel churn: every round schedules a batch, cancels half and
+  // fires the rest, recycling pool slots continuously — the pattern the
+  // channel's slot-end + gap-resume events produce.
+  constexpr int kBatch = 64;
+  constexpr int kRounds = 256;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t fired = 0;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(kBatch);
+    for (int round = 0; round < kRounds; ++round) {
+      handles.clear();
+      const auto at = sim.now() + util::Duration::nanoseconds(10);
+      for (int i = 0; i < kBatch; ++i) {
+        handles.push_back(sim.schedule_at(at, [&fired] { ++fired; }));
+      }
+      for (int i = 0; i < kBatch; i += 2) {
+        sim.cancel(handles[static_cast<std::size_t>(i)]);
+      }
+      sim.run_until(at);
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * kRounds);
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+void BM_EdfQueueChurn(benchmark::State& state) {
+  // Steady-state push/remove against a deep backlog; remove() used to scan
+  // the deadline set linearly, so this scaled with the queue depth.
+  const std::int64_t depth = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::EdfQueue queue;
+    util::SplitMix64 mix(7);
+    for (std::int64_t uid = 0; uid < depth; ++uid) {
+      traffic::Message msg;
+      msg.uid = uid;
+      msg.l_bits = 100;
+      msg.absolute_deadline = sim::SimTime::from_ns(
+          static_cast<std::int64_t>(mix.next() % 1'000'000));
+      queue.push(msg);
+    }
+    state.ResumeTiming();
+    std::int64_t uid = depth;
+    for (std::int64_t op = 0; op < 4096; ++op) {
+      traffic::Message msg;
+      msg.uid = uid++;
+      msg.l_bits = 100;
+      msg.absolute_deadline = sim::SimTime::from_ns(
+          static_cast<std::int64_t>(mix.next() % 1'000'000));
+      queue.push(msg);
+      queue.remove(static_cast<std::int64_t>(mix.next() %
+                                             static_cast<std::uint64_t>(uid)));
+    }
+    benchmark::DoNotOptimize(queue.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EdfQueueChurn)->Arg(1024)->Arg(10240);
 
 void BM_FullDdcrRun(benchmark::State& state) {
   const auto wl = traffic::quickstart(static_cast<int>(state.range(0)));

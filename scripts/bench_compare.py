@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_micro.json run against a committed baseline.
+
+Warn-only by default: regressions are reported (and annotated in GitHub
+Actions logs via ::warning::) but the exit code stays 0, because shared CI
+runners are far too noisy to gate merges on wall-clock numbers. Pass
+--strict to turn regressions into a non-zero exit for local A/B runs on a
+quiet machine.
+
+Rows are matched by benchmark name; times are normalized to nanoseconds
+using each row's time_unit. A row is flagged when
+
+    current_real_time > baseline_real_time * tolerance
+
+with --tolerance defaulting to 1.5 (50% headroom). New and vanished
+benchmarks are listed informationally and never flagged.
+
+Usage:
+    scripts/bench_compare.py bench/baselines/micro.json BENCH_micro.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_rows(path: str) -> dict[str, float]:
+    """Maps benchmark name -> real_time in nanoseconds."""
+    with open(path, "r", encoding="utf-8") as fh:
+        artifact = json.load(fh)
+    rows = {}
+    for row in artifact.get("rows", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        name = row.get("name")
+        if name is None or "real_time" not in row:
+            continue
+        scale = _UNIT_NS.get(row.get("time_unit", "ns"))
+        if scale is None:
+            continue
+        rows[name] = float(row["real_time"]) * scale
+    return rows
+
+
+def fmt_ns(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline artifact")
+    parser.add_argument("current", help="freshly produced artifact")
+    parser.add_argument("--tolerance", type=float, default=1.5,
+                        help="flag when current > baseline * TOLERANCE "
+                             "(default: %(default)s)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regressions instead of warn-only")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+    in_actions = os.environ.get("GITHUB_ACTIONS") == "true"
+
+    regressions = []
+    width = max((len(name) for name in baseline | current), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"{name:<{width}}  {fmt_ns(baseline[name]):>12}  "
+                  f"{'(missing)':>12}")
+            continue
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
+        flag = ""
+        if ratio > args.tolerance:
+            flag = "  <-- slower than tolerance"
+            regressions.append((name, ratio))
+        print(f"{name:<{width}}  {fmt_ns(baseline[name]):>12}  "
+              f"{fmt_ns(current[name]):>12}  {ratio:5.2f}x{flag}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}}  {'(new)':>12}  {fmt_ns(current[name]):>12}")
+
+    if regressions:
+        summary = ", ".join(f"{name} ({ratio:.2f}x)"
+                            for name, ratio in regressions)
+        message = (f"{len(regressions)} benchmark(s) exceeded the "
+                   f"{args.tolerance:.2f}x tolerance: {summary}")
+        if in_actions:
+            print(f"::warning title=bench_compare::{message}")
+        else:
+            print(f"WARNING: {message}", file=sys.stderr)
+        if args.strict:
+            return 1
+    else:
+        print(f"all {len(baseline)} baseline benchmarks within "
+              f"{args.tolerance:.2f}x tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "util/check.hpp"
@@ -51,6 +52,69 @@ std::vector<std::vector<std::int64_t>> maxplus_powers(
   return powers;
 }
 
+/// m-fold max-plus power of a *level row* in O(m s) total instead of the
+/// dense O(m^2 s^2), exploiting the structure the paper proves about every
+/// row a = xi(., s):
+///
+///   (i)  a[2p+1] = a[2p] - 1                                      (Eq. 3)
+///   (ii) E[p] := a[2p] is concave: its slopes dE[p] = E[p] - E[p-1]
+///        are non-increasing (Eq. 8, which also gives dE >= -2).
+///
+/// Write each part of a composition k = k_1 + ... + k_m as
+/// k_i = 2 p_i + o_i with o_i in {0, 1}; by (i), a[k_i] = E[p_i] - o_i, so
+/// with j = sum o_i (the number of odd parts, j == k mod 2) and
+/// q = sum p_i = (k - j) / 2,
+///
+///   c[k] = max_j [ -j + max_{sum p_i = q} sum_i E[p_i] ].
+///
+/// The inner max is a classic concave allocation: start all parts at p = 0
+/// (worth m E[0]) and hand out the q unit increments greedily — the slope
+/// multiset holds m copies of each dE[1] >= dE[2] >= ... >= dE[P], so the
+/// optimum is m pre[q/m] + (q%m) dE[q/m + 1] with pre the slope prefix sum.
+/// Raising j by 2 (preserving parity) trades one slope increment for -2;
+/// since every slope is >= -2 by (ii), the minimal feasible j always wins.
+/// Feasibility of j: parts are bounded by k_i <= s, i.e. p_i <= floor(s/2)
+/// for even parts and 2 p_i + 1 <= s for odd ones, so
+///   s odd:  odd parts reach s, even parts only s - 1, forcing
+///           j >= k - m (s - 1);
+///   s even: even parts reach s and only at most m - j parts can sit at
+///           p = P, which the capacity bound q <= m P - j (implied by
+///           k <= m s - j) already guarantees the greedy respects.
+/// Both bounds preserve j == k (mod 2), giving j0 below.
+std::vector<std::int64_t> maxplus_power_concave(
+    const std::vector<std::int64_t>& a, int m) {
+  const std::int64_t s = static_cast<std::int64_t>(a.size()) - 1;
+  HRTDM_EXPECT(s >= 1, "level row must cover at least one leaf");
+  const std::int64_t P = s / 2;
+  const bool s_even = (s % 2 == 0);
+  std::vector<std::int64_t> dE(static_cast<std::size_t>(P) + 1, 0);
+  std::vector<std::int64_t> pre(static_cast<std::size_t>(P) + 1, 0);
+  for (std::int64_t p = 1; p <= P; ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    dE[pi] = a[static_cast<std::size_t>(2 * p)] -
+             a[static_cast<std::size_t>(2 * (p - 1))];
+    pre[pi] = pre[pi - 1] + dE[pi];
+    HRTDM_ENSURE(dE[pi] >= -2 && (p == 1 || dE[pi] <= dE[pi - 1]),
+                 "level row is not concave-even; Eq. 3/8 structure violated");
+  }
+  std::vector<std::int64_t> c(static_cast<std::size_t>(m * s) + 1);
+  for (std::int64_t k = 0; k <= m * s; ++k) {
+    std::int64_t j0 = k & 1;
+    if (!s_even) {
+      j0 = std::max(j0, k - m * (s - 1));
+    }
+    const std::int64_t q = (k - j0) / 2;
+    const std::int64_t g = q / m;
+    const std::int64_t r = q % m;
+    std::int64_t top = m * pre[static_cast<std::size_t>(g)];
+    if (r > 0) {
+      top += r * dE[static_cast<std::size_t>(g) + 1];
+    }
+    c[static_cast<std::size_t>(k)] = m * a[0] - j0 + top;
+  }
+  return c;
+}
+
 }  // namespace
 
 XiExactTable::XiExactTable(int m, int n) : m_(m), n_(n) {
@@ -61,7 +125,15 @@ XiExactTable::XiExactTable(int m, int n) : m_(m), n_(n) {
   // probing an occupied leaf is a free successful transmission.
   levels_.push_back({1, 0});
   for (int level = 1; level <= n; ++level) {
-    const auto conv = maxplus_powers(levels_.back(), m).back();
+    const auto conv = maxplus_power_concave(levels_.back(), m);
+#ifndef NDEBUG
+    // Debug cross-check: the concave slope-merge kernel must agree with the
+    // defining dense convolution wherever the latter is affordable.
+    if (conv.size() <= 513) {
+      HRTDM_ENSURE(conv == maxplus_powers(levels_.back(), m).back(),
+                   "concave max-plus kernel diverged from dense kernel");
+    }
+#endif
     const auto size = static_cast<std::size_t>(ipow(m, level)) + 1;
     HRTDM_ENSURE(conv.size() == size, "convolution width mismatch");
     std::vector<std::int64_t> row(size);
@@ -95,8 +167,10 @@ std::int64_t xi_dnc(int m, std::int64_t t, std::int64_t k) {
   HRTDM_EXPECT(k >= 0 && k <= t, "k must lie in [0, t]");
 
   // Memo shared across calls, keyed by (m, t, k). Callers may now run on
-  // the util::ThreadPool workers, so the shared memo is mutex-guarded.
-  static std::mutex memo_mu;
+  // the util::ThreadPool workers; once the memo is warm the workload is
+  // pure lookups, so readers take a shared lock and only a miss that
+  // completed its recursion upgrades to an exclusive one.
+  static std::shared_mutex memo_mu;
   static std::map<std::tuple<int, std::int64_t, std::int64_t>, std::int64_t>
       memo;
 
@@ -114,7 +188,7 @@ std::int64_t xi_dnc(int m, std::int64_t t, std::int64_t k) {
       }
       const auto key = std::make_tuple(m, t, k);
       {
-        std::lock_guard<std::mutex> lock(memo_mu);
+        std::shared_lock<std::shared_mutex> lock(memo_mu);
         if (const auto it = memo.find(key); it != memo.end()) {
           return it->second;
         }
@@ -126,7 +200,7 @@ std::int64_t xi_dnc(int m, std::int64_t t, std::int64_t k) {
         sum += eval(s, 2 * ((std::min(p, s) + i) / m));
       }
       sum -= 2 * std::max<std::int64_t>(0, p - s);
-      std::lock_guard<std::mutex> lock(memo_mu);
+      std::unique_lock<std::shared_mutex> lock(memo_mu);
       memo[key] = sum;
       return sum;
     }

@@ -25,11 +25,13 @@
 namespace hrtdm::analysis {
 
 /// Exact worst-case search costs via the defining recursion (Eq. 1),
-/// evaluated bottom-up with capped max-plus convolutions. Builds every level
-/// 1, m, m^2, ..., m^n so sub-tree tables are available too.
+/// evaluated bottom-up with max-plus convolutions. Builds every level
+/// 1, m, m^2, ..., m^n so sub-tree tables are available too. The per-level
+/// convolution exploits the concave-even row structure (Eq. 3/8) to run in
+/// O(m^level) instead of the dense O(m^(2*level)); see docs/PERFORMANCE.md.
 class XiExactTable {
  public:
-  /// Requires m >= 2, n >= 0. Cost O(n * m * t^2) time, O(t) per level.
+  /// Requires m >= 2, n >= 0. Cost O(m t) time and O(t) space total.
   XiExactTable(int m, int n);
 
   int m() const { return m_; }

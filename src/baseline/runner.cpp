@@ -75,9 +75,8 @@ ProtocolRunResult run_with_stations(
     return total;
   };
   const util::Duration drain_step = options.base.phy.slot_x * 1024;
-  while (queued() > 0 && simulator.now() < options.base.drain_cap) {
-    simulator.run_until(simulator.now() + drain_step);
-  }
+  sim::run_chunked(simulator, drain_step, options.base.drain_cap,
+                   [&queued] { return queued() > 0; });
   channel.stop();
 
   ProtocolRunResult result;

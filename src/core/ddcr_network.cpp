@@ -45,6 +45,17 @@ class ConsistencyChecker final : public net::ChannelObserver {
     }
   }
 
+  /// Quiescent stations hold their digests through an idle gap, so one
+  /// check covers the whole span.
+  void on_idle_gap(std::int64_t slots, net::SimTime first_start,
+                   util::Duration slot_x) override {
+    (void)first_start;
+    (void)slot_x;
+    if (slots > 0) {
+      on_slot(net::SlotRecord{});
+    }
+  }
+
   bool ok() const { return ok_; }
 
  private:
@@ -110,7 +121,13 @@ void DdcrTestbed::run(SimTime horizon) {
     started_ = true;
     channel_->start();
   }
+  // The caller may have mutated station state directly since the last run
+  // (crash, reset_for_rejoin) — force the slot loop to re-check quiescence.
+  channel_->revalidate_idle_gap();
   simulator_.run_until(horizon);
+  // Tests read metrics_ directly between run() calls; bring lazily
+  // accounted fast-forwarded slots up to date before handing control back.
+  channel_->flush_idle_accounting();
 }
 
 void DdcrTestbed::run_until_delivered(std::int64_t count, SimTime cap) {
@@ -118,11 +135,12 @@ void DdcrTestbed::run_until_delivered(std::int64_t count, SimTime cap) {
     started_ = true;
     channel_->start();
   }
+  channel_->revalidate_idle_gap();
   const util::Duration step = options_.phy.slot_x * 256;
-  while (static_cast<std::int64_t>(metrics_.log().size()) < count &&
-         simulator_.now() < cap) {
-    simulator_.run_until(simulator_.now() + step);
-  }
+  sim::run_chunked(simulator_, step, cap, [this, count] {
+    return static_cast<std::int64_t>(metrics_.log().size()) < count;
+  });
+  channel_->flush_idle_accounting();
 }
 
 bool DdcrTestbed::digests_agree() const {
@@ -211,9 +229,8 @@ DdcrRunResult run_ddcr(const traffic::Workload& workload,
     return total;
   };
   const util::Duration drain_step = resolved.phy.slot_x * 1024;
-  while (queued() > 0 && simulator.now() < resolved.drain_cap) {
-    simulator.run_until(simulator.now() + drain_step);
-  }
+  sim::run_chunked(simulator, drain_step, resolved.drain_cap,
+                   [&queued] { return queued() > 0; });
   channel.stop();
 
   DdcrRunResult result;

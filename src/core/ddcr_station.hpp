@@ -92,6 +92,13 @@ class DdcrStation final : public net::Station {
   void observe(const SlotObservation& obs) override;
   std::optional<Frame> poll_burst(SimTime now,
                                   std::int64_t budget_bits) override;
+  /// Idle CSMA-CD with an empty queue: poll_intent stays nullopt and
+  /// observe(silence) is a state no-op (only a collision, a queued message
+  /// or a pending post-TTs attempt changes anything). kResync is NOT
+  /// quiescent — it counts silent slots toward the quiet certificate.
+  bool quiescent() const override {
+    return mode_ == Mode::kCsmaCd && !post_tts_attempt_ && queue_.empty();
+  }
 
   /// Crash recovery — and the divergence watchdog's quarantine path:
   /// discards all protocol state (the queue survives — a

@@ -9,7 +9,7 @@ namespace hrtdm::core {
 
 void EdfQueue::push(const Message& msg) {
   HRTDM_EXPECT(msg.uid >= 0, "message uid must be assigned");
-  HRTDM_EXPECT(uids_.insert(msg.uid).second,
+  HRTDM_EXPECT(uids_.emplace(msg.uid, msg.absolute_deadline).second,
                "duplicate message uid in EDF queue");
   const bool inserted = by_deadline_.insert(msg).second;
   HRTDM_ENSURE(inserted, "EDF order collision despite distinct uids");
@@ -25,18 +25,20 @@ std::optional<Message> EdfQueue::head() const {
 }
 
 bool EdfQueue::remove(std::int64_t uid) {
-  if (uids_.erase(uid) == 0) {
+  const auto uid_it = uids_.find(uid);
+  if (uid_it == uids_.end()) {
     return false;
   }
-  for (auto it = by_deadline_.begin(); it != by_deadline_.end(); ++it) {
-    if (it->uid == uid) {
-      by_deadline_.erase(it);
-      HRTDM_COUNT("edf.remove");
-      return true;
-    }
-  }
-  HRTDM_ENSURE(false, "uid set and deadline set diverged");
-  return false;
+  // EdfOrder compares only (absolute_deadline, uid), so a key-only probe
+  // finds the node without scanning the queue.
+  Message key;
+  key.uid = uid;
+  key.absolute_deadline = uid_it->second;
+  uids_.erase(uid_it);
+  const auto erased = by_deadline_.erase(key);
+  HRTDM_ENSURE(erased == 1, "uid set and deadline set diverged");
+  HRTDM_COUNT("edf.remove");
+  return true;
 }
 
 std::int64_t EdfQueue::count_late(SimTime now) const {

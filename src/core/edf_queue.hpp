@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <set>
 
@@ -44,7 +45,9 @@ class EdfQueue {
     }
   };
   std::set<Message, EdfOrder> by_deadline_;
-  std::set<std::int64_t> uids_;  ///< duplicate-uid guard
+  /// Duplicate-uid guard, and the deadline key a remove() needs to locate
+  /// the set node in O(log n) (EdfOrder compares only deadline and uid).
+  std::map<std::int64_t, SimTime> uids_;
 };
 
 }  // namespace hrtdm::core

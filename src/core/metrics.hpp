@@ -63,6 +63,15 @@ class MetricsCollector final : public net::ChannelObserver {
  public:
   void on_slot(const net::SlotRecord& record) override;
 
+  /// Fast-forwarded silence slots only move the silence counter; count them
+  /// in bulk instead of synthesizing per-slot records.
+  void on_idle_gap(std::int64_t slots, SimTime first_start,
+                   util::Duration slot_x) override {
+    (void)first_start;
+    (void)slot_x;
+    silence_slots_ += slots;
+  }
+
   const std::vector<TxRecord>& log() const { return log_; }
 
   /// Aggregates the transmission log (O(n log n), dominated by the

@@ -162,16 +162,15 @@ CampaignResult run_campaign(const CampaignOptions& options) {
 
   // Phase 1: run the fault window out (silence slots also advance the
   // observation index, so the plan always exhausts).
-  while (!injector.exhausted(channel.observations_delivered()) &&
-         simulator.now() < hard_cap) {
-    simulator.run_until(simulator.now() + step);
-  }
+  sim::run_chunked(simulator, step, hard_cap, [&injector, &channel] {
+    return !injector.exhausted(channel.observations_delivered());
+  });
 
   // Phase 2: self-heal — drain the backlog and give crashed or quarantined
   // stations the quiet streak their rejoin certificate needs.
-  while ((queued() > 0 || !all_synced()) && simulator.now() < hard_cap) {
-    simulator.run_until(simulator.now() + step);
-  }
+  sim::run_chunked(simulator, step, hard_cap, [&queued, &all_synced] {
+    return queued() > 0 || !all_synced();
+  });
 
   // Phase 3: reconvergence epochs. Residual divergence (a stale reft or a
   // carried compressed-time reference) is protocol-legal until the next
@@ -203,9 +202,10 @@ CampaignResult run_campaign(const CampaignOptions& options) {
     }
     // Always step at least once: the burst arrivals lie in the future, so
     // an entry check on queued() would see empty queues and skip the round.
-    do {
-      simulator.run_until(simulator.now() + step);
-    } while ((queued() > 0 || !all_synced()) && simulator.now() < hard_cap);
+    simulator.run_until(simulator.now() + step);
+    sim::run_chunked(simulator, step, hard_cap, [&queued, &all_synced] {
+      return queued() > 0 || !all_synced();
+    });
   }
   channel.stop();
 

@@ -39,7 +39,15 @@ void BroadcastChannel::start() {
                             [this] { begin_slot(); }, "channel:first-slot");
 }
 
-void BroadcastChannel::stop() { running_ = false; }
+void BroadcastChannel::stop() {
+  if (idle_gap_active_) {
+    // Re-materialize the in-flight silence slot so a run that continues past
+    // stop() observes exactly what the slot-by-slot loop would have: the
+    // pending slot still completes, then the chain halts on !running_.
+    dissolve_idle_gap();
+  }
+  running_ = false;
+}
 
 double BroadcastChannel::utilization() const {
   const util::Duration elapsed = simulator_.now() - started_at_;
@@ -50,6 +58,7 @@ double BroadcastChannel::utilization() const {
 }
 
 ChannelSnapshot BroadcastChannel::snapshot() const {
+  flush_idle_gap(simulator_.now());
   ChannelSnapshot snap;
   snap.stations = stations_.size();
   snap.running = running_;
@@ -105,6 +114,14 @@ void BroadcastChannel::deliver(const SlotObservation& obs,
   }
 }
 
+void BroadcastChannel::finish_burst() {
+  apply(pending_delta_);
+  deliver(pending_obs_, pending_record_);
+  if (running_) {
+    continue_burst(*pending_winner_, pending_burst_budget_);
+  }
+}
+
 void BroadcastChannel::continue_burst(Station& winner,
                                       std::int64_t budget_bits) {
   // Called at the instant the previous frame completed. The winner may
@@ -123,34 +140,40 @@ void BroadcastChannel::continue_burst(Station& winner,
   HRTDM_EXPECT(next->source == winner.id(),
                "burst frame source must match winner id");
 
-  SlotObservation obs;
-  SlotRecord record;
-  obs.kind = record.kind = SlotKind::kSuccess;
-  obs.in_burst = record.in_burst = true;
-  obs.frame = record.frame = *next;
-  obs.slot_start = record.start = now;
+  pending_obs_ = SlotObservation{};
+  pending_record_ = SlotRecord{};
+  pending_obs_.kind = pending_record_.kind = SlotKind::kSuccess;
+  pending_obs_.in_burst = pending_record_.in_burst = true;
+  pending_obs_.frame = pending_record_.frame = *next;
+  pending_obs_.slot_start = pending_record_.start = now;
   const util::Duration tx = phy_.tx_time(next->l_bits);
   const SimTime end = now + tx;
-  obs.slot_end = record.end = end;
-  record.contenders = 1;
+  pending_obs_.slot_end = pending_record_.end = end;
+  pending_record_.contenders = 1;
 
-  ChannelStats delta;
-  ++delta.successes;
-  ++delta.burst_continuations;
-  delta.bits_delivered += next->l_bits;
-  delta.busy_time += tx;
+  pending_delta_ = ChannelStats{};
+  ++pending_delta_.successes;
+  ++pending_delta_.burst_continuations;
+  pending_delta_.bits_delivered += next->l_bits;
+  pending_delta_.busy_time += tx;
 
-  const std::int64_t remaining = budget_bits - next->l_bits;
-  simulator_.schedule_at(
-      end,
-      [this, obs, record, &winner, remaining, delta] {
-        apply(delta);
-        deliver(obs, record);
-        if (running_) {
-          continue_burst(winner, remaining);
-        }
-      },
-      "channel:burst-end");
+  pending_winner_ = &winner;
+  pending_burst_budget_ = budget_bits - next->l_bits;
+  simulator_.schedule_at(end, [this] { finish_burst(); },
+                         "channel:burst-end");
+}
+
+void BroadcastChannel::finish_slot() {
+  apply(pending_delta_);
+  deliver(pending_obs_, pending_record_);
+  if (!running_) {
+    return;
+  }
+  if (pending_burst_possible_) {
+    continue_burst(*pending_winner_, phy_.burst_budget_bits);
+  } else {
+    begin_slot();
+  }
 }
 
 void BroadcastChannel::begin_slot() {
@@ -161,37 +184,41 @@ void BroadcastChannel::begin_slot() {
 
   // Poll every station; the broadcast property requires that intents are
   // decided simultaneously at the slot boundary.
-  std::vector<std::pair<Station*, Frame>> intents;
+  intents_.clear();
   for (Station* station : stations_) {
     if (auto frame = station->poll_intent(start)) {
       HRTDM_EXPECT(frame->l_bits > 0, "station offered an empty frame");
       HRTDM_EXPECT(frame->source == station->id(),
                    "frame source must match station id");
-      intents.emplace_back(station, *frame);
+      intents_.emplace_back(station, *frame);
     }
   }
 
-  SlotObservation obs;
-  SlotRecord record;
-  obs.slot_start = record.start = start;
-  record.contenders = static_cast<int>(intents.size());
+  pending_obs_ = SlotObservation{};
+  pending_record_ = SlotRecord{};
+  pending_obs_.slot_start = pending_record_.start = start;
+  pending_record_.contenders = static_cast<int>(intents_.size());
 
   Station* winner = nullptr;
   SimTime end;
   // Stats deltas are applied when the slot *completes* (in the delivery
   // event) so that stats() never includes an in-flight slot.
-  ChannelStats delta;
+  pending_delta_ = ChannelStats{};
+  ChannelStats& delta = pending_delta_;
 
-  if (intents.empty()) {
-    obs.kind = record.kind = SlotKind::kSilence;
+  if (intents_.empty()) {
+    if (interceptor_ == nullptr && all_quiescent() && try_idle_gap(start)) {
+      return;  // fast-forwarded; the gap resume event continues the chain
+    }
+    pending_obs_.kind = pending_record_.kind = SlotKind::kSilence;
     end = start + phy_.slot_x;
     ++delta.silence_slots;
     delta.idle_time += phy_.slot_x;
-  } else if (intents.size() == 1) {
-    obs.kind = record.kind = SlotKind::kSuccess;
-    winner = intents.front().first;
-    const Frame& frame = intents.front().second;
-    obs.frame = record.frame = frame;
+  } else if (intents_.size() == 1) {
+    pending_obs_.kind = pending_record_.kind = SlotKind::kSuccess;
+    winner = intents_.front().first;
+    const Frame& frame = intents_.front().second;
+    pending_obs_.frame = pending_record_.frame = frame;
     const util::Duration tx =
         std::max(phy_.tx_time(frame.l_bits), phy_.slot_x);
     end = start + tx;
@@ -199,17 +226,17 @@ void BroadcastChannel::begin_slot() {
     delta.bits_delivered += frame.l_bits;
     delta.busy_time += tx;
   } else if (mode_ == CollisionMode::kDestructive) {
-    obs.kind = record.kind = SlotKind::kCollision;
+    pending_obs_.kind = pending_record_.kind = SlotKind::kCollision;
     end = start + phy_.slot_x;
     ++delta.collision_slots;
     delta.contention_time += phy_.slot_x;
   } else {
     // Wired-OR arbitration: the collision slot itself reveals the winner
     // (lowest arb_key, station id as tie-break), which then transmits.
-    obs.kind = record.kind = SlotKind::kSuccess;
-    obs.arbitration = record.arbitration = true;
+    pending_obs_.kind = pending_record_.kind = SlotKind::kSuccess;
+    pending_obs_.arbitration = pending_record_.arbitration = true;
     auto best = std::min_element(
-        intents.begin(), intents.end(), [](const auto& a, const auto& b) {
+        intents_.begin(), intents_.end(), [](const auto& a, const auto& b) {
           if (a.second.arb_key != b.second.arb_key) {
             return a.second.arb_key < b.second.arb_key;
           }
@@ -217,7 +244,7 @@ void BroadcastChannel::begin_slot() {
         });
     winner = best->first;
     const Frame& frame = best->second;
-    obs.frame = record.frame = frame;
+    pending_obs_.frame = pending_record_.frame = frame;
     const util::Duration tx =
         std::max(phy_.tx_time(frame.l_bits), phy_.slot_x);
     end = start + phy_.slot_x + tx;
@@ -234,17 +261,17 @@ void BroadcastChannel::begin_slot() {
   // protocol state machines stay consistent and simply retry. An installed
   // interceptor can force the same outcome on scripted slots; its draw is
   // separate from noise_rng_ so plans do not perturb the noise stream.
-  const bool noise_corrupts = obs.kind == SlotKind::kSuccess &&
+  const bool noise_corrupts = pending_obs_.kind == SlotKind::kSuccess &&
                               phy_.corruption_prob > 0.0 &&
                               noise_rng_.bernoulli(phy_.corruption_prob);
   const bool forced_corrupts =
-      obs.kind == SlotKind::kSuccess && interceptor_ != nullptr &&
+      pending_obs_.kind == SlotKind::kSuccess && interceptor_ != nullptr &&
       interceptor_->corrupt_slot(observations_delivered_);
   if (noise_corrupts || forced_corrupts) {
-    obs.kind = record.kind = SlotKind::kCollision;
-    obs.frame.reset();
-    record.frame.reset();
-    obs.arbitration = record.arbitration = false;
+    pending_obs_.kind = pending_record_.kind = SlotKind::kCollision;
+    pending_obs_.frame.reset();
+    pending_record_.frame.reset();
+    pending_obs_.arbitration = pending_record_.arbitration = false;
     winner = nullptr;
     delta = ChannelStats{};
     ++delta.collision_slots;
@@ -252,27 +279,141 @@ void BroadcastChannel::begin_slot() {
     delta.contention_time += end - start;
   }
 
-  obs.slot_end = record.end = end;
+  pending_obs_.slot_end = pending_record_.end = end;
+  pending_winner_ = winner;
+  pending_burst_possible_ = winner != nullptr &&
+                            pending_obs_.kind == SlotKind::kSuccess &&
+                            phy_.burst_budget_bits > 0;
 
-  const bool bursting_possible = winner != nullptr &&
-                                 obs.kind == SlotKind::kSuccess &&
-                                 phy_.burst_budget_bits > 0;
+  simulator_.schedule_at(end, [this] { finish_slot(); }, "channel:slot-end");
+}
 
-  simulator_.schedule_at(
-      end,
-      [this, obs, record, winner, bursting_possible, delta] {
-        apply(delta);
-        deliver(obs, record);
-        if (!running_) {
-          return;
-        }
-        if (bursting_possible) {
-          continue_burst(*winner, phy_.burst_budget_bits);
-        } else {
-          begin_slot();
-        }
-      },
-      "channel:slot-end");
+// --- idle fast-forward -----------------------------------------------------
+//
+// Equivalence argument. In a slot-by-slot run over a quiescent span the
+// channel would, at each boundary b_i = start + i*x: poll every station
+// (all nullopt, by the quiescent() contract), then at b_{i+1} deliver a
+// silence observation (a state no-op for quiescent stations) and notify
+// observers. None of that can change what any station does, so the span
+// may be compressed: polls are skipped, deliveries are reduced to stats /
+// counter / observer accounting (flush_idle_gap), and a single resume
+// event at the far boundary continues the chain. The gap may extend only
+// to the next already-scheduled simulator event: any such event (message
+// arrival, another channel's slot) may end quiescence. Events scheduled
+// *after* the gap is committed land inside it only via code outside the
+// event loop (a testbed injecting mid-run); the ScheduleWatcher catches
+// exactly that case and dissolve_idle_gap() rebuilds the in-flight slot —
+// before the intruding event takes its sequence number, so even same-
+// timestamp ordering matches the slot-by-slot run.
+
+bool BroadcastChannel::all_quiescent() const {
+  for (const Station* station : stations_) {
+    if (!station->quiescent()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BroadcastChannel::try_idle_gap(SimTime start) {
+  const SimTime next = simulator_.next_event_time();
+  std::int64_t slots = -1;  // open-ended: nothing scheduled at all
+  SimTime horizon = SimTime::infinity();
+  if (next != SimTime::infinity()) {
+    // Largest n with start + (n-1)*x < next: every skipped poll happens
+    // strictly before the event that could end quiescence.
+    slots = (next - start).ceil_div(phy_.slot_x);
+    if (slots < 2) {
+      return false;  // nothing (or a lone slot) to skip — not worth a gap
+    }
+    horizon = start + phy_.slot_x * slots;
+  }
+  idle_gap_active_ = true;
+  idle_gap_start_ = start;
+  idle_gap_slots_ = slots;
+  idle_gap_flushed_ = 0;
+  simulator_.add_schedule_watcher(this, horizon);
+  if (slots >= 0) {
+    idle_gap_resume_ = simulator_.schedule_at(
+        horizon, [this] { resume_idle_gap(); }, "channel:idle-gap-resume");
+  } else {
+    idle_gap_resume_ = sim::EventHandle{};
+  }
+  return true;
+}
+
+void BroadcastChannel::resume_idle_gap() {
+  simulator_.remove_schedule_watcher(this);
+  flush_idle_gap(simulator_.now());  // accounts every slot in the gap
+  idle_gap_active_ = false;
+  begin_slot();
+}
+
+void BroadcastChannel::flush_idle_gap(SimTime upto) const {
+  if (!idle_gap_active_) {
+    return;
+  }
+  // Slot i covers [b_i, b_{i+1}); it is accounted once it has fully ended.
+  std::int64_t done = (upto - idle_gap_start_).floor_div(phy_.slot_x);
+  if (idle_gap_slots_ >= 0) {
+    done = std::min(done, idle_gap_slots_);
+  }
+  if (done <= idle_gap_flushed_) {
+    return;
+  }
+  const std::int64_t newly = done - idle_gap_flushed_;
+  const SimTime first_start =
+      idle_gap_start_ + phy_.slot_x * idle_gap_flushed_;
+  idle_gap_flushed_ = done;
+  stats_.silence_slots += newly;
+  stats_.idle_time += phy_.slot_x * newly;
+  observations_delivered_ += newly;
+  HRTDM_COUNT_N("channel.slots.silence", newly);
+  HRTDM_OBSERVE_N("channel.contenders", 0, newly);
+  for (ChannelObserver* observer : observers_) {
+    observer->on_idle_gap(newly, first_start, phy_.slot_x);
+  }
+}
+
+void BroadcastChannel::dissolve_idle_gap() {
+  simulator_.remove_schedule_watcher(this);
+  flush_idle_gap(simulator_.now());
+  if (!idle_gap_resume_.is_null()) {
+    simulator_.cancel(idle_gap_resume_);
+    idle_gap_resume_ = sim::EventHandle{};
+  }
+  // The slot the gap was in the middle of becomes a regular pending silence
+  // slot again, with its slot-end event scheduled now — before any intruding
+  // event's sequence number is assigned, preserving same-timestamp order.
+  const SimTime slot_start =
+      idle_gap_start_ + phy_.slot_x * idle_gap_flushed_;
+  idle_gap_active_ = false;
+  pending_obs_ = SlotObservation{};
+  pending_record_ = SlotRecord{};
+  pending_obs_.kind = pending_record_.kind = SlotKind::kSilence;
+  pending_obs_.slot_start = pending_record_.start = slot_start;
+  const SimTime end = slot_start + phy_.slot_x;
+  pending_obs_.slot_end = pending_record_.end = end;
+  pending_record_.contenders = 0;
+  pending_delta_ = ChannelStats{};
+  ++pending_delta_.silence_slots;
+  pending_delta_.idle_time += phy_.slot_x;
+  pending_winner_ = nullptr;
+  pending_burst_possible_ = false;
+  simulator_.schedule_at(end, [this] { finish_slot(); }, "channel:slot-end");
+}
+
+void BroadcastChannel::revalidate_idle_gap() {
+  if (idle_gap_active_) {
+    dissolve_idle_gap();
+  }
+}
+
+void BroadcastChannel::on_early_schedule(SimTime at) {
+  (void)at;
+  // The simulator has already unregistered us; dissolve_idle_gap's own
+  // remove_schedule_watcher is then a harmless no-op.
+  dissolve_idle_gap();
 }
 
 }  // namespace hrtdm::net

@@ -46,6 +46,24 @@ class ChannelObserver {
  public:
   virtual ~ChannelObserver() = default;
   virtual void on_slot(const SlotRecord& record) = 0;
+
+  /// Bulk notification for `slots` consecutive silence slots the channel
+  /// fast-forwarded over (idle gap: every station quiescent, nothing
+  /// scheduled). The default synthesizes the exact per-slot on_slot calls a
+  /// non-fast-forwarded run would have made, so observers that don't care
+  /// stay bit-identical; aggregating observers override this with an O(1)
+  /// bulk update.
+  virtual void on_idle_gap(std::int64_t slots, SimTime first_start,
+                           util::Duration slot_x) {
+    SlotRecord record;
+    record.kind = SlotKind::kSilence;
+    record.contenders = 0;
+    for (std::int64_t i = 0; i < slots; ++i) {
+      record.start = first_start + slot_x * i;
+      record.end = record.start + slot_x;
+      on_slot(record);
+    }
+  }
 };
 
 /// Fault-injection hook. By default the channel delivers the *same*
@@ -104,7 +122,7 @@ struct ChannelSnapshot {
   double utilization = 0.0;
 };
 
-class BroadcastChannel {
+class BroadcastChannel final : private sim::ScheduleWatcher {
  public:
   /// `noise_seed` feeds the corruption draw stream (only used when
   /// phy.corruption_prob > 0).
@@ -125,6 +143,7 @@ class BroadcastChannel {
   /// Observations delivered so far; the index passed to the interceptor
   /// for the observation currently being formed equals this value.
   std::int64_t observations_delivered() const {
+    flush_idle_gap(simulator_.now());
     return observations_delivered_;
   }
 
@@ -133,7 +152,10 @@ class BroadcastChannel {
   void start();
   void stop();
 
-  const ChannelStats& stats() const { return stats_; }
+  const ChannelStats& stats() const {
+    flush_idle_gap(simulator_.now());
+    return stats_;
+  }
   const PhyConfig& phy() const { return phy_; }
   CollisionMode mode() const { return mode_; }
   std::size_t station_count() const { return stations_.size(); }
@@ -144,13 +166,50 @@ class BroadcastChannel {
   /// Plain-data snapshot of stats + delivery progress.
   ChannelSnapshot snapshot() const;
 
+  /// Brings lazily accounted idle-gap slots (stats, counters, observers) up
+  /// to the simulator's current time. Harness code calls this before
+  /// reading observers (e.g. a MetricsCollector) directly; all of the
+  /// channel's own accessors flush implicitly.
+  void flush_idle_accounting() const { flush_idle_gap(simulator_.now()); }
+
+  /// Code outside the event loop can mutate station state directly (a
+  /// testbed crashing or resetting a station between runs), ending
+  /// quiescence without any scheduled event the gap watcher could see.
+  /// Harness entry points call this before advancing time again: an active
+  /// idle gap is dissolved so the slot loop re-evaluates quiescence slot by
+  /// slot (and re-commits a gap if nothing actually changed). No-op when no
+  /// gap is active.
+  void revalidate_idle_gap();
+
  private:
   void begin_slot();
+  void finish_slot();
+  void finish_burst();
   void deliver(const SlotObservation& obs, const SlotRecord& record);
   void apply(const ChannelStats& delta);
   /// Continues a packet burst: polls `winner` for the next frame while
   /// budget remains, then hands the channel back to the contention loop.
   void continue_burst(Station& winner, std::int64_t budget_bits);
+
+  // --- idle fast-forward ---------------------------------------------------
+  // When a slot resolves to silence, no interceptor is installed and every
+  // station is quiescent() the channel commits an "idle gap": n back-to-back
+  // silence slots covering the span up to the next scheduled simulator event
+  // (or open-ended when none is pending), with one resume event at the far
+  // boundary instead of one per slot. Skipped slots are accounted lazily
+  // (flush_idle_gap); a ScheduleWatcher revalidates the gap if anything is
+  // scheduled into it from outside the event loop.
+  bool try_idle_gap(SimTime start);
+  void resume_idle_gap();
+  /// Accounts every gap slot that fully ended at or before `upto`: stats,
+  /// registry counters, observation indices and observer notifications.
+  void flush_idle_gap(SimTime upto) const;
+  /// Aborts an active gap at the current time: accounts completed slots and
+  /// reconstructs the in-flight silence slot as a regular slot-end event,
+  /// exactly as if the gap had never been committed.
+  void dissolve_idle_gap();
+  void on_early_schedule(SimTime at) override;
+  bool all_quiescent() const;
 
   sim::Simulator& simulator_;
   PhyConfig phy_;
@@ -159,11 +218,30 @@ class BroadcastChannel {
   std::vector<Station*> stations_;
   std::vector<ChannelObserver*> observers_;
   SlotInterceptor* interceptor_ = nullptr;
-  std::int64_t observations_delivered_ = 0;
-  ChannelStats stats_;
   bool running_ = false;
   bool started_once_ = false;
   SimTime started_at_;
+
+  // In-flight slot state. Exactly one slot (or burst continuation) is in
+  // flight at a time, so keeping it in members lets the slot-end events
+  // capture only `this` (inline in the simulator's event pool, no heap).
+  std::vector<std::pair<Station*, Frame>> intents_;  ///< reused each slot
+  SlotObservation pending_obs_;
+  SlotRecord pending_record_;
+  ChannelStats pending_delta_;
+  Station* pending_winner_ = nullptr;
+  bool pending_burst_possible_ = false;
+  std::int64_t pending_burst_budget_ = 0;
+
+  // Idle-gap bookkeeping. `mutable` (with stats_/observations_delivered_)
+  // because const accessors flush lazily-accounted slots.
+  mutable std::int64_t observations_delivered_ = 0;
+  mutable ChannelStats stats_;
+  mutable bool idle_gap_active_ = false;
+  mutable SimTime idle_gap_start_;          ///< first skipped slot boundary
+  mutable std::int64_t idle_gap_slots_ = 0; ///< total slots; -1 = open-ended
+  mutable std::int64_t idle_gap_flushed_ = 0;
+  sim::EventHandle idle_gap_resume_;
 };
 
 }  // namespace hrtdm::net

@@ -72,6 +72,14 @@ class Station {
     (void)budget_bits;
     return std::nullopt;
   }
+
+  /// Idle fast-forward contract: return true iff, until this station is
+  /// externally stimulated (a message handed to it), every poll_intent will
+  /// return nullopt AND every observe() of a silence slot leaves all
+  /// observable state (including the protocol digest) unchanged. When every
+  /// attached station is quiescent the channel may skip simulating silence
+  /// slots wholesale. The default is conservative: never skip.
+  virtual bool quiescent() const { return false; }
 };
 
 }  // namespace hrtdm::net

@@ -21,6 +21,18 @@ class ChannelTracer final : public net::ChannelObserver {
     tracer_.set_thread_name(pid_, 0, "channel");
   }
 
+  /// A fast-forwarded idle gap renders as one merged span instead of
+  /// thousands of identical per-slot silence spans — same covered interval,
+  /// far smaller trace.
+  void on_idle_gap(std::int64_t slots, net::SimTime first_start,
+                   util::Duration slot_x) override {
+    if (!tracer_.enabled() || slots <= 0) {
+      return;
+    }
+    tracer_.complete(pid_, 0, first_start.ns(), (slot_x * slots).ns(), "idle",
+                     "contenders,source,bits", 0, -1, 0);
+  }
+
   void on_slot(const net::SlotRecord& record) override {
     // Registry counters for these slots live in BroadcastChannel::deliver
     // (they populate whether or not a tracer is installed); this adapter

@@ -51,6 +51,25 @@ void Histogram::observe(std::int64_t v) {
   }
 }
 
+void Histogram::observe_n(std::int64_t v, std::int64_t n) {
+  if (n <= 0) {
+    return;
+  }
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(v * n, std::memory_order_relaxed);
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 std::vector<std::int64_t> Histogram::bucket_counts() const {
   std::vector<std::int64_t> out(bounds_.size() + 1);
   for (std::size_t i = 0; i < out.size(); ++i) {

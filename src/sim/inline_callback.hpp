@@ -1,0 +1,122 @@
+// Small-buffer-optimized move-only callback for the event loop.
+//
+// std::function<void()> heap-allocates for any capture beyond two or three
+// pointers, which puts one malloc/free pair on every scheduled event. The
+// simulator's callbacks are overwhelmingly small — `[this]` continuations
+// and `[station, msg]` arrival deliveries — so InlineCallback stores up to
+// kInlineSize bytes in place and only falls back to the heap for genuinely
+// large closures. Move-only (no copy) keeps the dispatch table to three
+// entries and matches how the event pool uses it: constructed once at
+// schedule time, moved out once at fire time.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hrtdm::sim {
+
+class InlineCallback {
+ public:
+  /// Large enough for an arrival closure (a Station* plus a Message by
+  /// value) — the biggest callback the steady-state paths schedule.
+  static constexpr std::size_t kInlineSize = 64;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(fn));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buffer_); }
+
+  /// Destroys the stored callable (if any); *this becomes empty.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Relocates storage into `to` and leaves the source destroyed.
+    void (*relocate)(void* to, void* from) noexcept;
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops = {
+        [](void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); },
+        [](void* to, void* from) noexcept {
+          Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+          ::new (to) Fn(std::move(*src));
+          src->~Fn();
+        },
+        [](void* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); },
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops = {
+        [](void* storage) {
+          (**std::launder(reinterpret_cast<Fn**>(storage)))();
+        },
+        [](void* to, void* from) noexcept {
+          ::new (to) Fn*(*std::launder(reinterpret_cast<Fn**>(from)));
+        },
+        [](void* storage) {
+          delete *std::launder(reinterpret_cast<Fn**>(storage));
+        },
+    };
+    return &ops;
+  }
+
+  void move_from(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hrtdm::sim

@@ -5,16 +5,22 @@
 // relies on for deterministic slot processing. Handles are returned so
 // scheduled events can be cancelled (e.g. a station abandoning a planned
 // retransmission when the channel state changes).
+//
+// Steady-state scheduling is allocation-free: events live in a free-list
+// pool indexed by the heap entries, callbacks are stored in a
+// small-buffer-optimized InlineCallback (no heap for closures up to 64
+// bytes), and labels are plain string literals only rendered when the log
+// level admits kTrace. Cancellation invalidates the pool slot's sequence
+// tag; the heap entry becomes a tombstone skipped on pop, and a recycled
+// slot can never resurrect a cancelled event because sequence numbers are
+// never reused.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <queue>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
 #include "util/simtime.hpp"
 
 namespace hrtdm::sim {
@@ -31,13 +37,29 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  EventHandle(std::uint32_t index, std::uint64_t seq)
+      : index_(index), seq_(seq) {}
+  std::uint32_t index_ = 0;
+  std::uint64_t seq_ = 0;  ///< unique per schedule; 0 = null
+};
+
+/// Notified when an event is scheduled earlier than a registered horizon.
+/// Used by the channel's idle fast-forward: a committed idle gap assumes no
+/// event will appear inside it, and this hook is how that assumption is
+/// revalidated when code outside the event loop (a testbed injecting a
+/// message between run() calls) schedules into the gap.
+class ScheduleWatcher {
+ public:
+  virtual ~ScheduleWatcher() = default;
+  /// Invoked from schedule_at BEFORE the triggering event takes its
+  /// sequence number, so anything the watcher schedules here fires first
+  /// at equal timestamps. The watcher is unregistered before the call.
+  virtual void on_early_schedule(SimTime at) = 0;
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -46,12 +68,15 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute time `at` (>= now). Returns a handle that
-  /// can be passed to cancel(). `label` shows up in traces only.
-  EventHandle schedule_at(SimTime at, Callback fn, std::string label = {});
+  /// can be passed to cancel(). `label` must be a string literal (or
+  /// otherwise outlive the event); it is only rendered when the log level
+  /// admits kTrace.
+  EventHandle schedule_at(SimTime at, Callback fn,
+                          const char* label = nullptr);
 
   /// Schedules `fn` after `delay` (>= 0) from now.
   EventHandle schedule_after(Duration delay, Callback fn,
-                             std::string label = {});
+                             const char* label = nullptr);
 
   /// Cancels a pending event; cancelling an already-fired or null handle is
   /// a no-op. Returns true if something was cancelled.
@@ -68,19 +93,34 @@ class Simulator {
   /// Fires at most one event; returns false when the queue is empty.
   bool step();
 
+  /// Timestamp of the earliest pending event, or SimTime::infinity() when
+  /// none is scheduled. Non-destructive apart from discarding tombstones
+  /// of cancelled events.
+  SimTime next_event_time();
+
   std::uint64_t events_fired() const { return events_fired_; }
-  std::size_t events_pending() const { return pending_.size(); }
+  std::size_t events_pending() const { return live_events_; }
+
+  /// Registers `watcher` to be notified (once, and then unregistered) the
+  /// next time an event is scheduled at a time strictly below `horizon`.
+  void add_schedule_watcher(ScheduleWatcher* watcher, SimTime horizon);
+  /// Unregisters without notifying; unknown watchers are ignored.
+  void remove_schedule_watcher(ScheduleWatcher* watcher);
 
  private:
+  static constexpr std::uint32_t kNullIndex = UINT32_MAX;
+
   struct Event {
     SimTime at;
-    std::uint64_t seq = 0;  // tie-break: FIFO at equal timestamps
-    Callback fn;
-    std::string label;
+    std::uint64_t seq = 0;  ///< 0 while the pool slot is free
+    InlineCallback fn;
+    const char* label = nullptr;
+    std::uint32_t next_free = kNullIndex;
   };
   struct QueueEntry {
     SimTime at;
-    std::uint64_t seq;
+    std::uint64_t seq;  ///< FIFO tie-break at equal timestamps
+    std::uint32_t index;
   };
   struct EntryOrder {
     // std::priority_queue is a max-heap; invert for earliest-first, with
@@ -93,13 +133,54 @@ class Simulator {
     }
   };
 
+  struct WatchEntry {
+    ScheduleWatcher* watcher;
+    SimTime horizon;
+  };
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void notify_watchers(SimTime at);
+  /// True when the heap entry still refers to a live (uncancelled,
+  /// unfired) event.
+  bool live(const QueueEntry& entry) const {
+    return pool_[entry.index].seq == entry.seq;
+  }
+
   SimTime now_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_fired_ = 0;
-  // Cancellation removes from `pending_`; the queue entry becomes a
-  // tombstone skipped on pop.
-  std::unordered_map<std::uint64_t, Event> pending_;
+  std::size_t live_events_ = 0;
+  std::vector<Event> pool_;
+  std::uint32_t free_head_ = kNullIndex;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryOrder> queue_;
+  std::vector<WatchEntry> watchers_;
 };
+
+/// Runs the classic chunked polling loop
+///     while (cond() && sim.now() < cap) sim.run_until(sim.now() + step);
+/// with identical observable behaviour (same events fired, same final
+/// now(), same chunk boundaries at which cond() is sampled) but without
+/// per-chunk wakeups across event-free spans: cond() can only change when
+/// an event fires, so chunks containing no events are jumped in one
+/// run_until straight to the chunk boundary that first reaches the next
+/// scheduled event or the cap.
+template <typename Cond>
+void run_chunked(Simulator& sim, Duration step, SimTime cap, Cond&& cond) {
+  while (cond() && sim.now() < cap) {
+    const std::int64_t to_cap = (cap - sim.now()).ceil_div(step);
+    std::int64_t chunks = to_cap;
+    const SimTime next = sim.next_event_time();
+    if (next != SimTime::infinity()) {
+      const Duration gap = next - sim.now();
+      if (gap.ns() > 0) {
+        chunks = std::min(chunks, gap.ceil_div(step));
+      } else {
+        chunks = 1;  // an event is due at now(): take a single plain chunk
+      }
+    }
+    sim.run_until(sim.now() + step * std::max<std::int64_t>(1, chunks));
+  }
+}
 
 }  // namespace hrtdm::sim

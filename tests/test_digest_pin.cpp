@@ -1,0 +1,102 @@
+// Pinned end-to-end determinism for the hot-path engine overhaul.
+//
+// The golden digests below were captured from reference CSMA/DDCR runs on
+// the tree *before* the pooled event loop, the idle fast-forward and the
+// concave xi kernels landed. The overhaul claims bit-identical protocol
+// behaviour, so the exact same digests must come out of the new engine —
+// traced or untraced, serial or parallel. Any optimisation that changes
+// event ordering, skips a slot a faithful run would have delivered, or
+// perturbs an RNG stream shows up here as a digest mismatch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/ddcr_config.hpp"
+#include "core/ddcr_network.hpp"
+#include "core/multi_channel.hpp"
+#include "obs/event_tracer.hpp"
+#include "traffic/workload.hpp"
+
+namespace hrtdm {
+namespace {
+
+struct Golden {
+  int z;
+  std::uint64_t digest;
+  std::int64_t delivered;
+  std::int64_t silence_slots;
+  std::int64_t collision_slots;
+};
+
+// Captured pre-overhaul (commit e9edd51) with the options below.
+constexpr Golden kGolden[] = {
+    {4, 0x11feb296fdb5ae61ULL, 12, 2405, 8},
+    {16, 0x38093d41393de765ULL, 48, 2309, 20},
+};
+
+core::DdcrRunOptions reference_options(const traffic::Workload& workload) {
+  core::DdcrRunOptions options;
+  options.ddcr.class_width_c = core::DdcrConfig::class_width_for(
+      workload.max_deadline(), options.ddcr.F);
+  options.ddcr.alpha = options.ddcr.class_width_c * 2;
+  options.arrival_horizon = sim::SimTime::from_ns(10'000'000);
+  options.drain_cap = sim::SimTime::from_ns(50'000'000);
+  return options;
+}
+
+TEST(DigestPin, UntracedRunsReproducePreOverhaulDigests) {
+  for (const Golden& golden : kGolden) {
+    const auto workload = traffic::quickstart(golden.z);
+    const auto result = core::run_ddcr(workload, reference_options(workload));
+    EXPECT_EQ(result.protocol_digest, golden.digest) << "z=" << golden.z;
+    EXPECT_EQ(result.metrics.delivered, golden.delivered);
+    EXPECT_EQ(result.metrics.silence_slots, golden.silence_slots);
+    EXPECT_EQ(result.metrics.collision_slots, golden.collision_slots);
+    EXPECT_EQ(result.undelivered, 0);
+    EXPECT_TRUE(result.consistency_ok);
+  }
+}
+
+TEST(DigestPin, TracedRunsMatchUntracedDigests) {
+  // Tracing changes which engine paths run (per-slot spans vs one bulk
+  // idle-gap span, label formatting) but must never change the protocol.
+  for (const Golden& golden : kGolden) {
+    const auto workload = traffic::quickstart(golden.z);
+    auto options = reference_options(workload);
+    obs::EventTracer tracer;
+    options.tracer = &tracer;
+    const auto result = core::run_ddcr(workload, options);
+    EXPECT_EQ(result.protocol_digest, golden.digest) << "z=" << golden.z;
+    EXPECT_GT(tracer.size(), 0u) << "tracer was installed but saw nothing";
+  }
+}
+
+TEST(DigestPin, RunsAreRepeatable) {
+  const auto workload = traffic::quickstart(4);
+  const auto options = reference_options(workload);
+  const auto first = core::run_ddcr(workload, options);
+  const auto second = core::run_ddcr(workload, options);
+  EXPECT_EQ(first.protocol_digest, second.protocol_digest);
+}
+
+TEST(DigestPin, SerialAndParallelMultiChannelAgree) {
+  // The multi-channel runner promises bit-identical results regardless of
+  // worker count; pin that against the overhauled engine.
+  const auto workload = traffic::quickstart(12);
+  const auto options = reference_options(workload);
+  const auto serial = core::run_multi_channel(workload, 3, options, 1);
+  const auto parallel = core::run_multi_channel(workload, 3, options, 4);
+  EXPECT_NE(serial.protocol_digest, 0u);
+  EXPECT_EQ(serial.protocol_digest, parallel.protocol_digest);
+  EXPECT_EQ(serial.delivered, parallel.delivered);
+  EXPECT_EQ(serial.misses, parallel.misses);
+  ASSERT_EQ(serial.per_channel.size(), parallel.per_channel.size());
+  for (std::size_t ch = 0; ch < serial.per_channel.size(); ++ch) {
+    EXPECT_EQ(serial.per_channel[ch].protocol_digest,
+              parallel.per_channel[ch].protocol_digest)
+        << "channel " << ch;
+  }
+}
+
+}  // namespace
+}  // namespace hrtdm

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace hrtdm::core {
 namespace {
@@ -62,6 +66,40 @@ TEST(EdfQueue, RejectsDuplicateUid) {
   EdfQueue queue;
   queue.push(make_msg(1, 100));
   EXPECT_THROW(queue.push(make_msg(1, 200)), util::ContractViolation);
+}
+
+TEST(EdfQueue, TenThousandMessagesRemoveFromInterior) {
+  // Regression for the O(n) remove() scan: with 10k queued messages,
+  // removing from the interior used to walk half the deadline set per call,
+  // making bursty multi-class backlogs quadratic. remove() now locates the
+  // node by its (deadline, uid) key in O(log n); this drains a 10k-message
+  // queue by uid in shuffled order and checks EDF head integrity throughout.
+  constexpr std::int64_t kMessages = 10'000;
+  EdfQueue queue;
+  std::vector<std::int64_t> uids;
+  uids.reserve(kMessages);
+  util::SplitMix64 mix(0xEDFULL);
+  for (std::int64_t uid = 0; uid < kMessages; ++uid) {
+    // Many duplicate deadlines, so uid tie-breaking is exercised too.
+    queue.push(make_msg(uid, 1000 + static_cast<std::int64_t>(
+                                        mix.next() % (kMessages / 4))));
+    uids.push_back(uid);
+  }
+  ASSERT_EQ(queue.size(), static_cast<std::size_t>(kMessages));
+  // Fisher-Yates with the same deterministic stream.
+  for (std::size_t i = uids.size(); i > 1; --i) {
+    std::swap(uids[i - 1], uids[mix.next() % i]);
+  }
+  std::int64_t remaining = kMessages;
+  for (const std::int64_t uid : uids) {
+    ASSERT_TRUE(queue.remove(uid));
+    --remaining;
+    EXPECT_FALSE(queue.remove(uid));  // second remove of same uid is a miss
+    if (remaining > 0 && remaining % 1000 == 0) {
+      ASSERT_TRUE(queue.head().has_value());
+    }
+  }
+  EXPECT_TRUE(queue.empty());
 }
 
 TEST(EdfQueue, CountLate) {

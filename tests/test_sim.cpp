@@ -117,5 +117,96 @@ TEST(Simulator, CancelledEventsDoNotBlockRunUntil) {
   EXPECT_EQ(sim.events_pending(), 0u);
 }
 
+TEST(Simulator, CancelAfterFireIsNoop) {
+  // A handle to an event that already fired must not cancel whatever event
+  // now occupies the recycled pool slot.
+  Simulator sim;
+  bool first_fired = false;
+  bool second_fired = false;
+  const auto stale =
+      sim.schedule_at(SimTime::from_ns(10), [&] { first_fired = true; });
+  sim.run_until(SimTime::from_ns(20));
+  EXPECT_TRUE(first_fired);
+  EXPECT_FALSE(sim.cancel(stale));
+  // The freed slot is recycled by the next schedule; the stale handle must
+  // still refuse to touch it.
+  sim.schedule_at(SimTime::from_ns(30), [&] { second_fired = true; });
+  EXPECT_FALSE(sim.cancel(stale));
+  sim.run_to_completion();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Simulator, CancelThenRescheduleAtSameTimestampKeepsOrder) {
+  // Cancelling and re-scheduling at the same instant must place the new
+  // event at its new (later) position in the equal-time FIFO, not inherit
+  // the cancelled event's slot in line.
+  Simulator sim;
+  std::vector<int> order;
+  const auto first =
+      sim.schedule_at(SimTime::from_ns(10), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::from_ns(10), [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.cancel(first));
+  sim.schedule_at(SimTime::from_ns(10), [&] { order.push_back(3); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(Simulator, EqualTimeFifoSurvivesPoolRecycling) {
+  // Interleave schedules and cancels so freed slots are re-acquired while
+  // same-timestamp events are pending; the FIFO order must track scheduling
+  // order, never pool-slot order.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int round = 0; round < 8; ++round) {
+    doomed.push_back(
+        sim.schedule_at(SimTime::from_ns(5), [&order] { order.push_back(-1); }));
+    sim.schedule_at(SimTime::from_ns(5),
+                    [&order, round] { order.push_back(round); });
+    EXPECT_TRUE(sim.cancel(doomed.back()));
+    // This schedule reuses the slot just freed by the cancel above.
+    sim.schedule_at(SimTime::from_ns(5),
+                    [&order, round] { order.push_back(100 + round); });
+  }
+  sim.run_to_completion();
+  std::vector<int> expected;
+  for (int round = 0; round < 8; ++round) {
+    expected.push_back(round);
+    expected.push_back(100 + round);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Simulator, HandleReuseNeverResurrectsCancelledEvents) {
+  // Churn the pool hard: every slot is freed and re-acquired many times;
+  // every stale handle (fired or cancelled) must stay dead forever.
+  Simulator sim;
+  std::vector<EventHandle> stale;
+  int fired = 0;
+  for (int wave = 0; wave < 50; ++wave) {
+    const SimTime at = SimTime::from_ns(1000 + wave * 10);
+    std::vector<EventHandle> alive;
+    for (int i = 0; i < 16; ++i) {
+      alive.push_back(sim.schedule_at(at, [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 16; i += 2) {
+      EXPECT_TRUE(sim.cancel(alive[static_cast<std::size_t>(i)]));
+      stale.push_back(alive[static_cast<std::size_t>(i)]);
+    }
+    for (const EventHandle& handle : stale) {
+      EXPECT_FALSE(sim.cancel(handle));  // never matches a recycled slot
+    }
+    sim.run_until(at);
+    for (int i = 1; i < 16; i += 2) {
+      stale.push_back(alive[static_cast<std::size_t>(i)]);  // fired handles
+    }
+  }
+  EXPECT_EQ(fired, 50 * 8);
+  for (const EventHandle& handle : stale) {
+    EXPECT_FALSE(sim.cancel(handle));
+  }
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
 }  // namespace
 }  // namespace hrtdm::sim

@@ -4,8 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <limits>
+#include <thread>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/math.hpp"
@@ -49,6 +54,88 @@ TEST(XiExactTable, MatchesExhaustiveSubsetOracle) {
           << "m=" << m << " t=" << table.t() << " k=" << k;
     }
   }
+}
+
+TEST(XiExactTable, ConcaveKernelMatchesDenseConvolution) {
+  // The table builds each level with the concave slope-merge kernel
+  // (Eq. 3/8 structure); re-derive each level here with the defining dense
+  // max-plus convolution (Eq. 1) and demand bit-identical rows. This runs
+  // the same comparison the NDEBUG-gated cross-check inside the builder
+  // does, but in every build type.
+  for (const auto& [m, n] : {std::pair{2, 8}, {3, 5}, {4, 4}, {5, 3},
+                             {7, 2}, {9, 2}}) {
+    XiExactTable table(m, n);
+    for (int level = 1; level <= n; ++level) {
+      const std::int64_t child = ipow(m, level - 1);
+      std::vector<std::int64_t> conv{0};  // max-plus identity: {0} at k = 0
+      for (int r = 0; r < m; ++r) {
+        std::vector<std::int64_t> next(
+            conv.size() + static_cast<std::size_t>(child),
+            std::numeric_limits<std::int64_t>::min() / 4);
+        for (std::size_t i = 0; i < conv.size(); ++i) {
+          for (std::int64_t j = 0; j <= child; ++j) {
+            next[i + static_cast<std::size_t>(j)] =
+                std::max(next[i + static_cast<std::size_t>(j)],
+                         conv[i] + table.xi_at_level(level - 1, j));
+          }
+        }
+        conv = std::move(next);
+      }
+      const std::int64_t width = ipow(m, level);
+      ASSERT_EQ(static_cast<std::int64_t>(conv.size()), width + 1);
+      EXPECT_EQ(table.xi_at_level(level, 0), 1);
+      EXPECT_EQ(table.xi_at_level(level, 1), 0);
+      for (std::int64_t k = 2; k <= width; ++k) {
+        ASSERT_EQ(table.xi_at_level(level, k),
+                  1 + conv[static_cast<std::size_t>(k)])
+            << "m=" << m << " level=" << level << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(XiExactTable, MillionLeafQuaternaryTree) {
+  // t = 4^10 = 1048576 — intractable for the dense kernel, routine for the
+  // concave one. Check the closed form at a spread of k and the anchor
+  // equations at the special points.
+  XiExactTable table(4, 10);
+  const std::int64_t t = table.t();
+  ASSERT_EQ(t, 1048576);
+  EXPECT_EQ(table.xi(2), xi_two(4, t));
+  EXPECT_EQ(table.xi(2 * t / 4), xi_two_t_over_m(4, t));
+  EXPECT_EQ(table.xi(t), xi_full(4, t));
+  for (std::int64_t k = 0; k <= t; k += 4099) {  // coprime stride
+    ASSERT_EQ(table.xi(k), xi_closed(4, t, k)) << "k=" << k;
+  }
+  for (std::int64_t k = 2 * t / 4; k <= t; k += 8191) {
+    ASSERT_EQ(table.xi(k), xi_linear_tail(4, t, k)) << "k=" << k;
+  }
+}
+
+TEST(XiDnc, ConcurrentReadersAgreeWithTable) {
+  // The xi_dnc memo is shared across threads behind a shared_mutex; hammer
+  // it from several readers (all overlapping on the same (m, t) subproblems)
+  // and check every result against the exact table.
+  constexpr int kThreads = 8;
+  XiExactTable table(3, 5);
+  const std::int64_t t = table.t();
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&table, t, w, &mismatches] {
+      for (std::int64_t k = (w % 2 == 0) ? 0 : t; k >= 0 && k <= t;
+           k += (w % 2 == 0) ? 1 : -1) {
+        if (xi_dnc(3, t, k) != table.xi(k)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 struct ShapeParam {

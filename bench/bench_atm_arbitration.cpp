@@ -16,8 +16,9 @@
 #include "traffic/workload.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hrtdm;
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("atm_arbitration");
   const bool smoke = bench::BenchReport::smoke();
 
@@ -46,7 +47,9 @@ int main() {
           sim::SimTime::from_ns(smoke ? 5'000'000 : 40'000'000);
       options.drain_cap =
           sim::SimTime::from_ns(smoke ? 30'000'000 : 150'000'000);
+      options.conformance_check = bench::conformance_requested();
       const auto result = core::run_ddcr(wl, options);
+      bench::require_conformance(result.conformance, "atm_arbitration");
       std::int64_t epochs = 0;
       for (const auto& station : result.per_station) {
         epochs += station.epochs;

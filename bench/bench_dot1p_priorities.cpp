@@ -15,8 +15,9 @@
 #include "traffic/workload.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hrtdm;
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("dot1p_priorities");
   const bool smoke = bench::BenchReport::smoke();
   const traffic::Workload wl = traffic::stock_exchange(10);
@@ -53,7 +54,9 @@ int main() {
         sim::SimTime::from_ns(smoke ? 5'000'000 : 30'000'000);
     options.drain_cap =
         sim::SimTime::from_ns(smoke ? 30'000'000 : 120'000'000);
+    options.conformance_check = bench::conformance_requested();
     const auto result = core::run_ddcr(wl, options);
+    bench::require_conformance(result.conformance, "dot1p_priorities");
     out.add_row({sweep.label,
                  util::TextTable::cell(result.metrics.delivered),
                  util::TextTable::cell(result.metrics.misses),

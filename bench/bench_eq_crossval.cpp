@@ -11,8 +11,9 @@
 #include "util/math.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hrtdm;
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("eq_crossval");
 
   std::printf("%s", util::banner(

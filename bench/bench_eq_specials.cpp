@@ -12,8 +12,9 @@
 #include "util/math.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hrtdm;
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("eq_specials");
   bool identities_ok = true;
 

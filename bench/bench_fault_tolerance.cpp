@@ -46,7 +46,8 @@ DdcrRunOptions base_options(const traffic::Workload& wl) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("fault_tolerance");
   const bool smoke = bench::BenchReport::smoke();
   const traffic::Workload wl = traffic::videoconference(8);
@@ -64,7 +65,9 @@ int main() {
         options.arrival_horizon = sim::SimTime::from_ns(10'000'000);
       }
       options.phy.corruption_prob = p;
+      options.conformance_check = bench::conformance_requested();
       const auto result = core::run_ddcr(wl, options);
+      bench::require_conformance(result.conformance, "fault_tolerance");
       out.add_row({util::TextTable::cell(p * 100.0, 1),
                    util::TextTable::cell(result.generated),
                    util::TextTable::cell(result.metrics.delivered),

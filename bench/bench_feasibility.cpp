@@ -83,7 +83,8 @@ double feasibility_frontier(const traffic::Workload& wl) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("feasibility");
   const traffic::Workload workloads[] = {
       traffic::quickstart(8), traffic::videoconference(8),

@@ -15,8 +15,9 @@
 #include "bench/harness.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hrtdm;
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("fig1_quaternary");
   const int m = 4;
   const int n = 3;  // t = 64

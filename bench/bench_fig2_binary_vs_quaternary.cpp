@@ -11,8 +11,9 @@
 #include "bench/harness.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hrtdm;
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("fig2_binary_vs_quaternary");
   analysis::XiExactTable binary(2, 6);      // 2^6  = 64 leaves
   analysis::XiExactTable quaternary(4, 3);  // 4^3  = 64 leaves

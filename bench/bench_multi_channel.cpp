@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   // --trace-out <file> (or HRTDM_TRACE_OUT) emits a Perfetto trace of the
   // runs below: one process per channel, one track per station.
   bench::apply_trace_flag(argc, argv);
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("multi_channel");
   const bool smoke = bench::BenchReport::smoke();
 

@@ -57,7 +57,8 @@ std::int64_t measured_epoch_slots(int m, std::int64_t F, std::int64_t k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::apply_check_flag(argc, argv);
   hrtdm::bench::BenchReport report("optimal_m");
   std::printf("%s", util::banner(
       "E14: branching-degree study, 64 leaves required (cf. Fig. 2)")

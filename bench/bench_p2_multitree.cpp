@@ -13,8 +13,9 @@
 #include "bench/harness.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hrtdm;
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("p2_multitree");
 
   std::printf("%s", util::banner(

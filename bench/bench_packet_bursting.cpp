@@ -10,8 +10,9 @@
 #include "traffic/workload.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hrtdm;
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("packet_bursting");
   const bool smoke = bench::BenchReport::smoke();
   const traffic::Workload wl = traffic::videoconference(10);
@@ -33,7 +34,9 @@ int main() {
         sim::SimTime::from_ns(smoke ? 10'000'000 : 100'000'000);
     options.drain_cap =
         sim::SimTime::from_ns(smoke ? 60'000'000 : 400'000'000);
+    options.conformance_check = bench::conformance_requested();
     const auto result = core::run_ddcr(wl, options);
+    bench::require_conformance(result.conformance, "packet_bursting");
     std::int64_t epochs = 0;
     for (const auto& station : result.per_station) {
       epochs += station.epochs;

@@ -14,8 +14,9 @@
 #include "traffic/workload.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hrtdm;
+  bench::apply_check_flag(argc, argv);
   using baseline::Protocol;
   bench::BenchReport report("protocol_compare");
   const bool smoke = bench::BenchReport::smoke();

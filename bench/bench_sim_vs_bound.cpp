@@ -39,7 +39,9 @@ void sweep_workload(const traffic::Workload& wl, util::TextTable& out,
 
   const auto fc =
       analysis::check_feasibility(traffic::to_fc_system(wl, fc_options));
+  options.conformance_check = bench::conformance_requested();
   const auto result = core::run_ddcr(wl, options);
+  bench::require_conformance(result.conformance, "sim_vs_bound");
 
   std::size_t fc_idx = 0;
   for (const auto& src : wl.sources) {
@@ -74,7 +76,8 @@ void sweep_workload(const traffic::Workload& wl, util::TextTable& out,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("sim_vs_bound");
   std::printf("%s", util::banner(
       "E9: measured worst latency vs B_DDCR under the saturating adversary")

@@ -61,7 +61,8 @@ std::int64_t measure_search_slots(int m, std::int64_t F,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::apply_check_flag(argc, argv);
   hrtdm::bench::BenchReport report("sim_vs_xi");
   std::printf("%s", util::banner(
       "E8: measured time-tree search slots vs xi(k, F) "

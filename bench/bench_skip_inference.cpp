@@ -46,7 +46,8 @@ std::int64_t drive_slots(core::TreeSearchEngine& engine,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::apply_check_flag(argc, argv);
   hrtdm::bench::BenchReport report("skip_inference");
   const bool smoke = hrtdm::bench::BenchReport::smoke();
   std::printf("%s", util::banner(
@@ -103,7 +104,9 @@ int main() {
       options.drain_cap =
           sim::SimTime::from_ns(smoke ? 60'000'000 : 300'000'000);
       options.check_consistency = true;
+      options.conformance_check = bench::conformance_requested();
       const auto result = core::run_ddcr(wl, options);
+      bench::require_conformance(result.conformance, "skip_inference");
       out.add_row({infer ? "on" : "off",
                    util::TextTable::cell(result.metrics.delivered),
                    util::TextTable::cell(result.channel.collision_slots),

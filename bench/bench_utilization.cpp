@@ -50,13 +50,16 @@ double simulated_saturated_utilization(int z, std::int64_t l_bits) {
   options.arrivals = traffic::ArrivalKind::kSaturatingAdversary;
   options.arrival_horizon = sim::SimTime::from_ns(20'000'000);
   options.drain_cap = sim::SimTime::from_ns(20'000'000);  // stay saturated
+  options.conformance_check = bench::conformance_requested();
   const auto result = core::run_ddcr(wl, options);
+  bench::require_conformance(result.conformance, "utilization");
   return result.utilization;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::apply_check_flag(argc, argv);
   bench::BenchReport report("utilization");
   std::printf("%s", util::banner(
       "E16: worst-case channel efficiency eta(k) on Gigabit Ethernet "

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "check/conformance.hpp"
+#include "core/ddcr_network.hpp"
 #include "core/ddcr_station.hpp"
 #include "net/channel.hpp"
 #include "obs/event_tracer.hpp"
@@ -572,6 +574,42 @@ Json snapshot_json(const net::ChannelSnapshot& snap) {
   out["idle_ns"] = Json(snap.stats.idle_time.ns());
   out["contention_ns"] = Json(snap.stats.contention_time.ns());
   return Json(std::move(out));
+}
+
+namespace {
+bool g_conformance_requested = false;
+}  // namespace
+
+void apply_check_flag(int argc, char** argv) {
+  bool requested = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      requested = true;
+    }
+  }
+  if (const char* env = std::getenv("HRTDM_BENCH_CHECK");
+      env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    requested = true;
+  }
+  if (requested) {
+    check::install_conformance_auditor();
+    g_conformance_requested = true;
+  }
+}
+
+bool conformance_requested() { return g_conformance_requested; }
+
+void require_conformance(const core::ConformanceReport& report,
+                         const std::string& context) {
+  if (!g_conformance_requested) {
+    return;
+  }
+  HRTDM_EXPECT(report.checked,
+               context + ": --check was requested but the run was not "
+                         "conformance-checked (conformance_check unset?)");
+  HRTDM_EXPECT(report.ok, context + ": " + report.summary());
+  std::printf("[check] %s: %s\n", context.c_str(),
+              report.summary().c_str());
 }
 
 void apply_trace_flag(int argc, char** argv) {

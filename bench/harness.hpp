@@ -30,6 +30,7 @@
 #include <vector>
 
 namespace hrtdm::core {
+struct ConformanceReport;
 struct StationSnapshot;
 }
 namespace hrtdm::net {
@@ -158,5 +159,21 @@ Json snapshot_json(const net::ChannelSnapshot& snap);
 /// into obs::set_trace_out (equivalent to HRTDM_TRACE_OUT, which it
 /// overrides). Unknown flags are left untouched for the caller.
 void apply_trace_flag(int argc, char** argv);
+
+/// CLI wiring for --check (equivalent to HRTDM_BENCH_CHECK=1): turns on
+/// differential conformance checking for the bench's protocol runs and
+/// installs the run_ddcr auditor seam. Benches that simulate the protocol
+/// set DdcrRunOptions::conformance_check = conformance_requested() and pass
+/// each result through require_conformance(); analysis-only benches accept
+/// the flag as a no-op.
+void apply_check_flag(int argc, char** argv);
+bool conformance_requested();
+
+/// Contract-fails (with the report's violation summary) when a requested
+/// conformance check did not run or found violations; prints the one-line
+/// summary for the first call per context otherwise. No-op when --check is
+/// off.
+void require_conformance(const core::ConformanceReport& report,
+                         const std::string& context);
 
 }  // namespace hrtdm::bench

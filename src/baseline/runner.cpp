@@ -52,6 +52,9 @@ ProtocolRunResult run_with_stations(
   }
   core::MetricsCollector metrics;
   channel.add_observer(metrics);
+  if (options.observer != nullptr) {
+    channel.add_observer(*options.observer);
+  }
 
   const auto traffic = traffic::generate_traffic(
       workload, options.base.arrivals, options.base.arrival_horizon,

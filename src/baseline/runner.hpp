@@ -21,6 +21,11 @@ struct ProtocolRunOptions {
   int beb_backoff_cap = 10;
   int dcr_m = 2;
   std::int64_t dcr_q = 64;
+  /// Optional ground-truth observer (e.g. check::ConformanceRecorder)
+  /// attached to the channel before start() — the hook the differential
+  /// safety tests record baseline runs through. Ignored for kDdcr, which
+  /// has its own auditor seam (DdcrRunOptions::conformance_check).
+  net::ChannelObserver* observer = nullptr;
 };
 
 struct ProtocolRunResult {

@@ -1,0 +1,274 @@
+#include "check/bound_checker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "analysis/p2.hpp"
+#include "analysis/xi.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::check {
+namespace {
+
+int ilog(int m, std::int64_t leaves) {
+  int n = 0;
+  std::int64_t v = 1;
+  while (v < leaves) {
+    v *= m;
+    ++n;
+  }
+  HRTDM_EXPECT(v == leaves, "leaves must be a power of m");
+  return n;
+}
+
+constexpr double kEps = 1e-6;
+
+}  // namespace
+
+BoundChecker::BoundChecker(const core::DdcrConfig& config,
+                           std::vector<util::SimTime> arrival_times)
+    : config_(config),
+      arrivals_(std::move(arrival_times)),
+      n_time_(ilog(config.m_time, config.F)),
+      n_static_(ilog(config.m_static, config.q)),
+      time_table_(config.m_time, n_time_),
+      static_table_(config.m_static, n_static_) {
+  std::sort(arrivals_.begin(), arrivals_.end());
+}
+
+bool BoundChecker::span_is_arrival_free(util::SimTime start,
+                                        util::SimTime end) const {
+  const auto it = std::lower_bound(arrivals_.begin(), arrivals_.end(), start);
+  return it == arrivals_.end() || *it > end;
+}
+
+void BoundChecker::add_violation(std::string text) {
+  violations_.push_back(std::move(text));
+}
+
+void BoundChecker::check_relations_for(int m, std::int64_t t, std::int64_t k) {
+  const int which = (m == config_.m_time && t == config_.F) ? 0 : 1;
+  const std::pair<int, std::int64_t> key{which, k};
+  if (std::find(relations_done_.begin(), relations_done_.end(), key) !=
+      relations_done_.end()) {
+    return;
+  }
+  relations_done_.push_back(key);
+  if (k < 2 || k > t) {
+    return;
+  }
+  const analysis::XiExactTable& table =
+      which == 0 ? time_table_ : static_table_;
+  std::ostringstream where;
+  where << " (m=" << m << ", t=" << t << ", k=" << k << ")";
+
+  // Three independent characterisations of xi must agree on observed k.
+  const std::int64_t exact = table.xi(k);
+  const std::int64_t dnc = analysis::xi_dnc(m, t, k);
+  const std::int64_t closed = analysis::xi_closed(m, t, k);
+  if (exact != dnc || exact != closed) {
+    std::ostringstream os;
+    os << "xi characterisations disagree: table=" << exact << " dnc=" << dnc
+       << " closed=" << closed << where.str();
+    add_violation(os.str());
+  }
+  ++relations_checked_;
+
+  // Special values (Eq. 5/7) and the linear tail (Eq. 15).
+  if (k == 2 && exact != analysis::xi_two(m, t)) {
+    add_violation("Eq.5 xi(2,t) mismatch" + where.str());
+  }
+  if (k == t && exact != analysis::xi_full(m, t)) {
+    add_violation("Eq.7 xi(t,t) mismatch" + where.str());
+  }
+  if (m * k >= 2 * t && exact != analysis::xi_linear_tail(m, t, k)) {
+    add_violation("Eq.15 linear-tail mismatch" + where.str());
+  }
+  // Odd-k step (Eq. 3): xi(2p+1) = xi(2p) - 1 — an odd adversary wastes
+  // one pairing, so the worst case sits one slot under the preceding even k.
+  if (k % 2 == 1 && k >= 3 && exact != table.xi(k - 1) - 1) {
+    add_violation("Eq.3 odd-k step mismatch" + where.str());
+  }
+  // Even derivative (Eq. 8).
+  if (k % 2 == 0 && k + 2 <= t &&
+      table.xi(k + 2) - exact != analysis::xi_even_derivative(m, t, k / 2)) {
+    add_violation("Eq.8 even-derivative mismatch" + where.str());
+  }
+  // Tightness of the concave asymptote over even k in [2, 2t/m]
+  // (Eq. 12/13): xi <= xi~ <= xi + g(m) t.
+  if (k % 2 == 0 && m * k <= 2 * t) {
+    const double asym =
+        analysis::xi_asymptotic(m, static_cast<double>(t),
+                                static_cast<double>(k));
+    if (static_cast<double>(exact) > asym + kEps) {
+      std::ostringstream os;
+      os << "Eq.12 violated: xi=" << exact << " > xi~=" << asym
+         << where.str();
+      add_violation(os.str());
+    }
+    const double gap = asym - static_cast<double>(exact);
+    const double bound =
+        analysis::tightness_bound_factor(m) * static_cast<double>(t);
+    if (gap > bound + kEps) {
+      std::ostringstream os;
+      os << "Eq.13 violated: xi~ - xi = " << gap << " > g(m) t = " << bound
+         << where.str();
+      add_violation(os.str());
+    }
+  }
+}
+
+void BoundChecker::check_tts_run(const TtsRunRecord& run) {
+  const int m = config_.m_time;
+  const std::int64_t t = config_.F;
+  const std::int64_t k = run.k_effective();
+  std::ostringstream where;
+  where << " (epoch " << run.epoch << ", slots=" << run.search_slots
+        << ", successes=" << run.successes
+        << ", leaf_collisions=" << run.leaf_collisions << ")";
+
+  // Structural invariant: the DFS frontier is strictly monotone, so the
+  // run's resolution events land on distinct leaves — never more than F.
+  if (k > t) {
+    add_violation("TTs resolved more entities than leaves: k=" +
+                  std::to_string(k) + " > F=" + std::to_string(t) +
+                  where.str());
+    return;
+  }
+  if (!span_is_arrival_free(run.first_slot_start, run.last_slot_end)) {
+    ++tts_exempt_;  // mid-search arrivals void the fixed-placement model
+    return;
+  }
+  ++tts_checked_;
+  // A tied class never resolves by an internal-node success: it collides on
+  // every probe down to its exact leaf and the DFS then probes the emptied
+  // siblings — up to m slots per level, n levels, beyond what the success
+  // model charges.
+  const std::int64_t tie_allowance =
+      run.leaf_collisions * static_cast<std::int64_t>(m) *
+      std::max(n_time_, 1);
+  if (k >= 2) {
+    const std::int64_t bound = time_table_.xi(k) + tie_allowance;
+    if (run.search_slots + 1 > bound) {
+      std::ostringstream os;
+      os << "TTs search cost exceeds xi: slots+1 = " << run.search_slots + 1
+         << " > xi(" << k << "," << t << ") + tie descents = " << bound
+         << where.str();
+      add_violation(os.str());
+    }
+    check_relations_for(m, t, k);
+  } else {
+    // k <= 1: an all-silent scan costs m slots; a lone resolution costs at
+    // most m per level down the tree, plus the tie-descent allowance when
+    // that lone resolution was a leaf collision.
+    const std::int64_t bound =
+        static_cast<std::int64_t>(m) * std::max(n_time_, 1) + tie_allowance;
+    if (run.search_slots > bound) {
+      std::ostringstream os;
+      os << "empty/lone TTs scan too long: slots = " << run.search_slots
+         << " > m*n + tie descents = " << bound << where.str();
+      add_violation(os.str());
+    }
+  }
+}
+
+void BoundChecker::check_sts_run(const StsRunRecord& run) {
+  const std::int64_t q = config_.q;
+  const std::int64_t s = run.successes;
+  std::ostringstream where;
+  where << " (epoch " << run.epoch << ", slots=" << run.search_slots
+        << ", successes=" << s << ", retries=" << run.leaf_retries << ")";
+  if (run.leaf_retries > 0) {
+    // Static indices are unique per source: in a fault-free destructive
+    // run a lone static leaf cannot collide. (The caller only invokes the
+    // checker on clean runs, so this is a genuine protocol violation.)
+    add_violation("STs leaf retry without channel noise" + where.str());
+    return;
+  }
+  if (s > q) {
+    add_violation("STs resolved more entities than leaves: s=" +
+                  std::to_string(s) + " > q=" + std::to_string(q) +
+                  where.str());
+    return;
+  }
+  if (s < 2) {
+    // The triggering time-tree leaf collision proves >= 2 tied messages;
+    // fewer than 2 static successes means a tied message vanished.
+    add_violation("STs with fewer than 2 resolutions" + where.str());
+    return;
+  }
+  ++sts_checked_;
+  // The time-tree leaf collision is the static root probe: + 1.
+  const std::int64_t bound = static_table_.xi(s);
+  if (run.search_slots + 1 > bound) {
+    std::ostringstream os;
+    os << "STs search cost exceeds xi: slots+1 = " << run.search_slots + 1
+       << " > xi(" << s << "," << q << ") = " << bound << where.str();
+    add_violation(os.str());
+  }
+  check_relations_for(config_.m_static, q, s);
+}
+
+void BoundChecker::check_p2(
+    const std::vector<const TtsRunRecord*>& eligible) {
+  // The P2 bound (Eq. 16–19) caps the summed search cost of v trees with
+  // k_i in [2, t] each by v xi~(u/v, t), u = sum k_i. By concavity this
+  // holds for any v observed searches, consecutive or not; we check sliding
+  // windows plus the whole set. Eligible runs are tie-free, so slots + 1 is
+  // the exact xi-model cost.
+  const int m = config_.m_time;
+  const double t = static_cast<double>(config_.F);
+  std::vector<std::size_t> windows{2, 3, 5, eligible.size()};
+  for (const std::size_t v : windows) {
+    if (v < 2 || v > eligible.size()) {
+      continue;
+    }
+    for (std::size_t i = 0; i + v <= eligible.size();
+         i += (v == eligible.size() ? eligible.size() : 1)) {
+      std::int64_t cost = 0;  // xi-model cost: search slots + root probe
+      std::int64_t u = 0;
+      for (std::size_t j = i; j < i + v; ++j) {
+        cost += eligible[j]->search_slots + 1;
+        u += eligible[j]->k_effective();
+      }
+      const double bound = analysis::p2_bound(
+          m, t, static_cast<double>(u), static_cast<double>(v));
+      ++p2_windows_checked_;
+      if (static_cast<double>(cost) > bound + kEps) {
+        std::ostringstream os;
+        os << "P2 multi-tree bound violated: sum cost = " << cost
+           << " > v xi~(u/v) = " << bound << " (v=" << v << ", u=" << u
+           << ", window at " << i << ")";
+        add_violation(os.str());
+      }
+    }
+  }
+}
+
+void BoundChecker::run(const EpochTracker& tracker) {
+  HRTDM_EXPECT(!ran_, "BoundChecker::run may be called once");
+  ran_ = true;
+  std::vector<const TtsRunRecord*> p2_eligible;
+  for (const TtsRunRecord& run : tracker.tts_runs()) {
+    check_tts_run(run);
+    if (run.leaf_collisions == 0 && run.k_effective() >= 2 &&
+        run.k_effective() <= config_.F &&
+        span_is_arrival_free(run.first_slot_start, run.last_slot_end)) {
+      p2_eligible.push_back(&run);
+    }
+  }
+  for (const StsRunRecord& run : tracker.sts_runs()) {
+    check_sts_run(run);
+  }
+  check_p2(p2_eligible);
+  if (!tracker.tts_runs().empty() || !tracker.sts_runs().empty()) {
+    // Universal tightness constant (Eq. 14): g(m) <= g(9) for every m.
+    if (analysis::tightness_bound_factor(config_.m_time) >
+        analysis::tightness_bound_universal() + 1e-12) {
+      add_violation("Eq.14 violated: g(m) exceeds the universal constant");
+    }
+  }
+}
+
+}  // namespace hrtdm::check

@@ -1,0 +1,129 @@
+// Differential conformance checking of recorded broadcast-channel runs.
+//
+// A ConformanceRecorder captures the ground-truth SlotRecord stream of a
+// run (it is a plain ChannelObserver — attach it to any channel, CSMA/DDCR
+// or baseline). The ConformanceComparator then replays that stream against
+// everything the paper promises:
+//
+//   safety      — mutual exclusion (a destructive-mode success has exactly
+//                 one transmitter), slot-grid integrity (no overlaps, exact
+//                 slot durations), frame integrity (every delivered frame
+//                 matches an injected message, delivered once, never before
+//                 it arrived);
+//   timeliness  — completions vs absolute deadlines, cross-checked against
+//                 the independent centralized NP-EDF oracle (EdfOracle);
+//   EDF order   — no delivered message overtakes a waiting message whose
+//                 deadline is earlier by more than the protocol's legal
+//                 granularity (class width / in-epoch clamping);
+//   boundedness — per-epoch search cost <= xi(k, t, m), the P2 multi-tree
+//                 bound, and an aggregate makespan bound vs the oracle
+//                 (protocol may only lose accounted overhead: pending-work
+//                 silences, contention slots, arbitration preambles);
+//   accounting  — the EpochTracker replica's totals vs the stations' own
+//                 counters and the channel's stats.
+//
+// Checks that rely on the fixed-placement analysis model are gated off
+// when the run could legitimately deviate (channel noise, fault injection,
+// arbitration mode, late-message shedding); the report counts how many
+// checks actually ran so tests can assert the gating never silently
+// disables everything.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/edf_oracle.hpp"
+#include "core/ddcr_network.hpp"
+#include "net/channel.hpp"
+#include "traffic/message.hpp"
+
+namespace hrtdm::check {
+
+/// Ground-truth recorder. Attach to a channel before start(); the entry
+/// list then covers the whole run, with fast-forwarded idle gaps kept as
+/// single aggregated entries (observation indices stay aligned with the
+/// channel's fault-plan axis).
+class ConformanceRecorder final : public net::ChannelObserver {
+ public:
+  struct Entry {
+    net::SlotRecord record;
+    /// 0 = a real slot; > 0 = an aggregated idle gap of this many silence
+    /// slots (record spans the whole gap).
+    std::int64_t gap_slots = 0;
+    /// Channel observation index of the (first) slot.
+    std::int64_t obs_index = 0;
+  };
+
+  void on_slot(const net::SlotRecord& record) override;
+  void on_idle_gap(std::int64_t slots, SimTime first_start,
+                   util::Duration slot_x) override;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  /// Observations recorded (slots + gap slots).
+  std::int64_t observations() const { return observations_; }
+
+  /// The entries strictly before observation index `end` (gap entries
+  /// straddling the cut are clipped to the slots that fit).
+  std::vector<Entry> clean_prefix(std::int64_t end) const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::int64_t observations_ = 0;
+};
+
+/// Everything the comparator needs to judge a recorded run.
+struct ConformanceInput {
+  /// Every message instance injected into the run (any order; uids unique).
+  std::vector<traffic::Message> messages;
+  net::PhyConfig phy;
+  net::CollisionMode collision_mode = net::CollisionMode::kDestructive;
+  core::DdcrConfig ddcr;
+  /// The protocol under test emulates EDF via CSMA/DDCR. False for the
+  /// baseline protocols (BEB, DCR, TDMA, stack): only safety, frame
+  /// integrity and completeness apply — they promise no deadline order.
+  bool protocol_is_ddcr = true;
+  /// A fault plan was active: only the observations strictly before this
+  /// index are judged (use fault::FaultPlan::first_fault_observation()).
+  /// -1 = the whole run was fault-free.
+  std::int64_t clean_prefix_end = -1;
+  /// No watchdog detection / quarantine / rejoin happened (auditors derive
+  /// this from the run result). False disables the placement-model bounds.
+  bool replicas_clean = true;
+  /// The run drained: every injected message must have been delivered, and
+  /// the makespan bound vs the oracle applies.
+  bool expect_drain = false;
+  /// Assert every completion meets its absolute deadline (set by tests
+  /// whose scenario the feasibility conditions declare schedulable).
+  bool expect_timeliness = false;
+  /// EDF-order tolerance; zero = auto (the scheduling horizon c F plus
+  /// alpha plus one class width — the worst legal in-epoch clamping skew).
+  /// Controlled scenarios pass something much tighter (~c).
+  util::Duration edf_tolerance;
+  /// Optional cross-checks (require the recorder to span the whole run).
+  const net::ChannelStats* stats = nullptr;
+  const std::vector<core::DdcrStation::Counters>* per_station = nullptr;
+};
+
+class ConformanceComparator {
+ public:
+  /// Judges a recorded run. Applies clean_prefix_end clipping itself.
+  core::ConformanceReport check(const ConformanceInput& input,
+                                const ConformanceRecorder& recorder) const;
+
+  /// Same, over a hand-built entry stream (negative tests forge violating
+  /// streams this way). `whole_run` tells the comparator the stream covers
+  /// the complete run (enables completeness / stats / counter checks).
+  core::ConformanceReport check_entries(
+      const ConformanceInput& input,
+      const std::vector<ConformanceRecorder::Entry>& entries,
+      bool whole_run) const;
+};
+
+/// Installs the run_ddcr conformance seam (core::set_auditor_factory) so
+/// DdcrRunOptions::conformance_check works. Returns true; call it from a
+/// file-level static so linking a test against hrtdm_check is enough:
+///   static const bool kConformanceInstalled =
+///       hrtdm::check::install_conformance_auditor();
+bool install_conformance_auditor();
+
+}  // namespace hrtdm::check

@@ -1,0 +1,86 @@
+#include "check/edf_oracle.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace hrtdm::check {
+namespace {
+
+/// Heap order: earliest absolute deadline first, uid breaking ties — the
+/// same total order core::EdfQueue imposes station-locally.
+struct EdfLater {
+  bool operator()(const Message& a, const Message& b) const {
+    if (a.absolute_deadline != b.absolute_deadline) {
+      return a.absolute_deadline > b.absolute_deadline;
+    }
+    return a.uid > b.uid;
+  }
+};
+
+}  // namespace
+
+SimTime OracleSchedule::completion_of(std::int64_t uid) const {
+  for (const OracleTx& tx : order) {
+    if (tx.uid == uid) return tx.completed;
+  }
+  HRTDM_EXPECT(false, "oracle schedule has no transmission for uid");
+  return SimTime::zero();
+}
+
+bool OracleSchedule::contains(std::int64_t uid) const {
+  return std::any_of(order.begin(), order.end(),
+                     [uid](const OracleTx& tx) { return tx.uid == uid; });
+}
+
+OracleSchedule EdfOracle::schedule(std::vector<Message> messages) const {
+  phy_.validate();
+  std::sort(messages.begin(), messages.end(),
+            [](const Message& a, const Message& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.uid < b.uid;
+            });
+  for (std::size_t i = 1; i < messages.size(); ++i) {
+    HRTDM_EXPECT(messages[i - 1].uid != messages[i].uid,
+                 "oracle input uids must be unique");
+  }
+
+  OracleSchedule out;
+  out.order.reserve(messages.size());
+  std::priority_queue<Message, std::vector<Message>, EdfLater> pending;
+  std::size_t next = 0;
+  SimTime clock = SimTime::zero();
+  while (next < messages.size() || !pending.empty()) {
+    if (pending.empty()) {
+      // Work-conserving server: jump to the next arrival.
+      clock = std::max(clock, messages[next].arrival);
+    }
+    while (next < messages.size() && messages[next].arrival <= clock) {
+      pending.push(messages[next]);
+      ++next;
+    }
+    const Message msg = pending.top();
+    pending.pop();
+    OracleTx tx;
+    tx.uid = msg.uid;
+    tx.source = msg.source;
+    tx.arrival = msg.arrival;
+    tx.deadline = msg.absolute_deadline;
+    tx.start = clock;
+    // Non-preemptive occupancy: a win of the channel costs at least one
+    // slot even for tiny frames, exactly like a successful contention slot.
+    const Duration service = std::max(phy_.tx_time(msg.l_bits), phy_.slot_x);
+    tx.completed = clock + service;
+    clock = tx.completed;
+    if (tx.completed > tx.deadline) {
+      ++out.misses;
+      out.feasible = false;
+    }
+    out.makespan = std::max(out.makespan, tx.completed);
+    out.order.push_back(tx);
+  }
+  return out;
+}
+
+}  // namespace hrtdm::check

@@ -1,0 +1,74 @@
+// Independent centralized non-preemptive EDF oracle.
+//
+// The paper's central claim is that CSMA/DDCR *emulates distributed
+// non-preemptive EDF*. Everything else in the repo validates the simulator
+// against the paper's analysis; this oracle is the other leg of the
+// differential: a from-scratch, centralized scheduler that consumes the
+// same arrival stream and produces the ideal transmission schedule a
+// clairvoyant single-queue NP-EDF server would realise on the same PHY.
+//
+// It deliberately shares no code with the protocol stack: no slots, no
+// channel, no tree search — just a priority queue over (DM, uid), the exact
+// total order every DdcrStation's local EdfQueue uses. Conformance checks
+// (check/conformance.hpp) compare a recorded CSMA/DDCR run against this
+// schedule: the protocol may only be slower by bounded search overhead,
+// never differently ordered beyond the deadline-class granularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/phy.hpp"
+#include "traffic/message.hpp"
+
+namespace hrtdm::check {
+
+using traffic::Message;
+using util::Duration;
+using util::SimTime;
+
+/// One transmission in the ideal schedule.
+struct OracleTx {
+  std::int64_t uid = -1;
+  int source = -1;
+  SimTime arrival;
+  SimTime deadline;
+  SimTime start;
+  SimTime completed;
+};
+
+struct OracleSchedule {
+  /// Transmissions in start order (equivalently completion order — the
+  /// server is a single non-preemptive channel).
+  std::vector<OracleTx> order;
+  /// True iff every completion is at or before its absolute deadline. When
+  /// the ideal centralized server already misses, no distributed protocol
+  /// can meet the deadline either — a necessary-condition cross-check for
+  /// the feasibility analysis.
+  bool feasible = true;
+  std::int64_t misses = 0;
+  /// Last completion instant (zero for an empty schedule).
+  SimTime makespan;
+
+  /// Completion time of `uid`; contract-fails when absent.
+  SimTime completion_of(std::int64_t uid) const;
+  bool contains(std::int64_t uid) const;
+};
+
+class EdfOracle {
+ public:
+  /// The oracle charges each message the same channel occupancy a
+  /// successful contention slot costs: max(tx_time(l'), slot x).
+  explicit EdfOracle(const net::PhyConfig& phy) : phy_(phy) {}
+
+  /// Ideal non-preemptive EDF schedule over the message instances.
+  /// Work-conserving: the server idles only when nothing has arrived.
+  /// Ties (equal DM) break by uid, matching core::EdfQueue's order.
+  /// Message uids must be unique.
+  OracleSchedule schedule(std::vector<Message> messages) const;
+
+ private:
+  net::PhyConfig phy_;
+};
+
+}  // namespace hrtdm::check

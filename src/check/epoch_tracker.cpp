@@ -1,0 +1,197 @@
+#include "check/epoch_tracker.hpp"
+
+#include "util/check.hpp"
+
+namespace hrtdm::check {
+
+EpochTracker::EpochTracker(const core::DdcrConfig& config)
+    : config_(config),
+      time_engine_(config.m_time, config.F, config.infer_last_child),
+      static_engine_(config.m_static, config.q, config.infer_last_child) {}
+
+void EpochTracker::note_span(SimTime start, SimTime end) {
+  if (tts_open_) {
+    if (!tts_span_started_) {
+      current_tts_.first_slot_start = start;
+      tts_span_started_ = true;
+    }
+    current_tts_.last_slot_end = end;
+  }
+  if (sts_open_) {
+    if (!sts_span_started_) {
+      current_sts_.first_slot_start = start;
+      sts_span_started_ = true;
+    }
+    current_sts_.last_slot_end = end;
+  }
+}
+
+void EpochTracker::start_epoch() {
+  ++epochs_;
+  post_tts_attempt_ = false;
+  consecutive_empty_tts_ = 0;
+  start_tts();
+}
+
+void EpochTracker::start_tts() {
+  saw_transmission_ = false;
+  current_tts_ = TtsRunRecord{};
+  current_tts_.epoch = epochs_;
+  tts_open_ = true;
+  tts_span_started_ = false;
+  time_engine_.begin();  // root probed by the triggering collision
+  mode_ = Mode::kTts;
+}
+
+void EpochTracker::finish_tts() {
+  current_tts_.search_slots = time_engine_.search_slots();
+  tts_runs_.push_back(current_tts_);
+  tts_open_ = false;
+  const bool out = saw_transmission_;
+  if (out) {
+    consecutive_empty_tts_ = 0;
+    mode_ = Mode::kCsmaCd;
+    post_tts_attempt_ = (config_.epoch_mode == core::EpochMode::kPerpetual);
+    return;
+  }
+  ++consecutive_empty_tts_;
+  if (config_.theta_factor > 0.0) {
+    if (config_.epoch_mode == core::EpochMode::kCsmaCdFallback &&
+        config_.max_empty_tts > 0 &&
+        consecutive_empty_tts_ >= config_.max_empty_tts) {
+      consecutive_empty_tts_ = 0;
+      mode_ = Mode::kCsmaCd;
+      return;
+    }
+    start_tts();
+    return;
+  }
+  consecutive_empty_tts_ = 0;
+  mode_ = Mode::kCsmaCd;
+  post_tts_attempt_ = (config_.epoch_mode == core::EpochMode::kPerpetual);
+}
+
+void EpochTracker::finish_sts() {
+  current_sts_.search_slots = static_engine_.search_slots();
+  sts_runs_.push_back(current_sts_);
+  sts_open_ = false;
+  mode_ = Mode::kTts;
+  if (time_engine_.done()) {
+    finish_tts();
+  }
+}
+
+void EpochTracker::on_slot(const net::SlotRecord& record) {
+  HRTDM_EXPECT(!finished_, "tracker already finished");
+  note_span(record.start, record.end);
+  if (record.in_burst) {
+    if (mode_ != Mode::kCsmaCd) {
+      saw_transmission_ =
+          saw_transmission_ || record.kind == net::SlotKind::kSuccess;
+    }
+    return;
+  }
+  switch (mode_) {
+    case Mode::kCsmaCd: {
+      if (record.kind == net::SlotKind::kCollision) {
+        start_epoch();
+        // The epoch's first probe slot is the *next* one.
+        return;
+      }
+      if (post_tts_attempt_) {
+        post_tts_attempt_ = false;
+        start_tts();
+      }
+      return;
+    }
+    case Mode::kTts: {
+      using Feedback = core::TreeSearchEngine::Feedback;
+      using StepResult = core::TreeSearchEngine::StepResult;
+      const auto fb = record.kind == net::SlotKind::kSilence
+                          ? Feedback::kSilence
+                          : record.kind == net::SlotKind::kSuccess
+                                ? Feedback::kSuccess
+                                : Feedback::kCollision;
+      if (record.kind == net::SlotKind::kSuccess) {
+        ++current_tts_.successes;
+        saw_transmission_ = true;
+      }
+      const auto result = time_engine_.feedback(fb);
+      if (result == StepResult::kLeafCollision) {
+        ++current_tts_.leaf_collisions;
+        current_sts_ = StsRunRecord{};
+        current_sts_.epoch = epochs_;
+        sts_open_ = true;
+        sts_span_started_ = false;
+        static_engine_.begin();  // root probed by this very leaf collision
+        mode_ = Mode::kSts;
+        return;
+      }
+      if (time_engine_.done()) {
+        finish_tts();
+      }
+      return;
+    }
+    case Mode::kSts: {
+      using Feedback = core::TreeSearchEngine::Feedback;
+      using StepResult = core::TreeSearchEngine::StepResult;
+      const auto fb = record.kind == net::SlotKind::kSilence
+                          ? Feedback::kSilence
+                          : record.kind == net::SlotKind::kSuccess
+                                ? Feedback::kSuccess
+                                : Feedback::kCollision;
+      if (record.kind == net::SlotKind::kSuccess) {
+        ++current_sts_.successes;
+        saw_transmission_ = true;
+      }
+      const auto probed = static_engine_.current();
+      const auto result = static_engine_.feedback(fb);
+      if (result == StepResult::kLeafCollision) {
+        // Static indices are unique per source: a lone leaf collision can
+        // only be a transmission destroyed by noise. Retry the leaf, as
+        // DdcrStation does.
+        ++current_sts_.leaf_retries;
+        static_engine_.requeue(probed);
+        return;
+      }
+      if (static_engine_.done()) {
+        finish_sts();
+      }
+      return;
+    }
+  }
+}
+
+void EpochTracker::finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  if (tts_open_ || sts_open_) {
+    truncated_mid_search_ = true;
+    tts_open_ = false;
+    sts_open_ = false;
+    time_engine_.abort();
+    static_engine_.abort();
+  }
+}
+
+std::int64_t EpochTracker::total_tts_search_slots() const {
+  std::int64_t total = 0;
+  for (const TtsRunRecord& run : tts_runs_) total += run.search_slots;
+  return total;
+}
+
+std::int64_t EpochTracker::total_sts_search_slots() const {
+  std::int64_t total = 0;
+  for (const StsRunRecord& run : sts_runs_) total += run.search_slots;
+  return total;
+}
+
+std::int64_t EpochTracker::total_leaf_collisions() const {
+  std::int64_t total = 0;
+  for (const TtsRunRecord& run : tts_runs_) total += run.leaf_collisions;
+  return total;
+}
+
+}  // namespace hrtdm::check

@@ -1,0 +1,112 @@
+// Independent epoch/mode replica driven by ground-truth slot records.
+//
+// Every DdcrStation runs the CSMA/DDCR mode machine off the observations it
+// hears. The tracker re-runs that machine a second time — from the channel's
+// own SlotRecord stream, with no queues, no reference time and no station
+// state — and extracts, per time tree search, the quantities the paper's
+// analysis bounds: search slots consumed, resolution events (successes and
+// leaf collisions) and the nested static searches. check::BoundChecker then
+// holds those observations against the exact xi table and the P2 multi-tree
+// bound; a disagreement between the tracker's totals and the stations' own
+// counters is itself a conformance violation (epoch accounting drift).
+//
+// The tracker assumes fault-free destructive-mode operation: no
+// SlotInterceptor, no corruption, no station crashes. Callers gate on that
+// (check::ConformanceComparator does) — under faults the replicas may
+// legitimately diverge from any channel-side reconstruction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ddcr_config.hpp"
+#include "core/tree_search.hpp"
+#include "net/channel.hpp"
+
+namespace hrtdm::check {
+
+using util::SimTime;
+
+/// One completed time tree search (begin() to done()).
+struct TtsRunRecord {
+  std::int64_t epoch = 0;         ///< 1-based epoch the run belongs to
+  std::int64_t search_slots = 0;  ///< engine count: silences + collisions
+  std::int64_t successes = 0;     ///< time-level resolutions (non-burst)
+  std::int64_t leaf_collisions = 0;  ///< ties handed to the static search
+  SimTime first_slot_start;       ///< start of the first probe slot
+  SimTime last_slot_end;          ///< end of the last slot (incl. nested STs)
+  /// Resolution events at time-tree level — the k of xi(k, t). Within one
+  /// run every resolution lands on a distinct leaf (the DFS frontier is
+  /// strictly monotone), so k_effective <= F structurally.
+  std::int64_t k_effective() const { return successes + leaf_collisions; }
+};
+
+/// One completed static tree tie-break (nested inside a time tree search).
+struct StsRunRecord {
+  std::int64_t epoch = 0;
+  std::int64_t search_slots = 0;  ///< engine count: silences + collisions
+  std::int64_t successes = 0;     ///< s distinct static indices resolved
+  std::int64_t leaf_retries = 0;  ///< lone-leaf collisions (noise only)
+  SimTime first_slot_start;
+  SimTime last_slot_end;
+};
+
+class EpochTracker {
+ public:
+  explicit EpochTracker(const core::DdcrConfig& config);
+
+  /// Feeds one ground-truth slot. Records must arrive in channel order.
+  /// Burst continuations advance no search state (the channel was never
+  /// relinquished), exactly as in DdcrStation::observe.
+  void on_slot(const net::SlotRecord& record);
+
+  /// Marks the end of the recorded stream. A search still in progress
+  /// (truncated recording, e.g. a faulted suffix was cut off) is discarded
+  /// rather than recorded as complete.
+  void finish();
+
+  std::int64_t epochs() const { return epochs_; }
+  const std::vector<TtsRunRecord>& tts_runs() const { return tts_runs_; }
+  const std::vector<StsRunRecord>& sts_runs() const { return sts_runs_; }
+  /// True when finish() cut off a search in progress.
+  bool truncated_mid_search() const { return truncated_mid_search_; }
+
+  /// Totals over *completed* runs, for cross-checking the stations' own
+  /// search_slots_time / search_slots_static counters.
+  std::int64_t total_tts_search_slots() const;
+  std::int64_t total_sts_search_slots() const;
+  std::int64_t total_leaf_collisions() const;
+
+ private:
+  enum class Mode { kCsmaCd, kTts, kSts };
+
+  void start_epoch();
+  void start_tts();
+  void finish_tts();
+  void finish_sts();
+  void note_span(SimTime start, SimTime end);
+
+  core::DdcrConfig config_;
+  core::TreeSearchEngine time_engine_;
+  core::TreeSearchEngine static_engine_;
+  Mode mode_ = Mode::kCsmaCd;
+  bool finished_ = false;
+  bool truncated_mid_search_ = false;
+
+  std::int64_t epochs_ = 0;
+  bool saw_transmission_ = false;   ///< the paper's `out` for the current TTs
+  bool post_tts_attempt_ = false;   ///< perpetual mode: à-la-CSMA-CD slot
+  int consecutive_empty_tts_ = 0;
+
+  TtsRunRecord current_tts_;
+  bool tts_open_ = false;
+  bool tts_span_started_ = false;
+  StsRunRecord current_sts_;
+  bool sts_open_ = false;
+  bool sts_span_started_ = false;
+
+  std::vector<TtsRunRecord> tts_runs_;
+  std::vector<StsRunRecord> sts_runs_;
+};
+
+}  // namespace hrtdm::check

@@ -1,0 +1,85 @@
+// Deterministic shrinking replay harness.
+//
+// When a conformance check fails, the offending run is usually buried in a
+// large generated workload. A ReplayCase captures everything needed to
+// reproduce one run from explicit message instances (no arrival generator,
+// no seed sensitivity); the Shrinker then minimises a failing case with a
+// ddmin-style search — dropping message chunks, renumbering away unused
+// sources, normalising arrival offsets and halving deadline slack — while
+// re-running the case after every candidate reduction to confirm it still
+// fails. The minimal case serialises into the line-oriented text format the
+// repo already uses for workloads (traffic/serialize.hpp) and is pinned
+// under tests/repro/ as a regression, auto-loaded by test_repro_cases.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/ddcr_network.hpp"
+#include "net/channel.hpp"
+#include "net/phy.hpp"
+#include "traffic/message.hpp"
+
+namespace hrtdm::check {
+
+/// A self-contained, deterministic run: explicit message instances instead
+/// of a generated arrival stream. static_indices stays empty (one spread
+/// index per source is allocated automatically) and corruption_prob stays 0
+/// — repro cases are exact by construction.
+struct ReplayCase {
+  std::string name = "repro";
+  int stations = 1;
+  net::PhyConfig phy;
+  net::CollisionMode collision_mode = net::CollisionMode::kDestructive;
+  core::DdcrConfig ddcr;
+  /// Assert every completion meets its deadline when replaying.
+  bool expect_timeliness = false;
+  /// EDF-order tolerance; zero = the comparator's auto default.
+  util::Duration edf_tolerance;
+  std::vector<traffic::Message> messages;
+
+  /// Contract-fails on out-of-range sources, duplicate uids, populated
+  /// static_indices or nonzero corruption_prob.
+  void validate() const;
+};
+
+/// Replays the case on a fresh testbed under the full differential
+/// conformance check and returns the report.
+core::ConformanceReport replay_case(const ReplayCase& c);
+
+/// Line-oriented text rendering; parse_case() round-trips it exactly.
+std::string serialize_case(const ReplayCase& c);
+ReplayCase parse_case(const std::string& text);
+
+/// File convenience wrappers (contract-fail on I/O errors).
+ReplayCase load_case_file(const std::string& path);
+void save_case_file(const ReplayCase& c, const std::string& path);
+
+struct ShrinkResult {
+  ReplayCase minimal;
+  int evals = 0;     ///< property evaluations spent
+  int accepted = 0;  ///< reductions that kept the case failing
+};
+
+class Shrinker {
+ public:
+  /// Returns true when the case still exhibits the failure being chased.
+  using Property = std::function<bool(const ReplayCase&)>;
+
+  explicit Shrinker(Property property);
+
+  /// Minimises `start` (which must satisfy the property). Deterministic:
+  /// the same input and property always shrink to the same case. At most
+  /// `max_evals` property evaluations are spent.
+  ShrinkResult shrink(ReplayCase start, int max_evals = 400) const;
+
+  /// The default property: the differential conformance check reports a
+  /// violation.
+  static Property conformance_fails();
+
+ private:
+  Property property_;
+};
+
+}  // namespace hrtdm::check

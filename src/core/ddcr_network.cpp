@@ -1,11 +1,40 @@
 #include "core/ddcr_network.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "obs/channel_tracer.hpp"
 #include "util/check.hpp"
 
 namespace hrtdm::core {
+
+namespace {
+AuditorFactory g_auditor_factory = nullptr;
+}  // namespace
+
+void set_auditor_factory(AuditorFactory factory) {
+  g_auditor_factory = factory;
+}
+
+AuditorFactory auditor_factory() { return g_auditor_factory; }
+
+std::string ConformanceReport::summary() const {
+  if (!checked) {
+    return "conformance: not checked";
+  }
+  std::ostringstream os;
+  if (ok) {
+    os << "conformance OK: " << slots_checked << " slots, " << epochs
+       << " epochs, " << tts_bound_checked << " TTs + " << sts_bound_checked
+       << " STs runs vs xi, " << p2_windows_checked << " P2 windows, "
+       << edf_pairs_checked << " EDF comparisons";
+    return os.str();
+  }
+  os << "conformance FAILED (" << violations.size()
+     << " violation(s)); first: "
+     << (violations.empty() ? "?" : violations.front());
+  return os.str();
+}
 
 obs::EventTracer* effective_tracer(const DdcrRunOptions& options) {
   if (options.tracer != nullptr) {
@@ -207,6 +236,14 @@ DdcrRunResult run_ddcr(const traffic::Workload& workload,
   if (resolved.check_consistency) {
     channel.add_observer(checker);
   }
+  std::unique_ptr<RunAuditor> auditor;
+  if (resolved.conformance_check) {
+    HRTDM_EXPECT(g_auditor_factory != nullptr,
+                 "conformance_check requires the differential checker: link "
+                 "hrtdm_check and call check::install_conformance_auditor()");
+    auditor = g_auditor_factory(workload, resolved);
+    channel.add_observer(auditor->observer());
+  }
 
   const auto traffic = traffic::generate_traffic(
       workload, resolved.arrivals, resolved.arrival_horizon, resolved.seed);
@@ -253,6 +290,9 @@ DdcrRunResult run_ddcr(const traffic::Workload& workload,
   result.utilization = channel.utilization();
   result.channel_snapshot = channel.snapshot();
   result.consistency_ok = !resolved.check_consistency || checker.ok();
+  if (auditor != nullptr) {
+    auditor->finish(result);
+  }
   return result;
 }
 

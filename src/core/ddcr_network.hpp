@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/ddcr_config.hpp"
@@ -50,6 +51,36 @@ struct DdcrRunOptions {
   /// Perfetto process id for this run's channel track (multi-channel runs
   /// assign each channel its own id so tracks do not collide).
   int trace_channel = 0;
+  /// Opt-in differential conformance checking (src/check): a ground-truth
+  /// slot recorder is attached to the channel and, after the run, the
+  /// recorded stream is replayed against an independent centralized NP-EDF
+  /// oracle, the exact xi(k, t) / P2 search-cost bounds and an epoch
+  /// accounting replica. Results land in DdcrRunResult::conformance; the
+  /// checker is observation-only (protocol digests are unchanged).
+  /// Requires hrtdm_check to be linked and
+  /// check::install_conformance_auditor() to have been called — the run
+  /// fails with an actionable contract violation otherwise.
+  bool conformance_check = false;
+};
+
+/// Outcome of the opt-in differential conformance check (src/check).
+struct ConformanceReport {
+  bool checked = false;  ///< a checker actually ran
+  bool ok = true;        ///< no violations found (vacuously true unchecked)
+  std::vector<std::string> violations;
+  std::int64_t slots_checked = 0;
+  std::int64_t epochs = 0;             ///< epochs the tracker replayed
+  std::int64_t tts_bound_checked = 0;  ///< time tree runs held against xi
+  std::int64_t sts_bound_checked = 0;  ///< static tree runs held against xi
+  std::int64_t p2_windows_checked = 0; ///< multi-tree windows vs Eq. 16-19
+  std::int64_t edf_pairs_checked = 0;  ///< deliveries swept for EDF order
+  std::int64_t observed_misses = 0;
+  std::int64_t oracle_misses = 0;      ///< ideal centralized NP-EDF misses
+  bool oracle_feasible = false;
+  double oracle_makespan_s = 0.0;
+  double observed_makespan_s = 0.0;
+  /// One-line human rendering ("conformance OK: ..." / first violation).
+  std::string summary() const;
 };
 
 struct DdcrRunResult {
@@ -72,7 +103,34 @@ struct DdcrRunResult {
   /// End-of-run introspection snapshots (docs/OBSERVABILITY.md).
   std::vector<StationSnapshot> snapshots;
   net::ChannelSnapshot channel_snapshot;
+  /// Filled when DdcrRunOptions::conformance_check was set.
+  ConformanceReport conformance;
 };
+
+/// Seam through which run_ddcr reaches the differential conformance
+/// checker. The core library cannot link src/check (check sits above core),
+/// so the checker installs a factory at static-init / first-use time via
+/// check::install_conformance_auditor(); run_ddcr instantiates one auditor
+/// per conformance-checked run.
+class RunAuditor {
+ public:
+  virtual ~RunAuditor() = default;
+  /// The observer that records the run's ground-truth slot stream; attached
+  /// to the channel before start().
+  virtual net::ChannelObserver& observer() = 0;
+  /// Called once, after the run completed and `result` was fully populated
+  /// (metrics, channel stats, per-station counters); fills
+  /// result.conformance.
+  virtual void finish(DdcrRunResult& result) = 0;
+};
+
+using AuditorFactory = std::unique_ptr<RunAuditor> (*)(
+    const traffic::Workload& workload, const DdcrRunOptions& resolved);
+
+/// Installs the factory conformance-checked runs construct auditors with.
+/// Passing nullptr uninstalls it.
+void set_auditor_factory(AuditorFactory factory);
+AuditorFactory auditor_factory();
 
 /// Runs the workload through a CSMA/DDCR network and returns the metrics.
 DdcrRunResult run_ddcr(const traffic::Workload& workload,

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/conformance.hpp"
 #include "core/metrics.hpp"
 #include "obs/registry.hpp"
 #include "traffic/message.hpp"
@@ -117,6 +118,11 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   channel.add_observer(metrics);
   channel.add_observer(safety);
   channel.add_observer(probe);
+  check::ConformanceRecorder recorder;
+  std::vector<traffic::Message> injected;
+  if (options.conformance_check) {
+    channel.add_observer(recorder);
+  }
 
   // Phase 1 traffic: shared arrival instants force z-way collisions, and a
   // shared relative deadline forces same-class ties, so every burst
@@ -135,6 +141,9 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       DdcrStation* station = stations[static_cast<std::size_t>(s)].get();
       simulator.schedule_at(
           arrival, [station, msg] { station->enqueue(msg); }, "arrival");
+      if (options.conformance_check) {
+        injected.push_back(msg);
+      }
       ++generated;
     }
   }
@@ -198,6 +207,9 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       DdcrStation* station = stations[static_cast<std::size_t>(s)].get();
       simulator.schedule_at(
           burst_at, [station, msg] { station->enqueue(msg); }, "arrival");
+      if (options.conformance_check) {
+        injected.push_back(msg);
+      }
       ++generated;
     }
     // Always step at least once: the burst arrivals lie in the future, so
@@ -230,6 +242,22 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   result.generated = generated;
   result.delivered = static_cast<std::int64_t>(metrics.log().size());
   result.misses = metrics.summarize().misses;
+  if (options.conformance_check) {
+    // Full differential checking is only sound while no fault directive has
+    // acted: clip the recorded stream at the first fault. The prefix saw no
+    // noise, no crashes and no receive lies, so the placement-model bounds
+    // and the EDF sweep apply without exemption.
+    check::ConformanceInput input;
+    input.messages = injected;
+    input.phy = options.phy;
+    input.collision_mode = net::CollisionMode::kDestructive;
+    input.ddcr = config;
+    input.protocol_is_ddcr = true;
+    input.clean_prefix_end = plan.first_fault_observation();
+    input.replicas_clean = true;
+    result.conformance =
+        check::ConformanceComparator{}.check(input, recorder);
+  }
   HRTDM_COUNT("fault.campaigns");
   if (result.passed()) {
     HRTDM_COUNT("fault.campaigns_passed");

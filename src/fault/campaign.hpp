@@ -92,6 +92,13 @@ struct CampaignOptions {
   int max_recovery_rounds = 8;
   std::int64_t recovery_slots_cap = 400'000;
 
+  /// Run the differential conformance check (src/check) over the clean
+  /// prefix of the campaign — the observations strictly before the first
+  /// injected fault, where the placement-model bounds and the EDF oracle
+  /// comparison are sound. The faulted suffix remains covered by the
+  /// campaign's own safety / reconvergence invariants.
+  bool conformance_check = false;
+
   CampaignOptions();
 };
 
@@ -112,8 +119,14 @@ struct CampaignResult {
   std::int64_t generated = 0;
   std::int64_t delivered = 0;
   std::int64_t misses = 0;
+  /// Filled when CampaignOptions::conformance_check was set (the clean
+  /// pre-fault prefix only).
+  core::ConformanceReport conformance;
 
-  bool passed() const { return safety_ok && drained && reconverged; }
+  bool passed() const {
+    return safety_ok && drained && reconverged &&
+           (!conformance.checked || conformance.ok);
+  }
 };
 
 /// Runs one seeded campaign to completion. Deterministic per options.

@@ -21,6 +21,23 @@ std::int64_t FaultPlan::last_fault_observation() const {
   return last;
 }
 
+std::int64_t FaultPlan::first_fault_observation() const {
+  if (empty()) {
+    return -1;
+  }
+  std::int64_t first = INT64_MAX;
+  for (const CrashFault& c : crashes) {
+    first = std::min(first, c.at_observation);
+  }
+  for (const SymmetricNoiseFault& s : symmetric) {
+    first = std::min(first, s.from_observation);
+  }
+  for (const AsymmetricFault& a : asymmetric) {
+    first = std::min(first, a.from_observation);
+  }
+  return first;
+}
+
 void FaultPlan::validate(int station_count) const {
   for (const CrashFault& c : crashes) {
     HRTDM_EXPECT(c.at_observation >= 0, "crash observation must be >= 0");

@@ -70,6 +70,11 @@ struct FaultPlan {
   /// empty plan). Harnesses measure reconvergence from here.
   std::int64_t last_fault_observation() const;
 
+  /// First observation index at which any directive can act (-1 for an
+  /// empty plan). Observations strictly before it form the clean prefix on
+  /// which the full differential conformance check is sound.
+  std::int64_t first_fault_observation() const;
+
   /// Station ids in range, windows well-formed, probabilities in [0, 1].
   void validate(int station_count) const;
 

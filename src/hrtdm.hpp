@@ -62,6 +62,13 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 
+// Differential conformance: EDF oracle, comparator, bound checks,
+// shrinking replay harness (docs/TESTING.md).
+#include "check/bound_checker.hpp"
+#include "check/conformance.hpp"
+#include "check/edf_oracle.hpp"
+#include "check/shrinker.hpp"
+
 // Comparison baselines.
 #include "baseline/beb_station.hpp"
 #include "baseline/dcr_station.hpp"

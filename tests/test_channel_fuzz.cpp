@@ -4,12 +4,16 @@
 //   - every station receives the identical observation sequence,
 //   - slot accounting is conserved (silence + collision + success = slots),
 //   - at most one frame is ever delivered per slot (safety),
-//   - arbitration always delivers the minimal contending key.
+//   - arbitration always delivers the minimal contending key,
+//   - the recorded slot stream passes the differential conformance
+//     comparator's protocol-agnostic checks (grid, mutual exclusion,
+//     durations, exactly-once delivery, stats cross-check).
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
+#include "check/conformance.hpp"
 #include "net/channel.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -30,7 +34,6 @@ class ChaosStation final : public Station {
   int id() const override { return id_; }
 
   std::optional<Frame> poll_intent(SimTime now) override {
-    (void)now;
     if (!rng_.bernoulli(p_)) {
       return std::nullopt;
     }
@@ -40,6 +43,8 @@ class ChaosStation final : public Station {
     frame.class_id = id_;
     frame.l_bits = 100 + rng_.uniform_i64(0, 9) * 50;
     frame.arb_key = rng_.uniform_i64(0, 999);
+    frame.enqueue_time = now;
+    frame.absolute_deadline = now + Duration::milliseconds(100);
     last_offered_key_ = frame.arb_key;
     offered_ = true;
     return frame;
@@ -47,7 +52,6 @@ class ChaosStation final : public Station {
 
   std::optional<Frame> poll_burst(SimTime now,
                                   std::int64_t budget_bits) override {
-    (void)now;
     if (!rng_.bernoulli(0.5) || budget_bits < 100) {
       return std::nullopt;
     }
@@ -56,6 +60,8 @@ class ChaosStation final : public Station {
     frame.msg_uid = next_uid_++ * 100 + id_;
     frame.class_id = id_;
     frame.l_bits = 100;
+    frame.enqueue_time = now;
+    frame.absolute_deadline = now + Duration::milliseconds(100);
     return frame;
   }
 
@@ -99,6 +105,8 @@ TEST_P(ChannelFuzz, BroadcastContractHolds) {
   phy.burst_budget_bits = p.burst_bits;
   phy.corruption_prob = p.corruption;
   BroadcastChannel channel(sim, phy, p.mode, /*noise_seed=*/99);
+  check::ConformanceRecorder recorder;
+  channel.add_observer(recorder);
 
   std::vector<std::unique_ptr<ChaosStation>> stations;
   for (int i = 0; i < 5; ++i) {
@@ -151,6 +159,37 @@ TEST_P(ChannelFuzz, BroadcastContractHolds) {
   if (p.mode == CollisionMode::kArbitration && p.corruption == 0.0) {
     EXPECT_EQ(stats.collision_slots, 0);
   }
+
+  // 5. The differential comparator judges the recorded ground truth.
+  // ChaosStations invent frames on the fly, so the message set is
+  // synthesized from the delivered frames themselves: frame integrity
+  // becomes tautological, but the slot grid, mutual exclusion, exact slot
+  // durations, exactly-once delivery and the stats cross-check stay real.
+  check::ConformanceInput input;
+  input.phy = phy;
+  input.collision_mode = p.mode;
+  input.protocol_is_ddcr = false;  // chaos stations promise no EDF order
+  input.stats = &stats;
+  for (const auto& entry : recorder.entries()) {
+    const auto& rec = entry.record;
+    if (rec.kind != SlotKind::kSuccess || !rec.frame.has_value()) {
+      continue;
+    }
+    traffic::Message msg;
+    msg.uid = rec.frame->msg_uid;
+    msg.class_id = rec.frame->class_id;
+    msg.source = rec.frame->source;
+    msg.l_bits = rec.frame->l_bits;
+    msg.arrival = rec.frame->enqueue_time;
+    msg.absolute_deadline = rec.frame->absolute_deadline;
+    input.messages.push_back(msg);
+  }
+  EXPECT_FALSE(input.messages.empty());
+  const auto report =
+      check::ConformanceComparator{}.check(input, recorder);
+  ASSERT_TRUE(report.checked);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_GT(report.slots_checked, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,445 @@
+// Differential conformance checker tests.
+//
+// The negative half forges violating slot streams — one per checker class
+// (mutual exclusion, slot grid, frame integrity, causality, double
+// delivery, completeness, timeliness, EDF order, channel accounting) — and
+// asserts the comparator fires on each: a checker that cannot flag a
+// planted violation proves nothing when it stays green on real runs. The
+// positive half runs the real protocol and the four baseline MACs under
+// the recorder and asserts the full differential passes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/runner.hpp"
+#include "check/conformance.hpp"
+#include "core/ddcr_network.hpp"
+#include "net/channel.hpp"
+#include "traffic/workload.hpp"
+
+namespace hrtdm::check {
+namespace {
+
+using traffic::Message;
+using util::Duration;
+using util::SimTime;
+
+// Installs the run_ddcr auditor seam for the end-to-end tests below.
+const bool kConformanceInstalled = install_conformance_auditor();
+
+net::PhyConfig tiny_phy() {
+  net::PhyConfig phy;
+  phy.slot_x = Duration::nanoseconds(100);
+  phy.psi_bps = 1e9;
+  phy.overhead_bits = 0;
+  return phy;
+}
+
+core::DdcrConfig tiny_ddcr() {
+  core::DdcrConfig config;
+  config.m_time = 2;
+  config.F = 16;
+  config.m_static = 2;
+  config.q = 4;
+  config.class_width_c = Duration::microseconds(2);
+  config.alpha = Duration::nanoseconds(0);
+  return config;
+}
+
+Message make_msg(std::int64_t uid, int source, std::int64_t arrival_ns,
+                 std::int64_t deadline_ns, std::int64_t l_bits = 100) {
+  Message msg;
+  msg.uid = uid;
+  msg.source = source;
+  msg.class_id = source;
+  msg.l_bits = l_bits;
+  msg.arrival = SimTime::from_ns(arrival_ns);
+  msg.absolute_deadline = SimTime::from_ns(deadline_ns);
+  return msg;
+}
+
+net::Frame frame_of(const Message& msg) {
+  net::Frame frame;
+  frame.source = msg.source;
+  frame.msg_uid = msg.uid;
+  frame.class_id = msg.class_id;
+  frame.l_bits = msg.l_bits;
+  frame.enqueue_time = msg.arrival;
+  frame.absolute_deadline = msg.absolute_deadline;
+  return frame;
+}
+
+using Entry = ConformanceRecorder::Entry;
+
+Entry silence(std::int64_t start_ns, std::int64_t width_ns = 100) {
+  Entry entry;
+  entry.record.kind = net::SlotKind::kSilence;
+  entry.record.contenders = 0;
+  entry.record.start = SimTime::from_ns(start_ns);
+  entry.record.end = SimTime::from_ns(start_ns + width_ns);
+  return entry;
+}
+
+Entry collision(std::int64_t start_ns, int contenders) {
+  Entry entry;
+  entry.record.kind = net::SlotKind::kCollision;
+  entry.record.contenders = contenders;
+  entry.record.start = SimTime::from_ns(start_ns);
+  entry.record.end = SimTime::from_ns(start_ns + 100);
+  return entry;
+}
+
+Entry success(const Message& msg, std::int64_t start_ns, int contenders = 1) {
+  Entry entry;
+  entry.record.kind = net::SlotKind::kSuccess;
+  entry.record.contenders = contenders;
+  entry.record.start = SimTime::from_ns(start_ns);
+  entry.record.end = SimTime::from_ns(start_ns + 100);  // l = 100 bits
+  entry.record.frame = frame_of(msg);
+  return entry;
+}
+
+ConformanceInput base_input(std::vector<Message> messages) {
+  ConformanceInput input;
+  input.messages = std::move(messages);
+  input.phy = tiny_phy();
+  input.ddcr = tiny_ddcr();
+  return input;
+}
+
+bool mentions(const core::ConformanceReport& report,
+              const std::string& needle) {
+  for (const std::string& violation : report.violations) {
+    if (violation.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- negative tests: every checker class must fire on a planted stream ----
+
+TEST(ConformanceNegative, MutualExclusionViolationFires) {
+  const Message msg = make_msg(0, 0, 0, 100'000);
+  auto entry = success(msg, 0, /*contenders=*/2);
+  const auto report = ConformanceComparator{}.check_entries(
+      base_input({msg}), {entry}, /*whole_run=*/true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "mutual exclusion")) << report.summary();
+}
+
+TEST(ConformanceNegative, MutualExclusionFiresForBaselinesToo) {
+  // The safety property is protocol-independent: protocol_is_ddcr = false
+  // must not disable it.
+  const Message msg = make_msg(0, 0, 0, 100'000);
+  auto input = base_input({msg});
+  input.protocol_is_ddcr = false;
+  const auto report = ConformanceComparator{}.check_entries(
+      input, {success(msg, 0, 3)}, /*whole_run=*/true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "mutual exclusion"));
+}
+
+TEST(ConformanceNegative, OverlappingSlotsFire) {
+  const Message msg = make_msg(0, 0, 0, 100'000);
+  const auto report = ConformanceComparator{}.check_entries(
+      base_input({msg}), {silence(0), silence(50)}, /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "slots overlap"));
+}
+
+TEST(ConformanceNegative, SilenceWithTransmittersFires) {
+  auto entry = silence(0);
+  entry.record.contenders = 1;
+  const auto report = ConformanceComparator{}.check_entries(
+      base_input({}), {entry}, /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "silence with transmitters"));
+}
+
+TEST(ConformanceNegative, LoneTransmitterCollisionFires) {
+  // In noise-free destructive mode a collision proves >= 2 transmitters.
+  const auto report = ConformanceComparator{}.check_entries(
+      base_input({}), {collision(0, 1)}, /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "fewer than 2 transmitters"));
+}
+
+TEST(ConformanceNegative, WrongSlotDurationFires) {
+  const auto report = ConformanceComparator{}.check_entries(
+      base_input({}), {silence(0, /*width_ns=*/150)}, /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "duration != x"));
+}
+
+TEST(ConformanceNegative, PhantomFrameFires) {
+  // A delivered frame whose uid was never injected.
+  const Message ghost = make_msg(999, 0, 0, 100'000);
+  const auto report = ConformanceComparator{}.check_entries(
+      base_input({}), {success(ghost, 0)}, /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "never injected"));
+}
+
+TEST(ConformanceNegative, FrameMetadataMismatchFires) {
+  const Message msg = make_msg(0, 0, 0, 100'000);
+  auto entry = success(msg, 0);
+  entry.record.frame->absolute_deadline = SimTime::from_ns(999'999);
+  const auto report = ConformanceComparator{}.check_entries(
+      base_input({msg}), {entry}, /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "does not match the injected message"));
+}
+
+TEST(ConformanceNegative, DeliveryBeforeArrivalFires) {
+  const Message msg = make_msg(0, 0, 5'000, 100'000);
+  const auto report = ConformanceComparator{}.check_entries(
+      base_input({msg}), {success(msg, 0)}, /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "before it arrived"));
+}
+
+TEST(ConformanceNegative, DoubleDeliveryFires) {
+  const Message msg = make_msg(0, 0, 0, 100'000);
+  const auto report = ConformanceComparator{}.check_entries(
+      base_input({msg}), {success(msg, 0), success(msg, 200)},
+      /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "delivered twice"));
+}
+
+TEST(ConformanceNegative, MissingDeliveryFiresWhenDrainExpected) {
+  const Message delivered = make_msg(0, 0, 0, 100'000);
+  const Message lost = make_msg(1, 1, 0, 100'000);
+  auto input = base_input({delivered, lost});
+  input.expect_drain = true;
+  const auto report = ConformanceComparator{}.check_entries(
+      input, {success(delivered, 0)}, /*whole_run=*/true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "never delivered"));
+}
+
+TEST(ConformanceNegative, DeadlineMissFiresWhenTimelinessExpected) {
+  const Message msg = make_msg(0, 0, 0, 10'000);
+  auto input = base_input({msg});
+  input.expect_timeliness = true;
+  const auto report = ConformanceComparator{}.check_entries(
+      input, {success(msg, 20'000)}, /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "deadline missed"));
+  EXPECT_EQ(report.observed_misses, 1);
+}
+
+TEST(ConformanceNegative, MissWithoutTimelinessExpectationOnlyCounts) {
+  const Message msg = make_msg(0, 0, 0, 10'000);
+  const auto report = ConformanceComparator{}.check_entries(
+      base_input({msg}), {success(msg, 20'000)}, /*whole_run=*/false);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.observed_misses, 1);
+}
+
+TEST(ConformanceNegative, InfeasibleScenarioCannotClaimTimeliness) {
+  // 1000-bit frame with a 10 ns deadline: even the clairvoyant centralized
+  // server misses, so declaring the scenario timely is itself the bug.
+  const Message msg = make_msg(0, 0, 0, 10, 1000);
+  auto input = base_input({msg});
+  input.expect_timeliness = true;
+  const auto report = ConformanceComparator{}.check_entries(
+      input, {}, /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "already misses"));
+  EXPECT_FALSE(report.oracle_feasible);
+}
+
+TEST(ConformanceNegative, EdfOrderViolationFires) {
+  const Message urgent = make_msg(0, 0, 0, 5'000);
+  const Message lazy = make_msg(1, 1, 0, 50'000);
+  auto input = base_input({urgent, lazy});
+  input.edf_tolerance = Duration::microseconds(1);
+  // The lazy message transmits at 1 us while the urgent one (deadline 45 us
+  // earlier) has been waiting since t = 0.
+  const auto report = ConformanceComparator{}.check_entries(
+      input, {success(lazy, 1'000), success(urgent, 1'200)},
+      /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "EDF order violated"));
+  EXPECT_GE(report.edf_pairs_checked, 1);
+}
+
+TEST(ConformanceNegative, ChannelAccountingDriftFires) {
+  const Message msg = make_msg(0, 0, 0, 100'000);
+  net::ChannelStats stats;
+  stats.successes = 5;  // recorded stream has exactly 1
+  stats.silence_slots = 0;
+  stats.collision_slots = 0;
+  auto input = base_input({msg});
+  input.stats = &stats;
+  const auto report = ConformanceComparator{}.check_entries(
+      input, {success(msg, 0)}, /*whole_run=*/true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "channel accounting drift"));
+}
+
+TEST(ConformanceNegative, ViolationListIsCapped) {
+  // 60 planted overlaps must not produce 60 strings — the tail collapses
+  // into one summary line.
+  std::vector<Entry> entries;
+  for (int i = 0; i < 60; ++i) {
+    auto entry = silence(0);
+    entry.record.contenders = 1;
+    entries.push_back(entry);
+  }
+  const auto report = ConformanceComparator{}.check_entries(
+      base_input({}), entries, /*whole_run=*/false);
+  EXPECT_FALSE(report.ok);
+  EXPECT_LE(report.violations.size(), 41u);
+  EXPECT_TRUE(mentions(report, "further violation(s)"));
+}
+
+// --- positive: forged clean streams and exemptions ------------------------
+
+TEST(ConformancePositive, CleanForgedStreamPasses) {
+  const Message a = make_msg(0, 0, 0, 100'000);
+  const Message b = make_msg(1, 1, 0, 110'000);
+  auto input = base_input({a, b});
+  input.expect_drain = true;
+  const auto report = ConformanceComparator{}.check_entries(
+      input, {silence(0), success(a, 100), success(b, 200), silence(300)},
+      /*whole_run=*/true);
+  EXPECT_TRUE(report.checked);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.slots_checked, 4);
+  EXPECT_EQ(report.observed_misses, 0);
+  EXPECT_TRUE(report.oracle_feasible);
+}
+
+TEST(ConformancePositive, BurstAndArbitrationWinsAreExemptFromExclusion) {
+  const Message a = make_msg(0, 0, 0, 100'000);
+  const Message b = make_msg(1, 1, 0, 110'000);
+  auto arb = success(a, 0, /*contenders=*/2);
+  arb.record.arbitration = true;
+  arb.record.end = arb.record.start + Duration::nanoseconds(200);  // x + tx
+  auto burst = success(b, 200, /*contenders=*/2);
+  burst.record.in_burst = true;
+  burst.record.end = burst.record.start + Duration::nanoseconds(100);  // tx
+  auto input = base_input({a, b});
+  input.collision_mode = net::CollisionMode::kArbitration;
+  const auto report = ConformanceComparator{}.check_entries(
+      input, {arb, burst}, /*whole_run=*/false);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(ConformanceRecorderTest, GapEntriesSpanTheWholeGap) {
+  ConformanceRecorder recorder;
+  recorder.on_slot(silence(0).record);
+  recorder.on_idle_gap(10, SimTime::from_ns(100), Duration::nanoseconds(100));
+  recorder.on_slot(silence(1'100).record);
+  EXPECT_EQ(recorder.observations(), 12);
+  ASSERT_EQ(recorder.entries().size(), 3u);
+  const auto& gap = recorder.entries()[1];
+  EXPECT_EQ(gap.gap_slots, 10);
+  EXPECT_EQ(gap.record.start, SimTime::from_ns(100));
+  EXPECT_EQ(gap.record.end, SimTime::from_ns(1'100));
+  EXPECT_EQ(gap.obs_index, 1);
+}
+
+TEST(ConformanceRecorderTest, CleanPrefixClipsStraddlingGaps) {
+  ConformanceRecorder recorder;
+  recorder.on_slot(silence(0).record);
+  recorder.on_idle_gap(10, SimTime::from_ns(100), Duration::nanoseconds(100));
+  recorder.on_slot(silence(1'100).record);
+  // Cut at observation 5: the 10-slot gap keeps only its first 4 slots.
+  const auto prefix = recorder.clean_prefix(5);
+  ASSERT_EQ(prefix.size(), 2u);
+  EXPECT_EQ(prefix[1].gap_slots, 4);
+  EXPECT_EQ(prefix[1].record.end, SimTime::from_ns(500));
+  // A cut before the first entry yields nothing.
+  EXPECT_TRUE(recorder.clean_prefix(0).empty());
+}
+
+// --- end to end: the real protocol under the full differential ------------
+
+core::DdcrRunOptions quickstart_options(const traffic::Workload& workload) {
+  core::DdcrRunOptions options;
+  options.ddcr.class_width_c = core::DdcrConfig::class_width_for(
+      workload.max_deadline(), options.ddcr.F);
+  options.ddcr.alpha = options.ddcr.class_width_c * 2;
+  options.arrival_horizon = sim::SimTime::from_ns(10'000'000);
+  options.drain_cap = sim::SimTime::from_ns(50'000'000);
+  return options;
+}
+
+TEST(ConformanceEndToEnd, RunDdcrPassesTheFullDifferential) {
+  ASSERT_TRUE(kConformanceInstalled);
+  const auto workload = traffic::quickstart(4);
+  auto options = quickstart_options(workload);
+  options.conformance_check = true;
+  const auto result = core::run_ddcr(workload, options);
+  EXPECT_TRUE(result.conformance.checked);
+  EXPECT_TRUE(result.conformance.ok) << result.conformance.summary();
+  EXPECT_GT(result.conformance.slots_checked, 0);
+  EXPECT_GT(result.conformance.epochs, 0);
+  EXPECT_GT(result.conformance.edf_pairs_checked, 0);
+  EXPECT_TRUE(result.conformance.oracle_feasible);
+}
+
+TEST(ConformanceEndToEnd, UncheckedRunsStayUnchecked) {
+  const auto workload = traffic::quickstart(4);
+  const auto result = core::run_ddcr(workload, quickstart_options(workload));
+  EXPECT_FALSE(result.conformance.checked);
+  EXPECT_TRUE(result.conformance.ok);  // vacuously
+}
+
+// --- baselines: safety holds for every MAC under the same comparator ------
+
+class BaselineSafety : public ::testing::TestWithParam<baseline::Protocol> {};
+
+TEST_P(BaselineSafety, RecordedRunPassesSafetyChecks) {
+  const auto workload = traffic::quickstart(4);
+  baseline::ProtocolRunOptions options;
+  options.base.arrival_horizon = sim::SimTime::from_ns(5'000'000);
+  options.base.drain_cap = sim::SimTime::from_ns(100'000'000);
+  ConformanceRecorder recorder;
+  options.observer = &recorder;
+  const auto result =
+      baseline::run_protocol(GetParam(), workload, options);
+  ASSERT_GT(result.generated, 0);
+
+  ConformanceInput input;
+  const auto traffic = traffic::generate_traffic(
+      workload, options.base.arrivals, options.base.arrival_horizon,
+      options.base.seed);
+  for (const auto& source : traffic.per_source) {
+    input.messages.insert(input.messages.end(), source.begin(), source.end());
+  }
+  input.phy = options.base.phy;
+  input.collision_mode = options.base.collision_mode;
+  input.ddcr = options.base.ddcr;
+  input.protocol_is_ddcr = false;  // no EDF/bound promises for baselines
+  input.expect_drain = result.undelivered == 0 && result.dropped == 0;
+  input.stats = &result.channel;
+  const auto report = ConformanceComparator{}.check(input, recorder);
+  EXPECT_TRUE(report.checked);
+  EXPECT_TRUE(report.ok)
+      << baseline::protocol_name(GetParam()) << ": " << report.summary();
+  EXPECT_GT(report.slots_checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Macs, BaselineSafety,
+    ::testing::Values(baseline::Protocol::kBeb, baseline::Protocol::kDcr,
+                      baseline::Protocol::kTdma, baseline::Protocol::kStack),
+    [](const ::testing::TestParamInfo<baseline::Protocol>& info) {
+      switch (info.param) {
+        case baseline::Protocol::kBeb: return std::string("Beb");
+        case baseline::Protocol::kDcr: return std::string("Dcr");
+        case baseline::Protocol::kTdma: return std::string("Tdma");
+        case baseline::Protocol::kStack: return std::string("Stack");
+        case baseline::Protocol::kDdcr: break;
+      }
+      return std::string("Ddcr");
+    });
+
+}  // namespace
+}  // namespace hrtdm::check

@@ -1,0 +1,177 @@
+// Unit tests for the centralized non-preemptive EDF oracle — the
+// independent leg of the conformance differential. The oracle must realise
+// textbook NP-EDF semantics exactly: deadline order over the backlog, uid
+// tie-break, non-preemption, work conservation and the slot-floor channel
+// occupancy, independent of input order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "check/edf_oracle.hpp"
+#include "net/phy.hpp"
+
+namespace hrtdm::check {
+namespace {
+
+net::PhyConfig tiny_phy() {
+  net::PhyConfig phy;
+  phy.slot_x = Duration::nanoseconds(100);
+  phy.psi_bps = 1e9;
+  phy.overhead_bits = 0;
+  return phy;
+}
+
+Message make(std::int64_t uid, std::int64_t arrival_ns,
+             std::int64_t deadline_ns, std::int64_t l_bits = 100) {
+  Message msg;
+  msg.uid = uid;
+  msg.source = static_cast<int>(uid % 4);
+  msg.class_id = msg.source;
+  msg.l_bits = l_bits;
+  msg.arrival = SimTime::from_ns(arrival_ns);
+  msg.absolute_deadline = SimTime::from_ns(deadline_ns);
+  return msg;
+}
+
+TEST(EdfOracle, EmptyInputIsFeasibleAndEmpty) {
+  const auto schedule = EdfOracle(tiny_phy()).schedule({});
+  EXPECT_TRUE(schedule.order.empty());
+  EXPECT_TRUE(schedule.feasible);
+  EXPECT_EQ(schedule.misses, 0);
+  EXPECT_EQ(schedule.makespan, SimTime::zero());
+}
+
+TEST(EdfOracle, SingleMessageOccupiesTransmissionTime) {
+  // 1000 bits at 1 Gbit/s = 1 us > x: occupancy is the transmission time.
+  const auto schedule =
+      EdfOracle(tiny_phy()).schedule({make(7, 500, 100'000, 1000)});
+  ASSERT_EQ(schedule.order.size(), 1u);
+  EXPECT_EQ(schedule.order[0].uid, 7);
+  EXPECT_EQ(schedule.order[0].start, SimTime::from_ns(500));
+  EXPECT_EQ(schedule.order[0].completed, SimTime::from_ns(1500));
+  EXPECT_EQ(schedule.makespan, SimTime::from_ns(1500));
+  EXPECT_TRUE(schedule.feasible);
+}
+
+TEST(EdfOracle, TinyFramesPayTheSlotFloor) {
+  // 10 bits = 10 ns of wire time, but a channel win costs at least one
+  // slot x = 100 ns — the same floor a successful contention slot pays.
+  const auto schedule =
+      EdfOracle(tiny_phy()).schedule({make(1, 0, 100'000, 10)});
+  ASSERT_EQ(schedule.order.size(), 1u);
+  EXPECT_EQ(schedule.order[0].completed, SimTime::from_ns(100));
+}
+
+TEST(EdfOracle, BacklogServedInDeadlineOrder) {
+  // All three arrive at t = 0 with deadlines opposite to uid order.
+  const auto schedule = EdfOracle(tiny_phy()).schedule({
+      make(0, 0, 30'000),
+      make(1, 0, 20'000),
+      make(2, 0, 10'000),
+  });
+  ASSERT_EQ(schedule.order.size(), 3u);
+  EXPECT_EQ(schedule.order[0].uid, 2);
+  EXPECT_EQ(schedule.order[1].uid, 1);
+  EXPECT_EQ(schedule.order[2].uid, 0);
+  // Back-to-back service: no idling while the backlog is non-empty.
+  EXPECT_EQ(schedule.order[1].start, schedule.order[0].completed);
+  EXPECT_EQ(schedule.order[2].start, schedule.order[1].completed);
+}
+
+TEST(EdfOracle, EqualDeadlinesBreakTiesByUid) {
+  const auto schedule = EdfOracle(tiny_phy()).schedule({
+      make(5, 0, 10'000),
+      make(3, 0, 10'000),
+      make(9, 0, 10'000),
+  });
+  ASSERT_EQ(schedule.order.size(), 3u);
+  EXPECT_EQ(schedule.order[0].uid, 3);
+  EXPECT_EQ(schedule.order[1].uid, 5);
+  EXPECT_EQ(schedule.order[2].uid, 9);
+}
+
+TEST(EdfOracle, NonPreemptiveServiceBlocksUrgentArrivals) {
+  // A 10 us frame starts at t = 0; an urgent message lands mid-service.
+  // NP-EDF cannot preempt: the urgent one starts only at 10 us and misses.
+  const auto schedule = EdfOracle(tiny_phy()).schedule({
+      make(0, 0, 50'000, 10'000),
+      make(1, 2'000, 8'000, 100),
+  });
+  ASSERT_EQ(schedule.order.size(), 2u);
+  EXPECT_EQ(schedule.order[0].uid, 0);
+  EXPECT_EQ(schedule.order[1].uid, 1);
+  EXPECT_EQ(schedule.order[1].start, SimTime::from_ns(10'000));
+  EXPECT_FALSE(schedule.feasible);
+  EXPECT_EQ(schedule.misses, 1);
+}
+
+TEST(EdfOracle, WorkConservingServerIdlesOnlyWhenEmpty) {
+  // Second message arrives long after the first completes: the server
+  // jumps to its arrival instead of busy-waiting or starting early.
+  const auto schedule = EdfOracle(tiny_phy()).schedule({
+      make(0, 0, 10'000),
+      make(1, 50'000, 80'000),
+  });
+  ASSERT_EQ(schedule.order.size(), 2u);
+  EXPECT_EQ(schedule.order[0].completed, SimTime::from_ns(100));
+  EXPECT_EQ(schedule.order[1].start, SimTime::from_ns(50'000));
+  EXPECT_TRUE(schedule.feasible);
+}
+
+TEST(EdfOracle, LaterUrgentArrivalOvertakesTheBacklog) {
+  // uid 0 is in service when uids 1 and 2 arrive; the tighter deadline
+  // (uid 2) must be served next despite arriving last.
+  const auto schedule = EdfOracle(tiny_phy()).schedule({
+      make(0, 0, 100'000, 1000),
+      make(1, 200, 90'000),
+      make(2, 300, 5'000),
+  });
+  ASSERT_EQ(schedule.order.size(), 3u);
+  EXPECT_EQ(schedule.order[0].uid, 0);
+  EXPECT_EQ(schedule.order[1].uid, 2);
+  EXPECT_EQ(schedule.order[2].uid, 1);
+}
+
+TEST(EdfOracle, InputOrderIsIrrelevant) {
+  std::vector<Message> messages = {
+      make(0, 400, 30'000), make(1, 0, 20'000),   make(2, 100, 10'000),
+      make(3, 0, 10'000),   make(4, 2'000, 9'000), make(5, 50, 50'000),
+  };
+  const auto reference = EdfOracle(tiny_phy()).schedule(messages);
+  std::reverse(messages.begin(), messages.end());
+  const auto reversed = EdfOracle(tiny_phy()).schedule(messages);
+  ASSERT_EQ(reference.order.size(), reversed.order.size());
+  for (std::size_t i = 0; i < reference.order.size(); ++i) {
+    EXPECT_EQ(reference.order[i].uid, reversed.order[i].uid) << i;
+    EXPECT_EQ(reference.order[i].start, reversed.order[i].start) << i;
+    EXPECT_EQ(reference.order[i].completed, reversed.order[i].completed) << i;
+  }
+  EXPECT_EQ(reference.makespan, reversed.makespan);
+}
+
+TEST(EdfOracle, CompletionLookupAndContains) {
+  const auto schedule = EdfOracle(tiny_phy()).schedule({
+      make(11, 0, 10'000),
+      make(12, 0, 20'000),
+  });
+  EXPECT_TRUE(schedule.contains(11));
+  EXPECT_TRUE(schedule.contains(12));
+  EXPECT_FALSE(schedule.contains(13));
+  EXPECT_EQ(schedule.completion_of(11), SimTime::from_ns(100));
+  EXPECT_EQ(schedule.completion_of(12), SimTime::from_ns(200));
+}
+
+TEST(EdfOracle, MissCountingIsPerMessage) {
+  // Three impossible deadlines: every completion is late.
+  const auto schedule = EdfOracle(tiny_phy()).schedule({
+      make(0, 0, 10, 1000),
+      make(1, 0, 20, 1000),
+      make(2, 0, 30, 1000),
+  });
+  EXPECT_FALSE(schedule.feasible);
+  EXPECT_EQ(schedule.misses, 3);
+}
+
+}  // namespace
+}  // namespace hrtdm::check

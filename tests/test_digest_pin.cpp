@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "check/conformance.hpp"
 #include "core/ddcr_config.hpp"
 #include "core/ddcr_network.hpp"
 #include "core/multi_channel.hpp"
@@ -19,6 +20,8 @@
 
 namespace hrtdm {
 namespace {
+
+const bool kConformanceInstalled = check::install_conformance_auditor();
 
 struct Golden {
   int z;
@@ -69,6 +72,35 @@ TEST(DigestPin, TracedRunsMatchUntracedDigests) {
     EXPECT_EQ(result.protocol_digest, golden.digest) << "z=" << golden.z;
     EXPECT_GT(tracer.size(), 0u) << "tracer was installed but saw nothing";
   }
+}
+
+TEST(DigestPin, ConformanceCheckedRunsKeepTheGoldenDigests) {
+  // The conformance auditor is a pure channel observer: turning it on must
+  // not perturb a single slot. The pre-overhaul golden digests stand.
+  ASSERT_TRUE(kConformanceInstalled);
+  for (const Golden& golden : kGolden) {
+    const auto workload = traffic::quickstart(golden.z);
+    auto options = reference_options(workload);
+    options.conformance_check = true;
+    const auto result = core::run_ddcr(workload, options);
+    EXPECT_EQ(result.protocol_digest, golden.digest) << "z=" << golden.z;
+    EXPECT_EQ(result.metrics.delivered, golden.delivered);
+    EXPECT_EQ(result.metrics.silence_slots, golden.silence_slots);
+    EXPECT_EQ(result.metrics.collision_slots, golden.collision_slots);
+    EXPECT_TRUE(result.conformance.checked);
+    EXPECT_TRUE(result.conformance.ok) << result.conformance.summary();
+  }
+  // Third configuration of the seed matrix: z = 8 has no hardcoded golden,
+  // so pin checked-vs-unchecked equality directly.
+  const auto workload = traffic::quickstart(8);
+  auto checked_options = reference_options(workload);
+  checked_options.conformance_check = true;
+  const auto checked = core::run_ddcr(workload, checked_options);
+  const auto unchecked = core::run_ddcr(workload, reference_options(workload));
+  EXPECT_EQ(checked.protocol_digest, unchecked.protocol_digest);
+  EXPECT_EQ(checked.metrics.delivered, unchecked.metrics.delivered);
+  EXPECT_EQ(checked.metrics.silence_slots, unchecked.metrics.silence_slots);
+  EXPECT_TRUE(checked.conformance.ok) << checked.conformance.summary();
 }
 
 TEST(DigestPin, RunsAreRepeatable) {

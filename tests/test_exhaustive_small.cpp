@@ -1,26 +1,31 @@
 // Exhaustive small-configuration sweep — the executable analogue of the
-// paper's correctness argument. For tiny instances we enumerate *every*
-// combination of arrival slots and deadline classes for 2-3 stations and
-// check, on each of the hundreds of resulting executions:
-//   - safety: all messages delivered exactly once, no overlap,
-//   - replica consistency at every slot,
-//   - EDF order up to the deadline-equivalence granularity: a message may
-//     precede an earlier-deadline one only if their deadlines fall within
-//     one class width (plus the bounded reft drift),
-//   - the latency never exceeds the horizon-dimensioned bound.
+// paper's correctness argument, rewritten on the differential conformance
+// oracle. For tiny instances we enumerate *every* combination of arrival
+// slots and deadline classes for 2-4 stations, replay each of the hundreds
+// of resulting executions through check::replay_case, and hold the
+// recorded run against the full differential:
+//   - safety (mutual exclusion, slot grid, frame integrity, exactly-once),
+//   - timeliness vs the centralized NP-EDF oracle (every scenario here is
+//     feasible by construction, so expect_timeliness is asserted),
+//   - EDF dispatch order within the class-width granularity,
+//   - per-epoch search costs vs xi and the station/replica accounting.
+// The sweep runs for every tree arity the protocol supports in the small
+// regime (m_time in {2, 3, 4}), plus a dedicated equal-deadline grid that
+// forces time-tree leaf ties through the static-tree tie-break path.
 #include <gtest/gtest.h>
 
-#include <set>
+#include <string>
 #include <vector>
 
-#include "core/ddcr_network.hpp"
+#include "check/shrinker.hpp"
 #include "traffic/message.hpp"
 
-namespace hrtdm::core {
+namespace hrtdm::check {
 namespace {
 
 using traffic::Message;
 using util::Duration;
+using util::SimTime;
 
 struct Spec {
   int source;
@@ -28,20 +33,36 @@ struct Spec {
   std::int64_t deadline_rel_ns;
 };
 
-/// Runs one scenario and checks all invariants. Returns the delivery order.
-void check_scenario(const std::vector<Spec>& specs, int stations,
-                    const std::string& label) {
-  DdcrRunOptions options;
-  options.phy.slot_x = Duration::nanoseconds(100);
-  options.phy.overhead_bits = 0;
-  options.ddcr.m_time = 2;
-  options.ddcr.F = 16;
-  options.ddcr.m_static = 2;
-  options.ddcr.q = 4;
-  options.ddcr.class_width_c = Duration::microseconds(2);
-  options.ddcr.alpha = Duration::nanoseconds(0);
+struct TreeShape {
+  int m_time;
+  std::int64_t F;
+};
 
-  DdcrTestbed bed(stations, options);
+// F must be a power of m_time; keep the trees small enough that every
+// scenario stays a few hundred slots.
+constexpr TreeShape kShapes[] = {{2, 16}, {3, 9}, {4, 16}};
+
+ReplayCase scenario_case(const std::vector<Spec>& specs, int stations,
+                         const TreeShape& shape, const std::string& label) {
+  ReplayCase c;
+  c.name = label;
+  c.stations = stations;
+  c.phy.slot_x = Duration::nanoseconds(100);
+  c.phy.psi_bps = 1e9;
+  c.phy.overhead_bits = 0;
+  c.ddcr.m_time = shape.m_time;
+  c.ddcr.F = shape.F;
+  c.ddcr.m_static = 2;
+  c.ddcr.q = 4;
+  c.ddcr.class_width_c = Duration::microseconds(2);
+  c.ddcr.alpha = Duration::nanoseconds(0);
+  // Every spec below has slack far beyond the epoch length, so the
+  // scenario is feasible and timeliness is a hard assertion.
+  c.expect_timeliness = true;
+  // One class width plus the maximal reft drift of these tiny scenarios
+  // (one epoch ~ 40 slots = 4 us) — much tighter than the comparator's
+  // general-run default.
+  c.edf_tolerance = c.ddcr.class_width_c + Duration::nanoseconds(4'000);
   for (std::size_t i = 0; i < specs.size(); ++i) {
     Message msg;
     msg.uid = static_cast<std::int64_t>(i);
@@ -51,46 +72,29 @@ void check_scenario(const std::vector<Spec>& specs, int stations,
     msg.arrival = SimTime::from_ns(specs[i].arrival_ns);
     msg.absolute_deadline =
         SimTime::from_ns(specs[i].arrival_ns + specs[i].deadline_rel_ns);
-    bed.inject(specs[i].source, msg);
+    c.messages.push_back(msg);
   }
-  bed.run_until_delivered(static_cast<std::int64_t>(specs.size()),
-                          SimTime::from_ns(5'000'000));
-
-  const auto& log = bed.metrics().log();
-  // Safety: everything delivered exactly once, serialised.
-  ASSERT_EQ(log.size(), specs.size()) << label;
-  std::set<std::int64_t> uids;
-  for (std::size_t i = 0; i < log.size(); ++i) {
-    EXPECT_TRUE(uids.insert(log[i].uid).second) << label;
-    if (i > 0) {
-      EXPECT_LE(log[i - 1].completed, log[i].tx_start) << label;
-    }
-  }
-  // Consistency at the end of the run.
-  EXPECT_TRUE(bed.digests_agree()) << label;
-  // No deadline misses (every spec has slack far beyond the epoch length).
-  EXPECT_EQ(bed.metrics().summarize().misses, 0) << label;
-
-  // EDF modulo granularity: if A was transmitted before B although B's
-  // deadline is earlier, then either B arrived after A's transmission
-  // started, or their deadlines are within one class width + the maximal
-  // reft drift of this tiny scenario (one epoch ~ 40 slots = 4 us).
-  const std::int64_t tolerance_ns =
-      options.ddcr.class_width_c.ns() + 4'000;
-  for (std::size_t i = 0; i < log.size(); ++i) {
-    for (std::size_t j = i + 1; j < log.size(); ++j) {
-      if (log[j].deadline < log[i].deadline &&
-          log[j].arrival <= log[i].tx_start) {
-        EXPECT_LE((log[i].deadline - log[j].deadline).ns(), tolerance_ns)
-            << label << " uid " << log[i].uid << " before " << log[j].uid;
-      }
-    }
-  }
+  return c;
 }
 
-TEST(ExhaustiveSmall, TwoStationsAllArrivalAndDeadlineCombos) {
+/// Replays one scenario under the full differential and asserts green.
+void check_scenario(const std::vector<Spec>& specs, int stations,
+                    const TreeShape& shape, const std::string& label) {
+  const ReplayCase c = scenario_case(specs, stations, shape, label);
+  const auto report = replay_case(c);
+  ASSERT_TRUE(report.checked) << label;
+  EXPECT_TRUE(report.ok) << label << ": " << report.summary();
+  EXPECT_GT(report.slots_checked, 0) << label;
+  EXPECT_EQ(report.observed_misses, 0) << label;
+  EXPECT_TRUE(report.oracle_feasible) << label;
+}
+
+class ExhaustiveSmall : public ::testing::TestWithParam<TreeShape> {};
+
+TEST_P(ExhaustiveSmall, TwoStationsAllArrivalAndDeadlineCombos) {
   // 2 stations x arrival slot in {0, 150, 250, 450} x deadline in
   // {6 us, 14 us, 26 us}: 144 scenarios, every one checked exhaustively.
+  const TreeShape shape = GetParam();
   const std::int64_t arrivals[] = {0, 150, 250, 450};
   const std::int64_t deadlines[] = {6'000, 14'000, 26'000};
   int scenarios = 0;
@@ -101,7 +105,7 @@ TEST(ExhaustiveSmall, TwoStationsAllArrivalAndDeadlineCombos) {
           const std::string label =
               "a0=" + std::to_string(a0) + " a1=" + std::to_string(a1) +
               " d0=" + std::to_string(d0) + " d1=" + std::to_string(d1);
-          check_scenario({{0, a0, d0}, {1, a1, d1}}, 2, label);
+          check_scenario({{0, a0, d0}, {1, a1, d1}}, 2, shape, label);
           ++scenarios;
         }
       }
@@ -110,9 +114,11 @@ TEST(ExhaustiveSmall, TwoStationsAllArrivalAndDeadlineCombos) {
   EXPECT_EQ(scenarios, 144);
 }
 
-TEST(ExhaustiveSmall, ThreeStationsSimultaneousBursts) {
+TEST_P(ExhaustiveSmall, ThreeStationsSimultaneousBursts) {
   // 3 stations, all at t = 0, every deadline combination from 3 classes:
-  // 27 scenarios exercising 3-way time-tree collisions and static ties.
+  // 27 scenarios exercising 3-way time-tree collisions, including the
+  // all-equal diagonal that descends into the static tie-break tree.
+  const TreeShape shape = GetParam();
   const std::int64_t deadlines[] = {6'000, 14'000, 26'000};
   for (const auto d0 : deadlines) {
     for (const auto d1 : deadlines) {
@@ -120,15 +126,17 @@ TEST(ExhaustiveSmall, ThreeStationsSimultaneousBursts) {
         const std::string label = "d=" + std::to_string(d0) + "/" +
                                   std::to_string(d1) + "/" +
                                   std::to_string(d2);
-        check_scenario({{0, 0, d0}, {1, 0, d1}, {2, 0, d2}}, 3, label);
+        check_scenario({{0, 0, d0}, {1, 0, d1}, {2, 0, d2}}, 3, shape,
+                       label);
       }
     }
   }
 }
 
-TEST(ExhaustiveSmall, TwoMessagesPerStationCombos) {
+TEST_P(ExhaustiveSmall, TwoMessagesPerStationCombos) {
   // Back-to-back messages per station across two deadline classes: the
   // second message exercises the nu budget and the resumed time search.
+  const TreeShape shape = GetParam();
   const std::int64_t deadlines[] = {6'000, 22'000};
   for (const auto d0 : deadlines) {
     for (const auto d1 : deadlines) {
@@ -139,12 +147,51 @@ TEST(ExhaustiveSmall, TwoMessagesPerStationCombos) {
               std::to_string(d2) + "/" + std::to_string(d3);
           check_scenario(
               {{0, 0, d0}, {0, 100, d1}, {1, 0, d2}, {1, 100, d3}}, 2,
-              label);
+              shape, label);
         }
       }
     }
   }
 }
 
+TEST_P(ExhaustiveSmall, EqualDeadlineTiesResolveThroughTheStaticTree) {
+  // The STs grid: every station count in {2, 3, 4} with a fully tied
+  // deadline class (identical arrival and deadline), across three deadline
+  // values and two arrival offsets. Each scenario forces a time-tree leaf
+  // collision whose contenders are separable only by static index; at
+  // least one STs search must be held against xi(s, q) per scenario.
+  const TreeShape shape = GetParam();
+  const std::int64_t deadlines[] = {6'000, 14'000, 26'000};
+  const std::int64_t offsets[] = {0, 250};
+  for (const int stations : {2, 3, 4}) {
+    for (const auto deadline : deadlines) {
+      for (const auto offset : offsets) {
+        std::vector<Spec> specs;
+        for (int s = 0; s < stations; ++s) {
+          specs.push_back({s, offset, deadline});
+        }
+        const std::string label = "tied z=" + std::to_string(stations) +
+                                  " d=" + std::to_string(deadline) +
+                                  " a=" + std::to_string(offset);
+        const ReplayCase c =
+            scenario_case(specs, stations, shape, label);
+        const auto report = replay_case(c);
+        ASSERT_TRUE(report.checked) << label;
+        EXPECT_TRUE(report.ok) << label << ": " << report.summary();
+        EXPECT_GT(report.sts_bound_checked, 0)
+            << label << ": tie never reached the static tree";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arity, ExhaustiveSmall,
+    ::testing::Values(kShapes[0], kShapes[1], kShapes[2]),
+    [](const ::testing::TestParamInfo<TreeShape>& info) {
+      return "m" + std::to_string(info.param.m_time) + "F" +
+             std::to_string(info.param.F);
+    });
+
 }  // namespace
-}  // namespace hrtdm::core
+}  // namespace hrtdm::check

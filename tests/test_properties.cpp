@@ -11,6 +11,7 @@
 
 #include "analysis/feasibility.hpp"
 #include "analysis/xi.hpp"
+#include "check/conformance.hpp"
 #include "core/ddcr_network.hpp"
 #include "core/metrics.hpp"
 #include "traffic/fc_adapter.hpp"
@@ -20,6 +21,8 @@
 
 namespace hrtdm {
 namespace {
+
+const bool kConformanceInstalled = check::install_conformance_auditor();
 
 using core::DdcrRunOptions;
 using core::DdcrTestbed;
@@ -165,9 +168,14 @@ TEST(Safety, TransmissionsNeverOverlap) {
   DdcrRunOptions options;
   options.arrival_horizon = SimTime::from_ns(30'000'000);
   options.drain_cap = SimTime::from_ns(200'000'000);
+  options.conformance_check = kConformanceInstalled;
 
   const auto result = core::run_ddcr(wl, options);
   EXPECT_GT(result.metrics.delivered, 0);
+  // Mutual exclusion, slot grid and frame integrity on the recorded
+  // ground-truth stream — the direct form of the safety property.
+  EXPECT_TRUE(result.conformance.checked);
+  EXPECT_TRUE(result.conformance.ok) << result.conformance.summary();
 
   // Re-run through a testbed to get the raw log (run_ddcr summarises).
   // Instead assert on the summary invariants: delivered + undelivered =
@@ -243,9 +251,11 @@ TEST_P(FcSoundness, FeasibleVerdictImpliesNoMissesUnderAdversary) {
     GTEST_SKIP() << "workload not FC-feasible at these parameters";
   }
 
+  options.conformance_check = kConformanceInstalled;
   const auto result = core::run_ddcr(wl, options);
   EXPECT_EQ(result.metrics.misses, 0);
   EXPECT_EQ(result.undelivered, 0);
+  EXPECT_TRUE(result.conformance.ok) << result.conformance.summary();
   // Global worst latency below the loosest class bound would be too weak;
   // check the global worst against the max per-class bound instead.
   double max_bound = 0.0;

@@ -3,11 +3,14 @@
 // combination the invariants that must never break:
 //   - replica consistency on every slot,
 //   - conservation (generated = delivered + still-queued),
-//   - channel sanity (utilization <= 1, no lost frames).
+//   - channel sanity (utilization <= 1, no lost frames),
+//   - the full differential conformance check (EDF oracle, xi bounds,
+//     accounting cross-checks) on the recorded slot stream of every run.
 #include <gtest/gtest.h>
 
 #include <string>
 
+#include "check/conformance.hpp"
 #include "core/ddcr_network.hpp"
 #include "traffic/workload.hpp"
 
@@ -15,6 +18,8 @@ namespace hrtdm::core {
 namespace {
 
 using traffic::ArrivalKind;
+
+const bool kConformanceInstalled = check::install_conformance_auditor();
 
 struct SoakParam {
   const char* scenario;
@@ -73,8 +78,12 @@ TEST_P(Soak, InvariantsHoldOverALongRun) {
   options.arrival_horizon = SimTime::from_ns(60'000'000);
   options.drain_cap = SimTime::from_ns(400'000'000);
   options.check_consistency = true;
+  options.conformance_check = kConformanceInstalled;
 
   const DdcrRunResult result = run_ddcr(wl, options);
+  EXPECT_TRUE(result.conformance.checked);
+  EXPECT_TRUE(result.conformance.ok) << result.conformance.summary();
+  EXPECT_GT(result.conformance.slots_checked, 0);
   EXPECT_TRUE(result.consistency_ok) << "replicas diverged";
   EXPECT_EQ(result.metrics.delivered + result.undelivered, result.generated);
   EXPECT_GT(result.generated, 0);
@@ -126,11 +135,14 @@ TEST(SoakSeeds, ConsistencyAcrossManySeeds) {
   options.arrival_horizon = SimTime::from_ns(15'000'000);
   options.drain_cap = SimTime::from_ns(100'000'000);
   options.check_consistency = true;
+  options.conformance_check = kConformanceInstalled;
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {
     options.seed = seed;
     const auto result = run_ddcr(wl, options);
     EXPECT_TRUE(result.consistency_ok) << "seed " << seed;
     EXPECT_EQ(result.undelivered, 0) << "seed " << seed;
+    EXPECT_TRUE(result.conformance.ok)
+        << "seed " << seed << ": " << result.conformance.summary();
   }
 }
 

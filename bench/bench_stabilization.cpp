@@ -1,0 +1,183 @@
+// E18 — Self-stabilization soak: reconvergence from randomly corrupted
+// joint state.
+//
+// The paper's correctness proofs assume every replica starts from the
+// initial (empty) protocol state. This bench drops that assumption the way
+// Petig/Schiller/Tsigas treat transient faults: for every arity
+// m in {2, 3, 4} and station count z in {3, 4} it starts hundreds of
+// seeded runs from *scrambled* joint state — fabricated slot histories,
+// garbage EDF queues, mid-quarantine replicas — then measures how many
+// observations the network needs to reconverge (all replicas synced,
+// digests equal, queues drained) and judges the post-convergence suffix
+// with the full differential conformance check (clean-suffix clipping).
+//
+// The artifact (BENCH_stabilization.json) records, per configuration, the
+// convergence distribution (min / mean / p50 / p90 / max observations and
+// frames) against the stated analytic-shape bound from
+// stabilization_bound_observations(); `within_bound` must hold for every
+// run — the empirical self-stabilization contract — and the bench aborts
+// loudly if any seed fails to reconverge, violates safety or fails the
+// suffix check. Seeds run in parallel on the deterministic worker pool
+// (results are written into index-keyed slots, so parallel == serial).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "fault/stabilization.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace hrtdm;
+using fault::StabilizationOptions;
+using fault::StabilizationResult;
+
+StabilizationOptions options_for(int m, int stations, std::uint64_t seed) {
+  StabilizationOptions options;  // defaults: m = 2, F = 16, q = 16
+  if (m == 3) {
+    options.ddcr.m_time = 3;
+    options.ddcr.F = 27;
+    options.ddcr.m_static = 3;
+    options.ddcr.q = 27;
+  } else if (m == 4) {
+    options.ddcr.m_time = 4;
+    options.ddcr.F = 16;
+    options.ddcr.m_static = 4;
+    options.ddcr.q = 16;
+  }
+  options.stations = stations;
+  options.seed = seed;
+  options.conformance_check = true;  // the claim needs the suffix judged
+  return options;
+}
+
+std::int64_t percentile(std::vector<std::int64_t> sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::apply_check_flag(argc, argv);
+  bench::BenchReport report("stabilization");
+  const bool smoke = bench::BenchReport::smoke();
+
+  // >= 500 corrupted joint states per arity in the full run (250 seeds for
+  // each of z = 3 and z = 4); a seconds-scale slice in smoke mode.
+  const int seeds_per_config = smoke ? 4 : 250;
+  const int threads = smoke ? 2 : util::ThreadPool::hardware_threads();
+  report.set_threads(threads);
+  report.config("seeds_per_config", static_cast<std::int64_t>(
+                                        seeds_per_config));
+  report.config("smoke", smoke);
+  report.config("hardware_threads", util::ThreadPool::hardware_threads());
+
+  std::printf("%s",
+              util::banner("E18: self-stabilization from corrupted joint "
+                           "state (clean-suffix conformance judged)")
+                  .c_str());
+  util::TextTable out({"m", "z", "runs", "reconv", "bound obs", "max obs",
+                       "p90 obs", "mean obs", "max frames", "suffix ok"});
+
+  std::int64_t total_runs = 0;
+  std::int64_t total_reconverged = 0;
+  std::int64_t total_within_bound = 0;
+  std::int64_t total_suffix_ok = 0;
+  std::int64_t total_watchdog = 0;
+  for (const int m : {2, 3, 4}) {
+    for (const int stations : {3, 4}) {
+      std::vector<StabilizationResult> results(
+          static_cast<std::size_t>(seeds_per_config));
+      util::parallel_for_index(
+          threads, seeds_per_config, [&](std::int64_t i) {
+            results[static_cast<std::size_t>(i)] = fault::run_stabilization(
+                options_for(m, stations,
+                            static_cast<std::uint64_t>(i) + 1));
+          });
+
+      std::vector<std::int64_t> conv;
+      std::int64_t reconverged = 0;
+      std::int64_t within = 0;
+      std::int64_t suffix_ok = 0;
+      std::int64_t max_frames = 0;
+      std::int64_t bound = 0;
+      double mean = 0.0;
+      for (const StabilizationResult& r : results) {
+        reconverged += r.reconverged ? 1 : 0;
+        within += r.within_bound ? 1 : 0;
+        suffix_ok += (r.suffix_checked && r.suffix_ok) ? 1 : 0;
+        conv.push_back(r.convergence_observations);
+        max_frames = std::max(max_frames, r.convergence_frames);
+        bound = std::max(bound, r.bound_observations);
+        mean += static_cast<double>(r.convergence_observations);
+        total_watchdog += r.desyncs_detected + r.quarantines;
+        HRTDM_ENSURE(r.passed(),
+                     "stabilization run failed: m=" + std::to_string(m) +
+                         " z=" + std::to_string(stations) + " " +
+                         r.conformance.summary());
+      }
+      std::sort(conv.begin(), conv.end());
+      mean /= static_cast<double>(results.size());
+      total_runs += seeds_per_config;
+      total_reconverged += reconverged;
+      total_within_bound += within;
+      total_suffix_ok += suffix_ok;
+
+      auto& row = report.add_row();
+      row["m"] = static_cast<std::int64_t>(m);
+      row["stations"] = static_cast<std::int64_t>(stations);
+      row["runs"] = static_cast<std::int64_t>(seeds_per_config);
+      row["reconverged"] = reconverged;
+      row["within_bound"] = within;
+      row["suffix_ok"] = suffix_ok;
+      row["bound_observations"] = bound;
+      row["convergence_obs_min"] = conv.front();
+      row["convergence_obs_p50"] = percentile(conv, 0.50);
+      row["convergence_obs_p90"] = percentile(conv, 0.90);
+      row["convergence_obs_max"] = conv.back();
+      row["convergence_obs_mean"] = mean;
+      row["convergence_frames_max"] = max_frames;
+
+      out.add_row({util::TextTable::cell(static_cast<std::int64_t>(m)),
+                   util::TextTable::cell(static_cast<std::int64_t>(stations)),
+                   util::TextTable::cell(
+                       static_cast<std::int64_t>(seeds_per_config)),
+                   util::TextTable::cell(reconverged),
+                   util::TextTable::cell(bound),
+                   util::TextTable::cell(conv.back()),
+                   util::TextTable::cell(percentile(conv, 0.90)),
+                   util::TextTable::cell(mean, 1),
+                   util::TextTable::cell(max_frames),
+                   suffix_ok == seeds_per_config ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s", out.str().c_str());
+
+  report.metric("total_runs", total_runs);
+  report.metric("total_reconverged", total_reconverged);
+  report.metric("total_within_bound", total_within_bound);
+  report.metric("total_suffix_ok", total_suffix_ok);
+  report.metric("watchdog_firings", total_watchdog);
+  report.metric("all_reconverged", total_reconverged == total_runs);
+  // The empirical self-stabilization contract, enforced: every corrupted
+  // start reconverged, within the stated bound, with a conformant suffix.
+  HRTDM_ENSURE(total_reconverged == total_runs &&
+                   total_within_bound == total_runs &&
+                   total_suffix_ok == total_runs,
+               "self-stabilization contract violated");
+  // Corrupted starts must actually have been hostile, not quiet no-ops.
+  HRTDM_ENSURE(total_watchdog > 0,
+               "no scramble ever tripped the watchdog: the corrupted-state "
+               "generator has gone soft");
+  report.write();
+  return 0;
+}

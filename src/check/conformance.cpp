@@ -106,13 +106,64 @@ std::vector<ConformanceRecorder::Entry> ConformanceRecorder::clean_prefix(
   return prefix;
 }
 
+std::vector<ConformanceRecorder::Entry> ConformanceRecorder::clean_suffix(
+    std::int64_t begin) const {
+  std::vector<Entry> suffix;
+  for (const Entry& entry : entries_) {
+    const std::int64_t covered =
+        entry.gap_slots > 0 ? entry.gap_slots : 1;
+    if (entry.obs_index + covered <= begin) {
+      continue;
+    }
+    if (entry.gap_slots > 0 && entry.obs_index < begin) {
+      // Clip the gap to the slots at or after the cut.
+      Entry clipped = entry;
+      clipped.gap_slots = entry.obs_index + entry.gap_slots - begin;
+      const Duration slot =
+          (entry.record.end - entry.record.start) / entry.gap_slots;
+      clipped.record.start = entry.record.end - slot * clipped.gap_slots;
+      clipped.obs_index = begin;
+      suffix.push_back(clipped);
+      continue;
+    }
+    suffix.push_back(entry);
+  }
+  return suffix;
+}
+
 core::ConformanceReport ConformanceComparator::check(
     const ConformanceInput& input, const ConformanceRecorder& recorder) const {
-  const bool clipped = input.clean_prefix_end >= 0;
-  return check_entries(input,
-                       clipped ? recorder.clean_prefix(input.clean_prefix_end)
-                               : recorder.entries(),
-                       /*whole_run=*/!clipped);
+  const bool prefix_clipped = input.clean_prefix_end >= 0;
+  const bool suffix_clipped = input.clean_suffix_begin >= 0;
+  if (!prefix_clipped && !suffix_clipped) {
+    return check_entries(input, recorder.entries(), /*whole_run=*/true);
+  }
+  std::vector<ConformanceRecorder::Entry> stream =
+      suffix_clipped ? recorder.clean_suffix(input.clean_suffix_begin)
+                     : recorder.entries();
+  if (prefix_clipped) {
+    // Drop (and clip) everything at or past the prefix end — combining the
+    // two cuts judges a clean window.
+    std::vector<ConformanceRecorder::Entry> window;
+    for (const ConformanceRecorder::Entry& entry : stream) {
+      if (entry.obs_index >= input.clean_prefix_end) {
+        break;
+      }
+      if (entry.gap_slots > 0 &&
+          entry.obs_index + entry.gap_slots > input.clean_prefix_end) {
+        ConformanceRecorder::Entry clipped = entry;
+        clipped.gap_slots = input.clean_prefix_end - entry.obs_index;
+        const Duration slot =
+            (entry.record.end - entry.record.start) / entry.gap_slots;
+        clipped.record.end = entry.record.start + slot * clipped.gap_slots;
+        window.push_back(clipped);
+        break;
+      }
+      window.push_back(entry);
+    }
+    stream = std::move(window);
+  }
+  return check_entries(input, stream, /*whole_run=*/false);
 }
 
 core::ConformanceReport ConformanceComparator::check_entries(
@@ -125,7 +176,8 @@ core::ConformanceReport ConformanceComparator::check_entries(
 
   const bool destructive =
       input.collision_mode == net::CollisionMode::kDestructive;
-  const bool may_corrupt = input.phy.corruption_prob > 0.0;
+  const bool may_corrupt =
+      input.phy.corruption_prob > 0.0 || input.phy.ge_enabled;
   const bool clean = whole_run && !may_corrupt && input.replicas_clean;
 
   // --- message index -------------------------------------------------------

@@ -66,6 +66,13 @@ class ConformanceRecorder final : public net::ChannelObserver {
   /// straddling the cut are clipped to the slots that fit).
   std::vector<Entry> clean_prefix(std::int64_t end) const;
 
+  /// The dual: entries at or after observation index `begin` (a gap
+  /// straddling the cut keeps its tail). This is the stabilization
+  /// harness's judging stream — after a run that *started* corrupted has
+  /// reconverged, the suffix from the convergence point onward must pass
+  /// the full conformance check.
+  std::vector<Entry> clean_suffix(std::int64_t begin) const;
+
  private:
   std::vector<Entry> entries_;
   std::int64_t observations_ = 0;
@@ -86,6 +93,13 @@ struct ConformanceInput {
   /// index are judged (use fault::FaultPlan::first_fault_observation()).
   /// -1 = the whole run was fault-free.
   std::int64_t clean_prefix_end = -1;
+  /// Clean-*suffix* judging (the dual used by the self-stabilization
+  /// harness): only observations at or after this index are judged. The
+  /// caller must certify the boundary is quiet — queues drained, every
+  /// station synced and digest-consistent — and `messages` must contain
+  /// exactly the messages injected after it. -1 = no suffix clipping.
+  /// May be combined with clean_prefix_end (judging a clean window).
+  std::int64_t clean_suffix_begin = -1;
   /// No watchdog detection / quarantine / rejoin happened (auditors derive
   /// this from the run result). False disables the placement-model bounds.
   bool replicas_clean = true;

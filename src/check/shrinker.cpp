@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <sstream>
 
 #include "check/conformance.hpp"
+#include "fault/fault_injector.hpp"
 #include "util/check.hpp"
 
 namespace hrtdm::check {
@@ -17,14 +19,19 @@ using util::SimTime;
 SimTime replay_cap(const ReplayCase& c) {
   // Generous but deterministic: the latest deadline plus four times the
   // total transmission work plus a fixed slot allowance. Shrunk cases are
-  // tiny, so overshooting costs nothing.
+  // tiny, so overshooting costs nothing. Hostile cases extend the
+  // allowance past the last scripted directive (every observation is at
+  // least one slot) so fault windows always run out before the cap.
   SimTime latest;
   Duration total_tx;
   for (const traffic::Message& msg : c.messages) {
     latest = std::max(latest, std::max(msg.arrival, msg.absolute_deadline));
     total_tx += std::max(c.phy.tx_time(msg.l_bits), c.phy.slot_x);
   }
-  return latest + total_tx * 4 + c.phy.slot_x * 4096;
+  const std::int64_t scripted =
+      std::max({std::int64_t{0}, c.fault_plan.last_fault_observation(),
+                c.churn.last_observation()});
+  return latest + total_tx * 4 + c.phy.slot_x * (4096 + scripted);
 }
 
 }  // namespace
@@ -35,6 +42,9 @@ void ReplayCase::validate() const {
                "replay cases use the automatic static-index allocation");
   HRTDM_EXPECT(phy.corruption_prob == 0.0,
                "replay cases must be noise-free to reproduce exactly");
+  fault_plan.validate(stations);
+  churn.validate(stations);
+  drift.validate(stations);
   std::set<std::int64_t> uids;
   for (const traffic::Message& msg : messages) {
     HRTDM_EXPECT(msg.source >= 0 && msg.source < stations,
@@ -51,14 +61,59 @@ core::ConformanceReport replay_case(const ReplayCase& c) {
   options.phy = c.phy;
   options.collision_mode = c.collision_mode;
   options.ddcr = c.ddcr;
+  options.churn_events = static_cast<std::int64_t>(c.churn.events.size());
+  // Every hostile axis can push a station through the quiet-period rejoin
+  // path (crash recovery, churn re-entry, a drift quarantine), so the
+  // configuration must be rejoin-capable up front.
+  options.require_rejoinable = c.hostile();
   core::DdcrTestbed testbed(c.stations, options);
   ConformanceRecorder recorder;
   testbed.channel().add_observer(recorder);
+  std::optional<fault::FaultInjector> injector;
+  if (c.hostile()) {
+    injector.emplace(c.fault_plan, c.churn, c.drift, c.fault_seed);
+    injector->set_crash_hook([&testbed](int id) {
+      core::DdcrStation& station = testbed.station(id);
+      if (station.online()) {
+        station.reset_for_rejoin();
+      }
+    });
+    injector->set_churn_hook([&testbed](int id, fault::ChurnKind kind) {
+      if (kind == fault::ChurnKind::kLeave) {
+        testbed.station(id).go_offline();
+      } else {
+        testbed.station(id).bring_online();
+      }
+    });
+    injector->set_sync_probe(
+        [&testbed](int id) { return !testbed.station(id).synced(); });
+    injector->install(testbed.channel());
+  }
   for (const traffic::Message& msg : c.messages) {
     testbed.inject(msg.source, msg);
   }
+  const SimTime cap = replay_cap(c);
   testbed.run_until_delivered(static_cast<std::int64_t>(c.messages.size()),
-                              replay_cap(c));
+                              cap);
+  if (injector) {
+    // A hostile replay can still hold backlog or quarantined replicas when
+    // the delivery count is reached (duplicates on the wire, offline
+    // stations): settle until the network quiesces or the cap runs out.
+    auto settled = [&testbed] {
+      if (testbed.queued() > 0) {
+        return false;
+      }
+      for (int s = 0; s < testbed.station_count(); ++s) {
+        if (!testbed.station(s).synced()) {
+          return false;
+        }
+      }
+      return true;
+    };
+    while (testbed.simulator().now() < cap && !settled()) {
+      testbed.run(testbed.simulator().now() + c.phy.slot_x * 64);
+    }
+  }
 
   ConformanceInput input;
   input.messages = c.messages;
@@ -81,10 +136,29 @@ core::ConformanceReport replay_case(const ReplayCase& c) {
   input.expect_drain = testbed.queued() == 0 && dropped == 0;
   input.stats = &testbed.channel().stats();
   input.per_station = &counters;
+  if (injector) {
+    // Everything before the first scripted directive (or the first
+    // runtime drift mis-sample) is provably clean; the comparator clips
+    // its whole-run checks to that prefix.
+    input.clean_prefix_end = injector->clean_prefix_end();
+  }
   return ConformanceComparator{}.check(input, recorder);
 }
 
 // --- serialisation ---------------------------------------------------------
+
+namespace {
+
+// The text format is integer-only (parse_kv uses stoll), so probabilities
+// and ppm rates serialise in fixed-point: per-mille for probabilities,
+// parts-per-billion for drift rates. Pinned hostile cases must use values
+// representable at that granularity for serialize/parse to round-trip
+// exactly.
+std::int64_t to_pm(double prob) {
+  return static_cast<std::int64_t>(prob * 1000.0 + 0.5);
+}
+
+}  // namespace
 
 std::string serialize_case(const ReplayCase& c) {
   c.validate();
@@ -111,6 +185,40 @@ std::string serialize_case(const ReplayCase& c) {
   os << "stations " << c.stations << "\n";
   os << "expect timeliness=" << (c.expect_timeliness ? 1 : 0)
      << " tolerance_ns=" << c.edf_tolerance.ns() << "\n";
+  if (c.phy.ge_enabled) {
+    os << "ge p_gb_pm=" << to_pm(c.phy.ge_p_good_bad)
+       << " p_bg_pm=" << to_pm(c.phy.ge_p_bad_good)
+       << " loss_g_pm=" << to_pm(c.phy.ge_loss_good)
+       << " loss_b_pm=" << to_pm(c.phy.ge_loss_bad) << "\n";
+  }
+  if (c.hostile()) {
+    os << "seed fault=" << static_cast<std::int64_t>(c.fault_seed) << "\n";
+  }
+  for (const fault::CrashFault& f : c.fault_plan.crashes) {
+    os << "fault crash at=" << f.at_observation << " station=" << f.station
+       << "\n";
+  }
+  for (const fault::SymmetricNoiseFault& f : c.fault_plan.symmetric) {
+    os << "fault sym from=" << f.from_observation << " to=" << f.to_observation
+       << " prob_pm=" << to_pm(f.prob) << "\n";
+  }
+  for (const fault::AsymmetricFault& f : c.fault_plan.asymmetric) {
+    os << "fault asym from=" << f.from_observation
+       << " to=" << f.to_observation << " station=" << f.station << " kind="
+       << (f.kind == fault::AsymmetricKind::kCorruptReceive ? 0 : 1)
+       << " prob_pm=" << to_pm(f.prob) << "\n";
+  }
+  for (const fault::ChurnEvent& e : c.churn.events) {
+    os << "churn at=" << e.at_observation << " station=" << e.station
+       << " kind=" << (e.kind == fault::ChurnKind::kLeave ? 0 : 1) << "\n";
+  }
+  for (const fault::DriftSpec& d : c.drift.specs) {
+    os << "drift station=" << d.station << " phase_ns=" << d.initial_phase.ns()
+       << " rate_ppb=" << static_cast<std::int64_t>(d.rate_ppm * 1000.0 +
+                                                    (d.rate_ppm < 0 ? -0.5
+                                                                    : 0.5))
+       << " bound_ns=" << d.phase_bound.ns() << "\n";
+  }
   for (const traffic::Message& msg : c.messages) {
     os << "msg uid=" << msg.uid << " source=" << msg.source
        << " class=" << msg.class_id << " l_bits=" << msg.l_bits
@@ -225,6 +333,66 @@ ReplayCase parse_case(const std::string& text) {
       c.expect_timeliness = next_kv(line, "timeliness", line_no) != 0;
       c.edf_tolerance =
           Duration::nanoseconds(next_kv(line, "tolerance_ns", line_no));
+    } else if (keyword == "ge") {
+      const double p_gb =
+          static_cast<double>(next_kv(line, "p_gb_pm", line_no)) / 1000.0;
+      const double p_bg =
+          static_cast<double>(next_kv(line, "p_bg_pm", line_no)) / 1000.0;
+      const double loss_g =
+          static_cast<double>(next_kv(line, "loss_g_pm", line_no)) / 1000.0;
+      const double loss_b =
+          static_cast<double>(next_kv(line, "loss_b_pm", line_no)) / 1000.0;
+      c.phy.gilbert_elliott(p_gb, p_bg, loss_g, loss_b);
+    } else if (keyword == "seed") {
+      c.fault_seed =
+          static_cast<std::uint64_t>(next_kv(line, "fault", line_no));
+    } else if (keyword == "fault") {
+      std::string sub;
+      if (!(line >> sub)) {
+        fail(line_no, "fault line needs crash|sym|asym");
+      }
+      if (sub == "crash") {
+        fault::CrashFault f;
+        f.at_observation = next_kv(line, "at", line_no);
+        f.station = static_cast<int>(next_kv(line, "station", line_no));
+        c.fault_plan.crashes.push_back(f);
+      } else if (sub == "sym") {
+        fault::SymmetricNoiseFault f;
+        f.from_observation = next_kv(line, "from", line_no);
+        f.to_observation = next_kv(line, "to", line_no);
+        f.prob =
+            static_cast<double>(next_kv(line, "prob_pm", line_no)) / 1000.0;
+        c.fault_plan.symmetric.push_back(f);
+      } else if (sub == "asym") {
+        fault::AsymmetricFault f;
+        f.from_observation = next_kv(line, "from", line_no);
+        f.to_observation = next_kv(line, "to", line_no);
+        f.station = static_cast<int>(next_kv(line, "station", line_no));
+        f.kind = next_kv(line, "kind", line_no) == 0
+                     ? fault::AsymmetricKind::kCorruptReceive
+                     : fault::AsymmetricKind::kMissReceive;
+        f.prob =
+            static_cast<double>(next_kv(line, "prob_pm", line_no)) / 1000.0;
+        c.fault_plan.asymmetric.push_back(f);
+      } else {
+        fail(line_no, "unknown fault class '" + sub + "'");
+      }
+    } else if (keyword == "churn") {
+      fault::ChurnEvent e;
+      e.at_observation = next_kv(line, "at", line_no);
+      e.station = static_cast<int>(next_kv(line, "station", line_no));
+      e.kind = next_kv(line, "kind", line_no) == 0 ? fault::ChurnKind::kLeave
+                                                   : fault::ChurnKind::kJoin;
+      c.churn.events.push_back(e);
+    } else if (keyword == "drift") {
+      fault::DriftSpec d;
+      d.station = static_cast<int>(next_kv(line, "station", line_no));
+      d.initial_phase =
+          Duration::nanoseconds(next_kv(line, "phase_ns", line_no));
+      d.rate_ppm =
+          static_cast<double>(next_kv(line, "rate_ppb", line_no)) / 1000.0;
+      d.phase_bound = Duration::nanoseconds(next_kv(line, "bound_ns", line_no));
+      c.drift.specs.push_back(d);
     } else if (keyword == "msg") {
       traffic::Message msg;
       msg.uid = next_kv(line, "uid", line_no);
@@ -266,11 +434,25 @@ void save_case_file(const ReplayCase& c, const std::string& path) {
 namespace {
 
 /// Drops unused sources and renumbers the rest densely. Returns false when
-/// nothing changed.
+/// nothing changed. Stations referenced by a hostile plan count as used —
+/// a crash/churn/drift directive pins its victim even when that station
+/// carries no traffic.
 bool renumber_sources(ReplayCase& c) {
   std::set<int> used;
   for (const traffic::Message& msg : c.messages) {
     used.insert(msg.source);
+  }
+  for (const fault::CrashFault& f : c.fault_plan.crashes) {
+    used.insert(f.station);
+  }
+  for (const fault::AsymmetricFault& f : c.fault_plan.asymmetric) {
+    used.insert(f.station);
+  }
+  for (const fault::ChurnEvent& e : c.churn.events) {
+    used.insert(e.station);
+  }
+  for (const fault::DriftSpec& d : c.drift.specs) {
+    used.insert(d.station);
   }
   if (used.empty()) {
     return false;
@@ -284,9 +466,24 @@ bool renumber_sources(ReplayCase& c) {
   if (identity) {
     return false;
   }
+  const auto remap = [&order](int station) {
+    const auto it = std::lower_bound(order.begin(), order.end(), station);
+    return static_cast<int>(it - order.begin());
+  };
   for (traffic::Message& msg : c.messages) {
-    const auto it = std::lower_bound(order.begin(), order.end(), msg.source);
-    msg.source = static_cast<int>(it - order.begin());
+    msg.source = remap(msg.source);
+  }
+  for (fault::CrashFault& f : c.fault_plan.crashes) {
+    f.station = remap(f.station);
+  }
+  for (fault::AsymmetricFault& f : c.fault_plan.asymmetric) {
+    f.station = remap(f.station);
+  }
+  for (fault::ChurnEvent& e : c.churn.events) {
+    e.station = remap(e.station);
+  }
+  for (fault::DriftSpec& d : c.drift.specs) {
+    d.station = remap(d.station);
   }
   c.stations = compact;
   return true;

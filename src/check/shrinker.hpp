@@ -17,6 +17,9 @@
 #include <vector>
 
 #include "core/ddcr_network.hpp"
+#include "fault/churn_plan.hpp"
+#include "fault/drift_plan.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/channel.hpp"
 #include "net/phy.hpp"
 #include "traffic/message.hpp"
@@ -26,7 +29,10 @@ namespace hrtdm::check {
 /// A self-contained, deterministic run: explicit message instances instead
 /// of a generated arrival stream. static_indices stays empty (one spread
 /// index per source is allocated automatically) and corruption_prob stays 0
-/// — repro cases are exact by construction.
+/// — repro cases are exact by construction. Hostile scenarios stay exact
+/// too: scripted fault/churn/drift plans replay through a FaultInjector
+/// seeded with fault_seed, and the Gilbert-Elliott channel mode draws from
+/// the channel's own seeded RNG split.
 struct ReplayCase {
   std::string name = "repro";
   int stations = 1;
@@ -39,8 +45,25 @@ struct ReplayCase {
   util::Duration edf_tolerance;
   std::vector<traffic::Message> messages;
 
+  /// Hostile-world axes (docs/FAULTS.md), all empty by default. When any
+  /// is populated the replay installs a FaultInjector with the standard
+  /// campaign hooks (crash -> reset_for_rejoin, churn -> go_offline /
+  /// bring_online, drift resync while the victim is not synced) and the
+  /// conformance check clips to the injector's clean prefix.
+  fault::FaultPlan fault_plan;
+  fault::ChurnPlan churn;
+  fault::DriftPlan drift;
+  /// Seed for the injector's probability draws (symmetric/asymmetric
+  /// windows); the plans' *shapes* are explicit, so this only pins the
+  /// in-window outcomes.
+  std::uint64_t fault_seed = 1;
+
+  bool hostile() const {
+    return !fault_plan.empty() || !churn.empty() || !drift.specs.empty();
+  }
+
   /// Contract-fails on out-of-range sources, duplicate uids, populated
-  /// static_indices or nonzero corruption_prob.
+  /// static_indices, nonzero corruption_prob or invalid hostile plans.
   void validate() const;
 };
 

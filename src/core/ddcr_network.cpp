@@ -102,6 +102,11 @@ DdcrConfig with_default_indices(DdcrConfig config, int z) {
 
 DdcrRunOptions resolve_options(DdcrRunOptions options, int z) {
   options.ddcr = with_default_indices(options.ddcr, z);
+  HRTDM_EXPECT(options.churn_events >= 0,
+               "churn_events cannot be negative");
+  HRTDM_EXPECT(options.churn_events == 0 || options.require_rejoinable,
+               "a churn plan drives stations through the quiet-period "
+               "rejoin path: set require_rejoinable when churn_events > 0");
   if (options.require_rejoinable) {
     options.ddcr.validate_rejoinable();
   }

@@ -43,6 +43,14 @@ struct DdcrRunOptions {
   /// actionable message instead of failing deep inside reset_for_rejoin().
   /// Fault campaigns (fault::run_campaign) set this implicitly.
   bool require_rejoinable = false;
+  /// Number of scripted churn events (fault::ChurnPlan) the harness intends
+  /// to drive through this network's stations. The core layer never sees
+  /// the plan itself — churn is executed by the fault layer through
+  /// go_offline()/bring_online() — but a nonzero declaration is validated
+  /// at construction: every join re-enters through the quiet-period resync,
+  /// so churn without require_rejoinable (the PR 1 crash-path rule) is
+  /// rejected up front instead of failing deep inside bring_online().
+  std::int64_t churn_events = 0;
   /// Protocol event tracer for this run. nullptr means "use the global
   /// tracer when HRTDM_TRACE_OUT / obs::set_trace_out enabled it"; pass a
   /// tracer explicitly to capture one run in isolation. Tracing never

@@ -19,6 +19,8 @@ const char* DdcrStation::mode_name(Mode mode) {
       return "sts";
     case Mode::kResync:
       return "resync";
+    case Mode::kOffline:
+      return "offline";
   }
   return "?";
 }
@@ -172,6 +174,25 @@ void DdcrStation::reset_for_rejoin() {
   carried_reft_ = SimTime();
 }
 
+void DdcrStation::go_offline() {
+  // Clears protocol state through the same path as a crash (the queue
+  // survives), then parks the station out of the network entirely.
+  reset_for_rejoin();
+  mode_ = Mode::kOffline;
+  ++counters_.churn_leaves;
+  HRTDM_COUNT("ddcr.churn_leaves");
+  trace_instant("offline-enter");
+}
+
+void DdcrStation::bring_online() {
+  HRTDM_EXPECT(mode_ == Mode::kOffline,
+               "bring_online() is only valid for an offline station");
+  ++counters_.churn_joins;
+  HRTDM_COUNT("ddcr.churn_joins");
+  trace_instant("online-enter");
+  reset_for_rejoin();
+}
+
 bool DdcrStation::impossible_tts_success(const Frame& frame) const {
   // A synced sender transmits in TTs only when its effective index
   // max(f(reft, msg), f* + 1) lies in the probed interval; both inputs are
@@ -231,6 +252,8 @@ void DdcrStation::prune_late(SimTime now) {
 std::optional<Frame> DdcrStation::poll_intent(SimTime now) {
   prune_late(now);
   switch (mode_) {
+    case Mode::kOffline:
+      return std::nullopt;  // departed: not on the medium at all
     case Mode::kResync:
       return std::nullopt;  // listen-only until the quiet certificate
     case Mode::kCsmaCd: {
@@ -276,9 +299,9 @@ std::optional<Frame> DdcrStation::poll_burst(SimTime now,
   // IEEE 802.3z packet bursting (section 5): having won the channel, chain
   // the next EDF-ranked messages without relinquishing, up to the budget.
   (void)now;
-  if (mode_ == Mode::kResync) {
-    // Crashed (or quarantined) mid-burst: a resyncing station is
-    // listen-only and must release the channel immediately.
+  if (mode_ == Mode::kResync || mode_ == Mode::kOffline) {
+    // Crashed (or quarantined, or churned out) mid-burst: the station must
+    // release the channel immediately.
     return std::nullopt;
   }
   const auto head = queue_.head();
@@ -376,6 +399,9 @@ void DdcrStation::finish_sts(SimTime now) {
 }
 
 void DdcrStation::observe(const SlotObservation& obs) {
+  if (mode_ == Mode::kOffline) {
+    return;  // not listening: off the medium entirely
+  }
   const bool mine = obs.frame.has_value() && obs.frame->source == id_;
   const SimTime now = obs.slot_end;
   trace_now_ = now;
@@ -404,6 +430,8 @@ void DdcrStation::observe(const SlotObservation& obs) {
   }
 
   switch (mode_) {
+    case Mode::kOffline:
+      return;  // unreachable (early return above); keeps the switch total
     case Mode::kResync: {
       if (obs.kind == net::SlotKind::kSilence) {
         if (++resync_silences_ >= config_.resync_silence_threshold()) {

@@ -59,7 +59,7 @@ struct StationSnapshot {
 
 class DdcrStation final : public net::Station {
  public:
-  enum class Mode { kCsmaCd, kTimeSearch, kStaticSearch, kResync };
+  enum class Mode { kCsmaCd, kTimeSearch, kStaticSearch, kResync, kOffline };
 
   static const char* mode_name(Mode mode);
 
@@ -77,6 +77,8 @@ class DdcrStation final : public net::Station {
     std::int64_t dropped_late = 0;        ///< shed past-deadline messages
     std::int64_t desyncs_detected = 0;    ///< protocol-impossible observations
     std::int64_t quarantines = 0;         ///< watchdog-triggered self-resets
+    std::int64_t churn_leaves = 0;        ///< go_offline() departures
+    std::int64_t churn_joins = 0;         ///< bring_online() re-entries
   };
 
   /// `static_indices` is this source's ranked subset of [0, q).
@@ -96,8 +98,11 @@ class DdcrStation final : public net::Station {
   /// observe(silence) is a state no-op (only a collision, a queued message
   /// or a pending post-TTs attempt changes anything). kResync is NOT
   /// quiescent — it counts silent slots toward the quiet certificate.
+  /// kOffline IS quiescent: an offline station neither transmits nor
+  /// processes observations, so every slot is a state no-op for it.
   bool quiescent() const override {
-    return mode_ == Mode::kCsmaCd && !post_tts_attempt_ && queue_.empty();
+    return (mode_ == Mode::kCsmaCd && !post_tts_attempt_ && queue_.empty()) ||
+           mode_ == Mode::kOffline;
   }
 
   /// Crash recovery — and the divergence watchdog's quarantine path:
@@ -111,8 +116,25 @@ class DdcrStation final : public net::Station {
   /// (fallback mode with theta = 0 or max_empty_tts > 0).
   void reset_for_rejoin();
 
-  /// False while the station is in the listen-only resync phase.
-  bool synced() const { return mode_ != Mode::kResync; }
+  /// Churn departure (fault::ChurnPlan): discards protocol state exactly
+  /// like reset_for_rejoin() but parks the station fully offline — it
+  /// neither transmits nor listens. The local queue survives, as for a
+  /// crash. Requires a rejoinable configuration: the only way back is
+  /// bring_online()'s listen-only resync.
+  void go_offline();
+
+  /// Churn re-entry: the station powers back up with no protocol state and
+  /// re-enters through the same quiet-period resync path as a crash
+  /// recovery. Only valid while offline.
+  void bring_online();
+
+  bool online() const { return mode_ != Mode::kOffline; }
+
+  /// False while the station is in the listen-only resync phase or
+  /// offline.
+  bool synced() const {
+    return mode_ != Mode::kResync && mode_ != Mode::kOffline;
+  }
 
   // --- introspection ---
   Mode mode() const { return mode_; }

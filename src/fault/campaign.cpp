@@ -44,6 +44,19 @@ void ReconvergenceProbe::on_slot(const net::SlotRecord& record) {
   }
 }
 
+std::uint64_t axis_seed(std::uint64_t base_seed, CampaignAxis axis) {
+  // Mirrors core::channel_seed(): one SplitMix64 chain, axis k takes the
+  // (k+1)-th draw. The base constant differs from the legacy 0xFA17 mix,
+  // so these streams are decorrelated from (and cannot perturb) the
+  // fault-plan and injector seeds of pinned campaigns.
+  util::SplitMix64 mix(base_seed ^ 0xA715'C10C'D81F'7C4AULL);
+  std::uint64_t seed = mix.next();
+  for (int i = 0; i < static_cast<int>(axis); ++i) {
+    seed = mix.next();
+  }
+  return seed;
+}
+
 CampaignOptions::CampaignOptions() {
   phy.slot_x = Duration::nanoseconds(100);
   phy.psi_bps = 1e9;
@@ -84,14 +97,53 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   }
 
   // Derive independent streams for the plan shape and the in-run draws.
+  // The churn and drift axes take their seeds from axis_seed(), a separate
+  // SplitMix64 split, so enabling them leaves this legacy sequence — and
+  // with it every pinned campaign — bit-identical.
   util::SplitMix64 mix(options.seed ^ 0xFA17ULL);
   const FaultPlan plan = FaultPlan::random_mix(
       options.stations, options.fault_window_observations, options.crashes,
       options.symmetric_bursts, options.symmetric_prob,
       options.asymmetric_bursts, options.asymmetric_prob, mix.next());
-  FaultInjector injector(plan, mix.next());
+  ChurnPlan churn;
+  if (options.churn_events > 0) {
+    churn = options.churn_adversarial
+                ? ChurnPlan::adversarial_burst(
+                      options.stations, options.fault_window_observations / 3,
+                      options.churn_rejoin_gap, /*survivors=*/1)
+                : ChurnPlan::poisson(
+                      options.stations, options.fault_window_observations,
+                      options.churn_events,
+                      axis_seed(options.seed, CampaignAxis::kChurn));
+  }
+  DriftPlan drift;
+  if (options.drifted_stations > 0) {
+    drift = DriftPlan::uniform(options.stations, options.drifted_stations,
+                               options.drift_phase_bound,
+                               options.drift_rate_ppm,
+                               axis_seed(options.seed, CampaignAxis::kDrift));
+  }
+  FaultInjector injector(plan, churn, drift, mix.next());
   injector.set_crash_hook([&stations](int id) {
-    stations[static_cast<std::size_t>(id)]->reset_for_rejoin();
+    DdcrStation* station = stations[static_cast<std::size_t>(id)].get();
+    if (!station->online()) {
+      return;  // a powered-off station cannot crash
+    }
+    station->reset_for_rejoin();
+  });
+  injector.set_churn_hook([&stations](int id, ChurnKind kind) {
+    DdcrStation* station = stations[static_cast<std::size_t>(id)].get();
+    if (kind == ChurnKind::kLeave) {
+      station->go_offline();
+    } else {
+      station->bring_online();
+    }
+  });
+  // The resync rule: a drifted station's clock is re-anchored while it sits
+  // in a listen-only state (watchdog quarantine, crash recovery or churn
+  // rejoin).
+  injector.set_sync_probe([&stations](int id) {
+    return !stations[static_cast<std::size_t>(id)]->synced();
   });
   injector.install(channel);
 
@@ -170,10 +222,19 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       SimTime() + options.phy.slot_x * options.recovery_slots_cap;
 
   // Phase 1: run the fault window out (silence slots also advance the
-  // observation index, so the plan always exhausts).
-  sim::run_chunked(simulator, step, hard_cap, [&injector, &channel] {
-    return !injector.exhausted(channel.observations_delivered());
-  });
+  // observation index, so the plan always exhausts). A drift-only campaign
+  // has no scripted window at all — drift is persistent, not scheduled —
+  // so the phase must also cover the arrival span, or nothing would ever
+  // force the clock past t = 0 (phase 2 samples queued() before any
+  // arrival event has enqueued a message).
+  const SimTime last_arrival =
+      SimTime() + options.arrival_spacing * options.messages_per_station;
+  sim::run_chunked(simulator, step, hard_cap,
+                   [&injector, &channel, &simulator, last_arrival] {
+                     return !injector.exhausted(
+                                channel.observations_delivered()) ||
+                            simulator.now() < last_arrival;
+                   });
 
   // Phase 2: self-heal — drain the backlog and give crashed or quarantined
   // stations the quiet streak their rejoin certificate needs.
@@ -226,7 +287,10 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   result.safety_violations = safety.violations();
   result.drained = queued() == 0;
   result.reconverged = result.drained && all_synced() && consistent();
-  result.last_fault_observation = plan.last_fault_observation();
+  // Scripted axes only: drift has no window (it heals via the resync rule
+  // rather than expiring), so reconvergence is measured from the last
+  // fault or churn directive.
+  result.last_fault_observation = injector.last_fault_observation();
   const std::int64_t last_divergent = probe.last_divergent_observation();
   result.reconvergence_observations =
       last_divergent <= result.last_fault_observation
@@ -253,7 +317,10 @@ CampaignResult run_campaign(const CampaignOptions& options) {
     input.collision_mode = net::CollisionMode::kDestructive;
     input.ddcr = config;
     input.protocol_is_ddcr = true;
-    input.clean_prefix_end = plan.first_fault_observation();
+    // The scripted firsts of the fault and churn plans, plus the
+    // runtime-observed first drift mis-sample — before that index nothing
+    // rewrote or silenced any observation, so the full check is sound.
+    input.clean_prefix_end = injector.clean_prefix_end();
     input.replicas_clean = true;
     result.conformance =
         check::ConformanceComparator{}.check(input, recorder);

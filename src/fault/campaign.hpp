@@ -62,6 +62,20 @@ class ReconvergenceProbe final : public net::ChannelObserver {
   std::int64_t last_divergent_ = -1;
 };
 
+/// The extended fault axes derive their RNG streams by channel_seed()-style
+/// SplitMix64 splitting: axis k's seed is the (k+1)-th draw of a SplitMix64
+/// chain over a base decorrelated from the campaign's legacy stream
+/// (`seed ^ 0xFA17`, which feeds the fault-plan shape and the injector, in
+/// that order, exactly as before). Enabling a new axis therefore never
+/// perturbs the random sequence of an existing pinned campaign.
+enum class CampaignAxis : int {
+  kChurn = 0,
+  kDrift = 1,
+  kScramble = 2,  ///< stabilization harness state corruption
+};
+
+std::uint64_t axis_seed(std::uint64_t base_seed, CampaignAxis axis);
+
 struct CampaignOptions {
   int stations = 4;
   std::uint64_t seed = 1;
@@ -86,6 +100,22 @@ struct CampaignOptions {
   double symmetric_prob = 0.3;
   int asymmetric_bursts = 2;
   double asymmetric_prob = 0.6;
+
+  /// Churn axis (0 = disabled): scripted join/leave membership events over
+  /// the fault window. Poisson background churn by default; the
+  /// adversarial variant is one mass departure of every station but one at
+  /// a third of the window, all rejoining `churn_rejoin_gap` observations
+  /// later. Seeded from axis_seed(seed, CampaignAxis::kChurn).
+  int churn_events = 0;
+  bool churn_adversarial = false;
+  std::int64_t churn_rejoin_gap = 96;
+
+  /// Drift axis (0 = disabled): this many stations get drifting clocks
+  /// (fault::DriftPlan::uniform) with the given phase bound and |rate|.
+  /// Seeded from axis_seed(seed, CampaignAxis::kDrift).
+  int drifted_stations = 0;
+  util::Duration drift_phase_bound;
+  double drift_rate_ppm = 0.0;
 
   /// Self-healing bounds: up to `max_recovery_rounds` forced reconvergence
   /// epochs inside an overall budget of `recovery_slots_cap` slot times.

@@ -1,0 +1,130 @@
+#include "fault/churn_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::fault {
+
+std::int64_t ChurnPlan::first_observation() const {
+  return events.empty() ? -1 : events.front().at_observation;
+}
+
+std::int64_t ChurnPlan::last_observation() const {
+  return events.empty() ? -1 : events.back().at_observation;
+}
+
+void ChurnPlan::validate(int station_count) const {
+  std::int64_t prev = -1;
+  for (const ChurnEvent& e : events) {
+    HRTDM_EXPECT(e.at_observation >= 0, "churn observation must be >= 0");
+    HRTDM_EXPECT(e.at_observation >= prev, "churn events must be sorted");
+    HRTDM_EXPECT(e.station >= 0 && e.station < station_count,
+                 "churn station id out of range");
+    prev = e.at_observation;
+  }
+  // Per-station pairing: alternating, leave first, join last, strictly
+  // increasing observation numbers.
+  for (int s = 0; s < station_count; ++s) {
+    bool offline = false;
+    std::int64_t last_at = -1;
+    for (const ChurnEvent& e : events) {
+      if (e.station != s) {
+        continue;
+      }
+      HRTDM_EXPECT(e.at_observation > last_at,
+                   "a station's churn events must be strictly ordered");
+      last_at = e.at_observation;
+      if (e.kind == ChurnKind::kLeave) {
+        HRTDM_EXPECT(!offline, "leave directive for an offline station");
+        offline = true;
+      } else {
+        HRTDM_EXPECT(offline, "join directive for an online station");
+        offline = false;
+      }
+    }
+    HRTDM_EXPECT(!offline, "churn plan leaves a station offline forever");
+  }
+}
+
+ChurnPlan ChurnPlan::poisson(int station_count,
+                             std::int64_t window_observations, int events,
+                             std::uint64_t seed) {
+  HRTDM_EXPECT(station_count >= 1, "need at least one station");
+  HRTDM_EXPECT(window_observations >= 1, "churn window must be non-empty");
+  HRTDM_EXPECT(events >= 0, "event count cannot be negative");
+  util::Rng rng(seed);
+  ChurnPlan plan;
+  if (events == 0) {
+    return plan;
+  }
+  const double mean_gap =
+      static_cast<double>(window_observations) / static_cast<double>(events);
+  std::vector<bool> offline(static_cast<std::size_t>(station_count), false);
+  std::vector<std::int64_t> last_at(static_cast<std::size_t>(station_count),
+                                    -1);
+  double t = 0.0;
+  for (int i = 0; i < events; ++i) {
+    t += rng.exponential(1.0 / mean_gap);
+    const auto at = static_cast<std::int64_t>(std::llround(t));
+    if (at >= window_observations) {
+      break;
+    }
+    const int station =
+        static_cast<int>(rng.uniform_i64(0, station_count - 1));
+    const auto idx = static_cast<std::size_t>(station);
+    if (at <= last_at[idx]) {
+      continue;  // same-observation repeat for one station: skip
+    }
+    ChurnEvent e;
+    e.at_observation = at;
+    e.station = station;
+    e.kind = offline[idx] ? ChurnKind::kJoin : ChurnKind::kLeave;
+    offline[idx] = !offline[idx];
+    last_at[idx] = at;
+    plan.events.push_back(e);
+  }
+  // Pair off: stations still offline rejoin staggered shortly after the
+  // window so reconvergence is always reachable.
+  std::int64_t stagger = 0;
+  for (int s = 0; s < station_count; ++s) {
+    if (!offline[static_cast<std::size_t>(s)]) {
+      continue;
+    }
+    ChurnEvent e;
+    e.at_observation = window_observations + 4 * stagger++;
+    e.station = s;
+    e.kind = ChurnKind::kJoin;
+    plan.events.push_back(e);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at_observation < b.at_observation;
+                   });
+  plan.validate(station_count);
+  return plan;
+}
+
+ChurnPlan ChurnPlan::adversarial_burst(int station_count,
+                                       std::int64_t leave_at,
+                                       std::int64_t rejoin_gap,
+                                       int survivors) {
+  HRTDM_EXPECT(station_count >= 1, "need at least one station");
+  HRTDM_EXPECT(leave_at >= 0, "leave observation must be >= 0");
+  HRTDM_EXPECT(rejoin_gap >= 1, "rejoin gap must be positive");
+  HRTDM_EXPECT(survivors >= 0 && survivors <= station_count,
+               "survivor count out of range");
+  ChurnPlan plan;
+  for (int s = survivors; s < station_count; ++s) {
+    plan.events.push_back({leave_at, s, ChurnKind::kLeave});
+  }
+  for (int s = survivors; s < station_count; ++s) {
+    plan.events.push_back({leave_at + rejoin_gap, s, ChurnKind::kJoin});
+  }
+  plan.validate(station_count);
+  return plan;
+}
+
+}  // namespace hrtdm::fault

@@ -1,0 +1,69 @@
+// Mass join/leave churn plans (docs/FAULTS.md).
+//
+// A ChurnPlan scripts station membership changes on the same deterministic
+// time axis as a FaultPlan: the channel's observation number. A kLeave
+// event takes a station offline — it stops transmitting and hears nothing
+// (DdcrStation::go_offline) — and a kJoin event brings it back through the
+// listen-only quiet-period rejoin path (the PR 1 quarantine/rejoin
+// machinery), never with fabricated state. Two generators cover the two
+// regimes of interest: memoryless background churn (poisson) and an
+// adversarial mass departure followed by a thundering simultaneous rejoin
+// (adversarial_burst).
+//
+// Plans are *fully paired*: per station, events alternate leave/join,
+// starting with a leave and ending with a join, so every plan eventually
+// returns the network to full membership and reconvergence is a meaningful
+// postcondition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hrtdm::fault {
+
+enum class ChurnKind {
+  kLeave,  ///< station goes offline right after this observation
+  kJoin,   ///< station re-enters via the listen-only resync path
+};
+
+struct ChurnEvent {
+  std::int64_t at_observation = 0;  ///< fires right after this delivery
+  int station = 0;
+  ChurnKind kind = ChurnKind::kLeave;
+};
+
+struct ChurnPlan {
+  /// Sorted by at_observation (ties in scripted order).
+  std::vector<ChurnEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// First / last observation index at which an event fires (-1 if empty).
+  std::int64_t first_observation() const;
+  std::int64_t last_observation() const;
+
+  /// Station ids in range, events sorted, and per-station sequences fully
+  /// paired (alternating leave/join, starting leave, ending join, strictly
+  /// increasing observation numbers).
+  void validate(int station_count) const;
+
+  /// Memoryless background churn: events arrive with exponential spacing
+  /// (mean window/events per gap) over [0, window_observations); each picks
+  /// a station uniformly and toggles it (online -> leave, offline -> join).
+  /// Stations still offline at the window's end are rejoined staggered
+  /// shortly after it, keeping the plan fully paired. Deterministic per
+  /// seed.
+  static ChurnPlan poisson(int station_count,
+                           std::int64_t window_observations, int events,
+                           std::uint64_t seed);
+
+  /// Adversarial burst: every station except the `survivors` lowest ids
+  /// leaves at `leave_at` in one observation, and all of them rejoin
+  /// simultaneously at `leave_at + rejoin_gap` — the thundering-rejoin
+  /// worst case for the quiet-period certificate.
+  static ChurnPlan adversarial_burst(int station_count,
+                                     std::int64_t leave_at,
+                                     std::int64_t rejoin_gap, int survivors);
+};
+
+}  // namespace hrtdm::fault

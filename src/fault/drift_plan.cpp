@@ -1,0 +1,54 @@
+#include "fault/drift_plan.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::fault {
+
+void DriftPlan::validate(int station_count) const {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const DriftSpec& d = specs[i];
+    HRTDM_EXPECT(d.station >= 0 && d.station < station_count,
+                 "drift station id out of range");
+    HRTDM_EXPECT(d.rate_ppm == 0.0 || d.phase_bound.ns() > 0,
+                 "a drifting clock needs a positive phase bound");
+    HRTDM_EXPECT(d.phase_bound.ns() >= 0, "phase bound cannot be negative");
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      HRTDM_EXPECT(specs[j].station != d.station,
+                   "duplicate drift spec for one station");
+    }
+  }
+}
+
+bool DriftPlan::can_missample(util::Duration slot_x) const {
+  for (const DriftSpec& d : specs) {
+    if (d.make_clock().sup_phase() * 2 >= slot_x) {
+      return true;
+    }
+  }
+  return false;
+}
+
+DriftPlan DriftPlan::uniform(int station_count, int drifted,
+                             util::Duration phase_bound, double rate_ppm,
+                             std::uint64_t seed) {
+  HRTDM_EXPECT(station_count >= 1, "need at least one station");
+  HRTDM_EXPECT(drifted >= 0 && drifted <= station_count,
+               "drifted station count out of range");
+  util::Rng rng(seed);
+  const std::vector<std::int64_t> order = rng.permutation(station_count);
+  DriftPlan plan;
+  for (int i = 0; i < drifted; ++i) {
+    DriftSpec d;
+    d.station = static_cast<int>(order[static_cast<std::size_t>(i)]);
+    d.initial_phase = util::Duration::nanoseconds(
+        rng.uniform_i64(-phase_bound.ns(), phase_bound.ns()));
+    d.rate_ppm = rng.bernoulli(0.5) ? rate_ppm : -rate_ppm;
+    d.phase_bound = phase_bound;
+    plan.specs.push_back(d);
+  }
+  plan.validate(station_count);
+  return plan;
+}
+
+}  // namespace hrtdm::fault

@@ -1,0 +1,56 @@
+// Per-station clock drift plans (docs/FAULTS.md).
+//
+// A DriftPlan assigns a sim::DriftClock to chosen stations. The injector
+// mis-samples a drifted station's receive path whenever its phase error
+// reaches half a slot (the synchrony budget the paper's proofs assume):
+// a successful transmission is heard as a collision — the frame straddles
+// the station's misplaced slot boundary and fails its CRC. Sub-threshold
+// drift is benign by construction: no observation is ever rewritten, so a
+// plan whose clocks can never reach x/2 is a provable no-op.
+//
+// The model is deterministic (clocks draw no randomness at run time);
+// only the generator below consumes a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/drift_clock.hpp"
+#include "util/simtime.hpp"
+
+namespace hrtdm::fault {
+
+struct DriftSpec {
+  int station = 0;
+  util::Duration initial_phase;  ///< fixed skew at run start (may be <0)
+  double rate_ppm = 0.0;         ///< linear drift rate, parts per million
+  util::Duration phase_bound;    ///< |phase| clamp; required when rate != 0
+
+  sim::DriftClock make_clock() const {
+    return sim::DriftClock(initial_phase, rate_ppm, phase_bound);
+  }
+};
+
+struct DriftPlan {
+  std::vector<DriftSpec> specs;
+
+  bool empty() const { return specs.empty(); }
+
+  /// Station ids in range and unique; a nonzero rate requires a positive
+  /// phase bound (an unclamped drifting clock has no synchrony budget).
+  void validate(int station_count) const;
+
+  /// True when any spec's clock can ever reach the x/2 mis-sampling
+  /// threshold. A plan for which this is false rewrites nothing: runs are
+  /// bit-identical to drift-free runs.
+  bool can_missample(util::Duration slot_x) const;
+
+  /// Picks `drifted` distinct stations; each gets a uniform initial phase
+  /// in [-phase_bound, +phase_bound] and the given rate with a random
+  /// sign. Deterministic per seed.
+  static DriftPlan uniform(int station_count, int drifted,
+                           util::Duration phase_bound, double rate_ppm,
+                           std::uint64_t seed);
+};
+
+}  // namespace hrtdm::fault

@@ -1,18 +1,45 @@
 #include "fault/fault_injector.hpp"
 
+#include <algorithm>
+
 #include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace hrtdm::fault {
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : FaultInjector(std::move(plan), ChurnPlan{}, DriftPlan{}, seed) {}
+
+FaultInjector::FaultInjector(FaultPlan plan, ChurnPlan churn, DriftPlan drift,
+                             std::uint64_t seed)
     : plan_(std::move(plan)),
+      churn_(std::move(churn)),
+      drift_(std::move(drift)),
       rng_(seed),
-      crash_fired_(plan_.crashes.size(), false) {}
+      crash_fired_(plan_.crashes.size(), false) {
+  for (const DriftSpec& spec : drift_.specs) {
+    drifted_.push_back({spec.station, spec.make_clock(), false});
+  }
+}
 
 void FaultInjector::install(net::BroadcastChannel& channel) {
+  slot_x_ = channel.phy().slot_x;
   channel.set_interceptor(this);
   channel.add_observer(*this);
+}
+
+std::int64_t FaultInjector::clean_prefix_end() const {
+  std::int64_t first = INT64_MAX;
+  if (const std::int64_t f = plan_.first_fault_observation(); f >= 0) {
+    first = std::min(first, f);
+  }
+  if (const std::int64_t c = churn_.first_observation(); c >= 0) {
+    first = std::min(first, c);
+  }
+  if (first_drift_effect_ >= 0) {
+    first = std::min(first, first_drift_effect_);
+  }
+  return first == INT64_MAX ? -1 : first;
 }
 
 bool FaultInjector::corrupt_slot(std::int64_t slot_index) {
@@ -71,11 +98,36 @@ net::SlotObservation FaultInjector::deliver_to(
         break;
     }
   }
+  // Drift mis-sampling runs after the scripted asymmetric faults so the
+  // rng_ draw order is untouched (drift draws nothing). A station whose
+  // phase error has reached x/2 samples the slot boundary on the wrong
+  // side: a successful frame straddles its misplaced boundary and fails
+  // the CRC, so it hears a collision of the same duration. Collisions and
+  // silence carry no frame to garble and pass through.
+  if (!drifted_.empty()) {
+    HRTDM_EXPECT(slot_x_.ns() > 0,
+                 "install() must run before drifted delivery");
+  }
+  for (const DriftedStation& d : drifted_) {
+    if (d.station != station_id ||
+        !d.clock.missamples(heard.slot_start, slot_x_)) {
+      continue;
+    }
+    if (heard.kind == net::SlotKind::kSuccess) {
+      heard.kind = net::SlotKind::kCollision;
+      heard.frame.reset();
+      heard.arbitration = false;
+      ++stats_.drift_missamples;
+      HRTDM_COUNT("fault.drift_missamples");
+      if (first_drift_effect_ < 0) {
+        first_drift_effect_ = slot_index;
+      }
+    }
+  }
   return heard;
 }
 
 void FaultInjector::on_slot(const net::SlotRecord& record) {
-  (void)record;
   const std::int64_t index = observations_seen_++;
   for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
     if (crash_fired_[i] || plan_.crashes[i].at_observation > index) {
@@ -87,6 +139,35 @@ void FaultInjector::on_slot(const net::SlotRecord& record) {
     HRTDM_EXPECT(static_cast<bool>(crash_hook_),
                  "a crash directive fired but no crash hook is set");
     crash_hook_(plan_.crashes[i].station);
+  }
+  while (churn_next_ < churn_.events.size() &&
+         churn_.events[churn_next_].at_observation <= index) {
+    const ChurnEvent& e = churn_.events[churn_next_++];
+    HRTDM_EXPECT(static_cast<bool>(churn_hook_),
+                 "a churn directive fired but no churn hook is set");
+    if (e.kind == ChurnKind::kLeave) {
+      ++stats_.churn_leaves;
+      HRTDM_COUNT("fault.churn_leaves");
+    } else {
+      ++stats_.churn_joins;
+      HRTDM_COUNT("fault.churn_joins");
+    }
+    churn_hook_(e.station, e.kind);
+  }
+  // The resync rule: while a drifted station sits in the listen-only
+  // resync state (watchdog quarantine or churn rejoin), its clock is
+  // re-anchored against the channel it is listening to — phase returns to
+  // zero, the residual frequency error stays.
+  for (DriftedStation& d : drifted_) {
+    const bool resyncing = sync_probe_ && sync_probe_(d.station);
+    if (resyncing) {
+      d.clock.resync(record.end);
+      if (!d.resyncing) {
+        ++stats_.drift_resyncs;
+        HRTDM_COUNT("fault.drift_resyncs");
+      }
+    }
+    d.resyncing = resyncing;
   }
 }
 

@@ -1,22 +1,29 @@
-// Executes a FaultPlan against a live BroadcastChannel.
+// Executes fault, churn and drift plans against a live BroadcastChannel.
 //
 // The injector sits on both channel hooks: as the SlotInterceptor it
-// destroys scripted transmissions (symmetric windows) and rewrites chosen
-// stations' observations (asymmetric windows); as a ChannelObserver it
-// counts delivered observations and fires crash directives at their slot
-// boundary through a caller-supplied hook (the injector knows station *ids*,
-// the harness knows the DdcrStation objects).
+// destroys scripted transmissions (symmetric windows), rewrites chosen
+// stations' observations (asymmetric windows) and mis-samples drifted
+// stations' receive paths; as a ChannelObserver it counts delivered
+// observations and fires crash and churn directives at their slot boundary
+// through caller-supplied hooks (the injector knows station *ids*, the
+// harness knows the DdcrStation objects).
 //
 // All randomness comes from one seeded stream drawn in a deterministic
 // order (symmetric draw per window per slot, then asymmetric draws in
 // station-attach order), so a (plan, seed) pair reproduces bit-for-bit.
+// The churn and drift axes draw nothing at run time — churn plans are
+// pre-generated and drift is a deterministic clock model — so enabling
+// either axis cannot perturb the fault stream of an existing pinned run.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
+#include "fault/churn_plan.hpp"
+#include "fault/drift_plan.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/channel.hpp"
+#include "sim/drift_clock.hpp"
 #include "util/rng.hpp"
 
 namespace hrtdm::fault {
@@ -27,45 +34,90 @@ class FaultInjector final : public net::SlotInterceptor,
   /// Invoked with the station id of a crash directive, at the boundary of
   /// the observation it is scripted for (after the station observed it).
   using CrashHook = std::function<void(int station)>;
+  /// Invoked with a churn directive at its observation boundary.
+  using ChurnHook = std::function<void(int station, ChurnKind kind)>;
+  /// Polled once per slot per drifted station: returns true while the
+  /// station is resynchronising (quarantined by the watchdog or rejoining
+  /// after churn). While true the station's drift clock is re-anchored —
+  /// the resync rule: rejoin corrects phase, the residual rate remains.
+  using SyncProbe = std::function<bool(int station)>;
 
   FaultInjector(FaultPlan plan, std::uint64_t seed);
+  FaultInjector(FaultPlan plan, ChurnPlan churn, DriftPlan drift,
+                std::uint64_t seed);
 
   /// Installs this injector on the channel (interceptor + observer) —
   /// call before channel.start(); the injector must outlive the channel.
   void install(net::BroadcastChannel& channel);
 
   void set_crash_hook(CrashHook hook) { crash_hook_ = std::move(hook); }
+  void set_churn_hook(ChurnHook hook) { churn_hook_ = std::move(hook); }
+  void set_sync_probe(SyncProbe probe) { sync_probe_ = std::move(probe); }
 
   struct Stats {
     std::int64_t crashes_fired = 0;
     std::int64_t symmetric_corruptions = 0;
     std::int64_t asymmetric_corruptions = 0;  ///< success heard as collision
     std::int64_t asymmetric_misses = 0;       ///< slot heard as silence
+    std::int64_t churn_leaves = 0;
+    std::int64_t churn_joins = 0;
+    std::int64_t drift_missamples = 0;  ///< success garbled by phase error
+    std::int64_t drift_resyncs = 0;     ///< clock re-anchoring episodes
   };
   const Stats& stats() const { return stats_; }
   const FaultPlan& plan() const { return plan_; }
+  const ChurnPlan& churn() const { return churn_; }
+  const DriftPlan& drift() const { return drift_; }
+
+  /// Last observation index at which any *scripted* directive (fault or
+  /// churn) can still act. Drift has no window: it is persistent and heals
+  /// through the resync rule instead of expiring.
   std::int64_t last_fault_observation() const {
-    return plan_.last_fault_observation();
+    const std::int64_t f = plan_.last_fault_observation();
+    const std::int64_t c = churn_.last_observation();
+    return f > c ? f : c;
   }
-  /// True once every directive's window lies strictly in the past.
+  /// True once every scripted directive's window lies strictly in the past.
   bool exhausted(std::int64_t observation_index) const {
     return observation_index > last_fault_observation();
   }
+
+  /// End of the provably clean prefix: the smallest observation index at
+  /// which anything acted or could have acted — the scripted firsts of the
+  /// fault and churn plans, and the *runtime-observed* first drift
+  /// mis-sample (drift has no scripted first; before the first rewrite the
+  /// stream is truthful, so the prefix is sound). -1 when nothing ever
+  /// acted: the whole run is clean.
+  std::int64_t clean_prefix_end() const;
 
   // --- net::SlotInterceptor ---
   bool corrupt_slot(std::int64_t slot_index) override;
   net::SlotObservation deliver_to(int station_id, std::int64_t slot_index,
                                   const net::SlotObservation& obs) override;
 
-  // --- net::ChannelObserver (crash firing) ---
+  // --- net::ChannelObserver (crash/churn firing, drift resync) ---
   void on_slot(const net::SlotRecord& record) override;
 
  private:
+  struct DriftedStation {
+    int station = 0;
+    sim::DriftClock clock;
+    bool resyncing = false;
+  };
+
   FaultPlan plan_;
+  ChurnPlan churn_;
+  DriftPlan drift_;
   util::Rng rng_;
   CrashHook crash_hook_;
+  ChurnHook churn_hook_;
+  SyncProbe sync_probe_;
   std::vector<bool> crash_fired_;
+  std::vector<DriftedStation> drifted_;
+  util::Duration slot_x_;  ///< set at install() from the channel's phy
+  std::size_t churn_next_ = 0;
   std::int64_t observations_seen_ = 0;
+  std::int64_t first_drift_effect_ = -1;
   Stats stats_;
 };
 

@@ -57,10 +57,15 @@
 #include "obs/event_tracer.hpp"
 #include "obs/registry.hpp"
 
-// Fault injection and the self-healing campaign harness.
+// Fault injection, the hostile-world axes (drift / churn / bursty loss)
+// and the self-healing campaign + self-stabilization harnesses
+// (docs/FAULTS.md).
 #include "fault/campaign.hpp"
+#include "fault/churn_plan.hpp"
+#include "fault/drift_plan.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/stabilization.hpp"
 
 // Differential conformance: EDF oracle, comparator, bound checks,
 // shrinking replay harness (docs/TESTING.md).

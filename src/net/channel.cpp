@@ -11,7 +11,11 @@ namespace hrtdm::net {
 BroadcastChannel::BroadcastChannel(sim::Simulator& simulator, PhyConfig phy,
                                    CollisionMode mode,
                                    std::uint64_t noise_seed)
-    : simulator_(simulator), phy_(phy), mode_(mode), noise_rng_(noise_seed) {
+    : simulator_(simulator),
+      phy_(phy),
+      mode_(mode),
+      noise_rng_(noise_seed),
+      ge_rng_(util::SplitMix64(noise_seed ^ 0x6E55'0BAD'600DULL).next()) {
   phy_.validate();
 }
 
@@ -75,6 +79,8 @@ void BroadcastChannel::apply(const ChannelStats& delta) {
   stats_.burst_continuations += delta.burst_continuations;
   stats_.arbitration_wins += delta.arbitration_wins;
   stats_.corrupted_frames += delta.corrupted_frames;
+  stats_.ge_bad_slots += delta.ge_bad_slots;
+  stats_.ge_losses += delta.ge_losses;
   stats_.bits_delivered += delta.bits_delivered;
   stats_.busy_time += delta.busy_time;
   stats_.idle_time += delta.idle_time;
@@ -182,6 +188,16 @@ void BroadcastChannel::begin_slot() {
   }
   const SimTime start = simulator_.now();
 
+  // Gilbert–Elliott chain: the hidden good/bad state flips at every
+  // contention-slot boundary, silence included — fading does not wait for
+  // traffic. Drawn from ge_rng_ only, and only when the model is enabled.
+  if (phy_.ge_enabled) {
+    const double flip = ge_bad_ ? phy_.ge_p_bad_good : phy_.ge_p_good_bad;
+    if (ge_rng_.bernoulli(flip)) {
+      ge_bad_ = !ge_bad_;
+    }
+  }
+
   // Poll every station; the broadcast property requires that intents are
   // decided simultaneously at the slot boundary.
   intents_.clear();
@@ -207,7 +223,8 @@ void BroadcastChannel::begin_slot() {
   ChannelStats& delta = pending_delta_;
 
   if (intents_.empty()) {
-    if (interceptor_ == nullptr && all_quiescent() && try_idle_gap(start)) {
+    if (interceptor_ == nullptr && !phy_.ge_enabled && all_quiescent() &&
+        try_idle_gap(start)) {
       return;  // fast-forwarded; the gap resume event continues the chain
     }
     pending_obs_.kind = pending_record_.kind = SlotKind::kSilence;
@@ -264,10 +281,13 @@ void BroadcastChannel::begin_slot() {
   const bool noise_corrupts = pending_obs_.kind == SlotKind::kSuccess &&
                               phy_.corruption_prob > 0.0 &&
                               noise_rng_.bernoulli(phy_.corruption_prob);
+  const bool ge_corrupts =
+      pending_obs_.kind == SlotKind::kSuccess && phy_.ge_enabled &&
+      ge_rng_.bernoulli(ge_bad_ ? phy_.ge_loss_bad : phy_.ge_loss_good);
   const bool forced_corrupts =
       pending_obs_.kind == SlotKind::kSuccess && interceptor_ != nullptr &&
       interceptor_->corrupt_slot(observations_delivered_);
-  if (noise_corrupts || forced_corrupts) {
+  if (noise_corrupts || ge_corrupts || forced_corrupts) {
     pending_obs_.kind = pending_record_.kind = SlotKind::kCollision;
     pending_obs_.frame.reset();
     pending_record_.frame.reset();
@@ -276,7 +296,13 @@ void BroadcastChannel::begin_slot() {
     delta = ChannelStats{};
     ++delta.collision_slots;
     ++delta.corrupted_frames;
+    if (ge_corrupts) {
+      ++delta.ge_losses;
+    }
     delta.contention_time += end - start;
+  }
+  if (phy_.ge_enabled && ge_bad_) {
+    ++delta.ge_bad_slots;
   }
 
   pending_obs_.slot_end = pending_record_.end = end;

@@ -106,6 +106,8 @@ struct ChannelStats {
   std::int64_t burst_continuations = 0;
   std::int64_t arbitration_wins = 0;
   std::int64_t corrupted_frames = 0;   ///< transmissions destroyed by noise
+  std::int64_t ge_bad_slots = 0;       ///< slots spent in the GE bad state
+  std::int64_t ge_losses = 0;          ///< corrupted_frames due to GE loss
   std::int64_t bits_delivered = 0;     ///< sum of l over delivered frames
   util::Duration busy_time;            ///< time spent transmitting
   util::Duration idle_time;            ///< silence slots
@@ -215,6 +217,14 @@ class BroadcastChannel final : private sim::ScheduleWatcher {
   PhyConfig phy_;
   CollisionMode mode_;
   util::Rng noise_rng_;
+  // Gilbert–Elliott channel state. ge_rng_ is seeded independently of
+  // noise_rng_ (SplitMix64 split of noise_seed) and is only ever drawn from
+  // when phy_.ge_enabled, so enabling the model cannot perturb the i.i.d.
+  // noise stream of existing pinned runs. The chain advances once per
+  // contention slot; idle fast-forward is disabled under GE so the chain
+  // sees every slot boundary.
+  util::Rng ge_rng_;
+  bool ge_bad_ = false;
   std::vector<Station*> stations_;
   std::vector<ChannelObserver*> observers_;
   SlotInterceptor* interceptor_ = nullptr;

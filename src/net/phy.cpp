@@ -25,6 +25,29 @@ void PhyConfig::validate() const {
   HRTDM_EXPECT(burst_budget_bits >= 0, "burst budget cannot be negative");
   HRTDM_EXPECT(corruption_prob >= 0.0 && corruption_prob < 1.0,
                "corruption probability must lie in [0, 1)");
+  if (ge_enabled) {
+    HRTDM_EXPECT(corruption_prob == 0.0,
+                 "Gilbert-Elliott replaces i.i.d. noise: corruption_prob "
+                 "must be 0 when ge_enabled");
+    HRTDM_EXPECT(ge_p_good_bad >= 0.0 && ge_p_good_bad <= 1.0,
+                 "ge_p_good_bad must lie in [0, 1]");
+    HRTDM_EXPECT(ge_p_bad_good > 0.0 && ge_p_bad_good <= 1.0,
+                 "ge_p_bad_good must lie in (0, 1]: bad bursts must end");
+    HRTDM_EXPECT(ge_loss_good >= 0.0 && ge_loss_good < 1.0,
+                 "ge_loss_good must lie in [0, 1)");
+    HRTDM_EXPECT(ge_loss_bad >= 0.0 && ge_loss_bad < 1.0,
+                 "ge_loss_bad must lie in [0, 1)");
+  }
+}
+
+PhyConfig& PhyConfig::gilbert_elliott(double p_good_bad, double p_bad_good,
+                                      double loss_good, double loss_bad) {
+  ge_enabled = true;
+  ge_p_good_bad = p_good_bad;
+  ge_p_bad_good = p_bad_good;
+  ge_loss_good = loss_good;
+  ge_loss_bad = loss_bad;
+  return *this;
 }
 
 PhyConfig PhyConfig::gigabit_ethernet() {

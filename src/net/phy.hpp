@@ -33,6 +33,26 @@ struct PhyConfig {
   /// all stations share one view. Burst continuations are not corrupted.
   double corruption_prob = 0.0;
 
+  /// Gilbert–Elliott two-state bursty loss model: an optional replacement
+  /// for the i.i.d. `corruption_prob` noise. The channel carries a hidden
+  /// good/bad state that flips with the transition probabilities below at
+  /// every contention-slot boundary; a successful transmission is destroyed
+  /// (symmetrically, exactly like `corruption_prob`) with the loss
+  /// probability of the current state. Mean bad-burst length is
+  /// 1/ge_p_bad_good slots, so losses cluster — the fading-channel regime
+  /// of Fast-CSMA-style wireless models — instead of arriving i.i.d.
+  /// Mutually exclusive with `corruption_prob`; burst continuations are
+  /// not corrupted (as with the i.i.d. model).
+  bool ge_enabled = false;
+  double ge_p_good_bad = 0.05;  ///< P(good -> bad) per contention slot
+  double ge_p_bad_good = 0.25;  ///< P(bad -> good) per contention slot
+  double ge_loss_good = 0.0;    ///< P(success destroyed | good state)
+  double ge_loss_bad = 0.5;     ///< P(success destroyed | bad state)
+
+  /// Enables the Gilbert–Elliott model with the given parameters.
+  PhyConfig& gilbert_elliott(double p_good_bad, double p_bad_good,
+                             double loss_good, double loss_bad);
+
   /// On-wire bits l'(msg) for a PDU of l bits.
   std::int64_t l_prime_bits(std::int64_t l_bits) const;
 

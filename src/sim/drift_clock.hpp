@@ -1,0 +1,89 @@
+// Per-station clock drift.
+//
+// The paper's synchrony assumption is that a channel-state transition
+// triggered at t is seen everywhere before t + x/2: every station samples
+// slot boundaries within half a slot of true time. A DriftClock models one
+// station's violation budget against that assumption as a bounded phase
+// error
+//
+//   phi(t) = clamp(initial_phase + rate_ppm * 1e-6 * (t - anchor), ±bound)
+//
+// i.e. a fixed skew plus a linear drift that saturates at a hardware bound
+// (crystal spec). The fault layer mis-samples a station's observations
+// whenever |phi| reaches x/2 — the boundary disagreement the paper's
+// proofs exclude — and re-anchors the clock (resync()) when the divergence
+// watchdog quarantines the station, modeling the clock resynchronisation a
+// real implementation performs on rejoin. The model is fully deterministic:
+// it draws no random numbers, so enabling drift cannot perturb any pinned
+// RNG stream.
+#pragma once
+
+#include "util/simtime.hpp"
+
+namespace hrtdm::sim {
+
+using util::Duration;
+using util::SimTime;
+
+class DriftClock {
+ public:
+  DriftClock() = default;
+  DriftClock(Duration initial_phase, double rate_ppm, Duration bound)
+      : phase_at_anchor_(initial_phase), rate_ppm_(rate_ppm), bound_(bound) {}
+
+  /// Phase error at `now`, clamped to [-bound, +bound]. bound <= 0 means
+  /// unclamped.
+  Duration phase_error(SimTime now) const {
+    const double drifted_ns =
+        static_cast<double>(phase_at_anchor_.ns()) +
+        rate_ppm_ * 1e-6 * static_cast<double>((now - anchor_).ns());
+    Duration phase = Duration::nanoseconds(static_cast<std::int64_t>(
+        drifted_ns >= 0 ? drifted_ns + 0.5 : drifted_ns - 0.5));
+    if (bound_.ns() > 0) {
+      if (phase > bound_) {
+        phase = bound_;
+      } else if (phase < -bound_) {
+        phase = -bound_;
+      }
+    }
+    return phase;
+  }
+
+  /// True when the phase error at `now` breaks the x/2 synchrony
+  /// assumption: the station samples the slot boundary on the wrong side.
+  bool missamples(SimTime now, Duration slot_x) const {
+    const Duration phase = phase_error(now);
+    const Duration magnitude = phase.is_negative() ? -phase : phase;
+    return magnitude * 2 >= slot_x;
+  }
+
+  /// Clock resynchronisation: zero the phase and re-anchor at `now`. The
+  /// residual rate keeps drifting afterwards — resync corrects phase, not
+  /// frequency.
+  void resync(SimTime now) {
+    phase_at_anchor_ = Duration::nanoseconds(0);
+    anchor_ = now;
+  }
+
+  double rate_ppm() const { return rate_ppm_; }
+  Duration bound() const { return bound_; }
+
+  /// Largest |phase| ever reachable (for static benignity analysis): the
+  /// clamp bound when the clock has a rate, else the initial phase.
+  Duration sup_phase() const {
+    const Duration initial = phase_at_anchor_.is_negative() ? -phase_at_anchor_
+                                                            : phase_at_anchor_;
+    if (rate_ppm_ == 0.0) {
+      return initial;
+    }
+    return bound_.ns() > 0 && bound_ > initial ? bound_ : initial;
+  }
+
+ private:
+  Duration phase_at_anchor_;
+  double rate_ppm_ = 0.0;
+  Duration bound_;
+  SimTime anchor_;
+};
+
+}  // namespace hrtdm::sim

@@ -122,6 +122,103 @@ TEST(ReplayCaseTest, CleanCaseReplaysGreen) {
   EXPECT_GT(report.slots_checked, 0);
 }
 
+ReplayCase hostile_case() {
+  ReplayCase c = tiny_case();
+  c.name = "hostile";
+  c.stations = 3;
+  c.ddcr.q = 16;
+  c.ddcr.max_empty_tts = 2;  // rejoin-capable: hostile axes need it
+  c.fault_seed = 5;
+  c.fault_plan.crashes.push_back({12, 1});
+  c.fault_plan.symmetric.push_back({20, 30, 0.5});
+  c.fault_plan.asymmetric.push_back(
+      {35, 40, 2, fault::AsymmetricKind::kMissReceive, 1.0});
+  c.churn.events.push_back({50, 0, fault::ChurnKind::kLeave});
+  c.churn.events.push_back({120, 0, fault::ChurnKind::kJoin});
+  c.drift.specs.push_back({2, Duration::nanoseconds(-30), 250.0,
+                           Duration::nanoseconds(45)});
+  c.messages = {make_msg(0, 0, 0, 50'000), make_msg(1, 1, 0, 60'000),
+                make_msg(2, 2, 400, 70'000)};
+  return c;
+}
+
+TEST(ReplayCaseTest, HostileFieldsRoundTripThroughTheTextFormat) {
+  const ReplayCase c = hostile_case();
+  const ReplayCase parsed = parse_case(serialize_case(c));
+  EXPECT_EQ(parsed.fault_seed, c.fault_seed);
+  ASSERT_EQ(parsed.fault_plan.crashes.size(), 1u);
+  EXPECT_EQ(parsed.fault_plan.crashes[0].at_observation, 12);
+  EXPECT_EQ(parsed.fault_plan.crashes[0].station, 1);
+  ASSERT_EQ(parsed.fault_plan.symmetric.size(), 1u);
+  EXPECT_EQ(parsed.fault_plan.symmetric[0].from_observation, 20);
+  EXPECT_EQ(parsed.fault_plan.symmetric[0].to_observation, 30);
+  EXPECT_DOUBLE_EQ(parsed.fault_plan.symmetric[0].prob, 0.5);
+  ASSERT_EQ(parsed.fault_plan.asymmetric.size(), 1u);
+  EXPECT_EQ(parsed.fault_plan.asymmetric[0].station, 2);
+  EXPECT_EQ(parsed.fault_plan.asymmetric[0].kind,
+            fault::AsymmetricKind::kMissReceive);
+  ASSERT_EQ(parsed.churn.events.size(), 2u);
+  EXPECT_EQ(parsed.churn.events[0].kind, fault::ChurnKind::kLeave);
+  EXPECT_EQ(parsed.churn.events[1].at_observation, 120);
+  ASSERT_EQ(parsed.drift.specs.size(), 1u);
+  EXPECT_EQ(parsed.drift.specs[0].station, 2);
+  EXPECT_EQ(parsed.drift.specs[0].initial_phase.ns(), -30);
+  EXPECT_DOUBLE_EQ(parsed.drift.specs[0].rate_ppm, 250.0);
+  EXPECT_EQ(parsed.drift.specs[0].phase_bound.ns(), 45);
+  // Canonical: a second round-trip is a fixed point.
+  EXPECT_EQ(serialize_case(parsed), serialize_case(c));
+}
+
+TEST(ReplayCaseTest, GilbertElliottModeRoundTripsAndStaysOptional) {
+  ReplayCase c = tiny_case();
+  c.phy.gilbert_elliott(0.1, 0.25, 0.0, 0.5);
+  const ReplayCase parsed = parse_case(serialize_case(c));
+  EXPECT_TRUE(parsed.phy.ge_enabled);
+  EXPECT_DOUBLE_EQ(parsed.phy.ge_p_good_bad, 0.1);
+  EXPECT_DOUBLE_EQ(parsed.phy.ge_p_bad_good, 0.25);
+  EXPECT_DOUBLE_EQ(parsed.phy.ge_loss_good, 0.0);
+  EXPECT_DOUBLE_EQ(parsed.phy.ge_loss_bad, 0.5);
+  // A clean case serialises no ge/fault/churn/drift/seed lines at all.
+  const std::string clean = serialize_case(tiny_case());
+  EXPECT_EQ(clean.find("ge "), std::string::npos);
+  EXPECT_EQ(clean.find("seed "), std::string::npos);
+}
+
+TEST(ReplayCaseTest, ValidateRejectsBrokenHostilePlans) {
+  ReplayCase dangling = tiny_case();
+  dangling.churn.events.push_back({10, 0, fault::ChurnKind::kLeave});
+  EXPECT_THROW(dangling.validate(), util::ContractViolation);  // no join
+
+  ReplayCase out_of_range = tiny_case();
+  out_of_range.drift.specs.push_back({9, Duration::nanoseconds(10), 0.0,
+                                      Duration()});
+  EXPECT_THROW(out_of_range.validate(), util::ContractViolation);
+}
+
+TEST(ReplayCaseTest, HostileCaseReplaysGreenUnderThePrefixClippedCheck) {
+  const auto report = replay_case(hostile_case());
+  EXPECT_TRUE(report.checked);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_GT(report.slots_checked, 0);
+}
+
+TEST(ShrinkerTest, RenumberingKeepsPlanReferencedStations) {
+  // Station 2 carries no traffic but is the drift victim and churn target:
+  // the structural renumbering pass must keep it (and remap the plan ids
+  // consistently) instead of compacting it away into an invalid plan.
+  ReplayCase start = tiny_case();
+  start.stations = 4;
+  start.ddcr.max_empty_tts = 2;
+  start.messages = {make_msg(0, 0, 0, 50'000), make_msg(1, 3, 0, 60'000)};
+  start.churn.events.push_back({40, 2, fault::ChurnKind::kLeave});
+  start.churn.events.push_back({90, 2, fault::ChurnKind::kJoin});
+  Shrinker shrinker([](const ReplayCase& c) { return !c.messages.empty(); });
+  const ShrinkResult result = shrinker.shrink(start);
+  result.minimal.validate();
+  ASSERT_EQ(result.minimal.churn.events.size(), 2u);
+  EXPECT_LT(result.minimal.churn.events[0].station, result.minimal.stations);
+}
+
 TEST(ShrinkerTest, RequiresAFailingStart) {
   Shrinker shrinker([](const ReplayCase&) { return false; });
   EXPECT_THROW(shrinker.shrink(tiny_case()), util::ContractViolation);

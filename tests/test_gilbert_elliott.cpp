@@ -1,0 +1,182 @@
+// Gilbert–Elliott bursty loss: a hidden two-state (good/bad) channel whose
+// loss probability depends on the state, so corrupted frames cluster into
+// fading bursts instead of arriving i.i.d. The model replaces
+// PhyConfig::corruption_prob as an optional channel mode; the protocol must
+// survive it exactly as it survives i.i.d. noise (a destroyed success is a
+// symmetric collision of the same duration), and enabling it must not
+// perturb the i.i.d. noise stream of pinned runs (independent RNG split,
+// drawn only when enabled).
+#include <gtest/gtest.h>
+
+#include "core/ddcr_network.hpp"
+#include "net/channel.hpp"
+#include "traffic/message.hpp"
+#include "util/check.hpp"
+
+namespace hrtdm::net {
+namespace {
+
+using core::DdcrRunOptions;
+using core::DdcrTestbed;
+using traffic::Message;
+using util::Duration;
+using util::SimTime;
+
+// --- validation -----------------------------------------------------------
+
+TEST(GilbertElliott, ValidatesParameters) {
+  PhyConfig phy;
+  phy.slot_x = Duration::nanoseconds(100);
+  phy.gilbert_elliott(0.05, 0.25, 0.0, 0.5);
+  phy.validate();
+
+  PhyConfig both = phy;
+  both.corruption_prob = 0.1;  // mutually exclusive with i.i.d. noise
+  EXPECT_THROW(both.validate(), util::ContractViolation);
+
+  PhyConfig stuck = phy;
+  stuck.ge_p_bad_good = 0.0;  // bad bursts would never end
+  EXPECT_THROW(stuck.validate(), util::ContractViolation);
+
+  PhyConfig certain = phy;
+  certain.ge_loss_bad = 1.0;  // loss certainty would livelock retries
+  EXPECT_THROW(certain.validate(), util::ContractViolation);
+
+  PhyConfig range = phy;
+  range.ge_p_good_bad = 1.5;
+  EXPECT_THROW(range.validate(), util::ContractViolation);
+}
+
+// --- behavior -------------------------------------------------------------
+
+DdcrRunOptions small_options() {
+  DdcrRunOptions options;
+  options.phy.slot_x = Duration::nanoseconds(100);
+  options.phy.psi_bps = 1e9;
+  options.phy.overhead_bits = 0;
+  options.ddcr.m_time = 2;
+  options.ddcr.F = 16;
+  options.ddcr.m_static = 2;
+  options.ddcr.q = 16;
+  options.ddcr.class_width_c = Duration::microseconds(1);
+  options.ddcr.alpha = Duration::nanoseconds(0);
+  options.ddcr.max_empty_tts = 2;
+  return options;
+}
+
+Message msg_from(std::int64_t uid, int source, std::int64_t arrival_ns) {
+  Message msg;
+  msg.uid = uid;
+  msg.class_id = source;
+  msg.source = source;
+  msg.l_bits = 100;
+  msg.arrival = SimTime::from_ns(arrival_ns);
+  msg.absolute_deadline = SimTime::from_ns(arrival_ns + 14'000);
+  return msg;
+}
+
+TEST(GilbertElliott, ChainAdvancesEverySlotEvenWhenIdle) {
+  // p(good->bad) = 1, p(bad->good) ~ 0: after the first slot the channel
+  // sits in the bad state for the whole run. Idle fast-forward is disabled
+  // under GE (the chain must see every slot boundary), so even a
+  // traffic-free run accumulates bad slots.
+  auto options = small_options();
+  options.phy.gilbert_elliott(1.0, 1e-9, 0.0, 0.5);
+  DdcrTestbed bed(2, options);
+  bed.run(SimTime::from_ns(50'000));  // 500 slots, no traffic at all
+  const ChannelStats& stats = bed.channel().stats();
+  EXPECT_GT(stats.silence_slots, 400);
+  EXPECT_GT(stats.ge_bad_slots, 400);
+  EXPECT_EQ(stats.ge_losses, 0);  // nothing transmitted, nothing to lose
+}
+
+TEST(GilbertElliott, LossesClusterInBadStateAndTrafficStillDrains) {
+  // Moderate fading: bursts of ~4 bad slots (p_bad_good = 0.25) destroying
+  // half the successes inside them. The protocol retries through the
+  // resulting symmetric collisions and every message must still deliver.
+  auto options = small_options();
+  options.phy.gilbert_elliott(0.10, 0.25, 0.0, 0.5);
+  DdcrTestbed bed(3, options);
+  const int kMessages = 30;
+  for (int i = 0; i < kMessages; ++i) {
+    bed.inject(i % 3, msg_from(100 + i, i % 3, 500 + 700 * i));
+  }
+  bed.run(SimTime::from_ns(3'000'000));
+  EXPECT_EQ(bed.queued(), 0);
+  EXPECT_EQ(static_cast<int>(bed.metrics().log().size()), kMessages);
+  EXPECT_TRUE(bed.digests_agree());
+  const ChannelStats& stats = bed.channel().stats();
+  EXPECT_GT(stats.ge_bad_slots, 0);
+  EXPECT_GT(stats.ge_losses, 0);
+  // Every GE loss is accounted as a corrupted frame (same symmetric
+  // destruction path as i.i.d. noise).
+  EXPECT_LE(stats.ge_losses, stats.corrupted_frames);
+}
+
+TEST(GilbertElliott, DeterministicPerSeedAndInertWhenDisabled) {
+  auto options = small_options();
+  options.phy.gilbert_elliott(0.10, 0.25, 0.0, 0.5);
+  auto run_stats = [&options]() {
+    DdcrTestbed bed(3, options);
+    for (int i = 0; i < 12; ++i) {
+      bed.inject(i % 3, msg_from(100 + i, i % 3, 500 + 700 * i));
+    }
+    bed.run(SimTime::from_ns(1'500'000));
+    return bed.channel().stats();
+  };
+  const ChannelStats a = run_stats();
+  const ChannelStats b = run_stats();
+  EXPECT_EQ(a.ge_bad_slots, b.ge_bad_slots);
+  EXPECT_EQ(a.ge_losses, b.ge_losses);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.collision_slots, b.collision_slots);
+
+  // Disabled: the GE counters stay exactly zero (the GE RNG is never
+  // drawn, so pinned clean-channel digests cannot shift).
+  auto clean = small_options();
+  DdcrTestbed bed(3, clean);
+  for (int i = 0; i < 12; ++i) {
+    bed.inject(i % 3, msg_from(100 + i, i % 3, 500 + 700 * i));
+  }
+  bed.run(SimTime::from_ns(1'500'000));
+  EXPECT_EQ(bed.channel().stats().ge_bad_slots, 0);
+  EXPECT_EQ(bed.channel().stats().ge_losses, 0);
+}
+
+TEST(GilbertElliott, BurstierChannelsLoseMoreUnderTheSameTraffic) {
+  // Sanity on the burst structure: with identical loss-in-bad probability,
+  // a channel that enters the bad state more often destroys more frames.
+  auto run_losses = [](double p_good_bad) {
+    DdcrRunOptions options;
+    options.phy.slot_x = Duration::nanoseconds(100);
+    options.phy.psi_bps = 1e9;
+    options.phy.overhead_bits = 0;
+    options.ddcr.m_time = 2;
+    options.ddcr.F = 16;
+    options.ddcr.m_static = 2;
+    options.ddcr.q = 16;
+    options.ddcr.class_width_c = Duration::microseconds(1);
+    options.ddcr.max_empty_tts = 2;
+    options.phy.gilbert_elliott(p_good_bad, 0.2, 0.0, 0.6);
+    DdcrTestbed bed(3, options);
+    for (int i = 0; i < 60; ++i) {
+      Message msg;
+      msg.uid = 100 + i;
+      msg.class_id = i % 3;
+      msg.source = i % 3;
+      msg.l_bits = 100;
+      msg.arrival = SimTime::from_ns(500 + 500 * i);
+      msg.absolute_deadline = SimTime::from_ns(500 + 500 * i + 14'000);
+      bed.inject(i % 3, msg);
+    }
+    bed.run(SimTime::from_ns(6'000'000));
+    EXPECT_EQ(bed.queued(), 0) << "p_good_bad " << p_good_bad;
+    return bed.channel().stats().ge_losses;
+  };
+  const std::int64_t calm = run_losses(0.02);
+  const std::int64_t stormy = run_losses(0.5);
+  EXPECT_GT(stormy, calm);
+}
+
+}  // namespace
+}  // namespace hrtdm::net

@@ -1,0 +1,223 @@
+// Membership churn: stations mass-join and mass-leave mid-run
+// (fault::ChurnPlan driving DdcrStation::go_offline / bring_online), with
+// every join re-entering through the PR 1 quiet-period rejoin path. Also
+// covers the construction-time DdcrRunOptions validation (churn requires
+// require_rejoinable) and the RNG axis-splitting contract: enabling the
+// churn/drift axes must not perturb the legacy fault streams of pinned
+// campaigns.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ddcr_network.hpp"
+#include "fault/campaign.hpp"
+#include "fault/churn_plan.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hrtdm::fault {
+namespace {
+
+using core::DdcrRunOptions;
+using core::DdcrTestbed;
+using util::Duration;
+
+// --- ChurnPlan units ------------------------------------------------------
+
+TEST(ChurnPlanSuite, ValidatesPairingAndOrder) {
+  ChurnPlan plan;
+  plan.events.push_back({10, 0, ChurnKind::kLeave});
+  // Leave without a matching join: the plan would strand the station
+  // offline forever, making reconvergence unreachable.
+  EXPECT_THROW(plan.validate(2), util::ContractViolation);
+
+  plan.events.push_back({20, 0, ChurnKind::kJoin});
+  plan.validate(2);
+  EXPECT_EQ(plan.first_observation(), 10);
+  EXPECT_EQ(plan.last_observation(), 20);
+
+  ChurnPlan unsorted;
+  unsorted.events.push_back({20, 0, ChurnKind::kLeave});
+  unsorted.events.push_back({10, 1, ChurnKind::kLeave});
+  EXPECT_THROW(unsorted.validate(2), util::ContractViolation);
+
+  ChurnPlan join_first;
+  join_first.events.push_back({5, 1, ChurnKind::kJoin});
+  EXPECT_THROW(join_first.validate(2), util::ContractViolation);
+
+  ChurnPlan out_of_range;
+  out_of_range.events.push_back({5, 7, ChurnKind::kLeave});
+  out_of_range.events.push_back({9, 7, ChurnKind::kJoin});
+  EXPECT_THROW(out_of_range.validate(2), util::ContractViolation);
+}
+
+TEST(ChurnPlanSuite, PoissonPlansAreValidAndDeterministic) {
+  const auto a = ChurnPlan::poisson(5, 300, 12, 0xC0FFEEULL);
+  const auto b = ChurnPlan::poisson(5, 300, 12, 0xC0FFEEULL);
+  a.validate(5);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].at_observation, b.events[i].at_observation);
+    EXPECT_EQ(a.events[i].station, b.events[i].station);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+  }
+  // A different seed reshuffles the plan.
+  const auto c = ChurnPlan::poisson(5, 300, 12, 0xBEEFULL);
+  c.validate(5);
+  EXPECT_TRUE(a.events.size() != c.events.size() ||
+              a.events.front().at_observation !=
+                  c.events.front().at_observation ||
+              a.events.front().station != c.events.front().station);
+}
+
+TEST(ChurnPlanSuite, AdversarialBurstLeavesAllButSurvivors) {
+  const auto plan = ChurnPlan::adversarial_burst(5, 100, 64, /*survivors=*/2);
+  plan.validate(5);
+  std::set<int> leavers;
+  std::int64_t joins = 0;
+  for (const ChurnEvent& e : plan.events) {
+    if (e.kind == ChurnKind::kLeave) {
+      EXPECT_EQ(e.at_observation, 100);
+      EXPECT_GE(e.station, 2);  // survivors are the lowest ids
+      leavers.insert(e.station);
+    } else {
+      EXPECT_EQ(e.at_observation, 164);
+      ++joins;
+    }
+  }
+  EXPECT_EQ(leavers.size(), 3u);
+  EXPECT_EQ(joins, 3);
+}
+
+// --- construction-time validation (satellite 2) ---------------------------
+
+TEST(ChurnOptions, ChurnWithoutRejoinableIsRejectedAtConstruction) {
+  DdcrRunOptions options;
+  options.churn_events = 4;
+  options.require_rejoinable = false;
+  EXPECT_THROW(DdcrTestbed(3, options), util::ContractViolation);
+
+  options.require_rejoinable = true;
+  options.ddcr.max_empty_tts = 2;  // bounded silence streaks: rejoinable
+  DdcrTestbed bed(3, options);     // now constructs fine
+  EXPECT_EQ(bed.station_count(), 3);
+
+  DdcrRunOptions negative;
+  negative.churn_events = -1;
+  EXPECT_THROW(DdcrTestbed(3, negative), util::ContractViolation);
+}
+
+// --- churn campaigns ------------------------------------------------------
+
+TEST(ChurnCampaign, PoissonChurnCampaignsSurviveAndReconverge) {
+  std::int64_t total_leaves = 0;
+  std::int64_t total_joins = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    CampaignOptions options;
+    options.seed = seed;
+    options.stations = 4;
+    options.churn_events = 6;
+    const CampaignResult result = run_campaign(options);
+    EXPECT_TRUE(result.passed())
+        << "seed " << seed << " safety=" << result.safety_ok
+        << " drained=" << result.drained
+        << " reconverged=" << result.reconverged
+        << " leaves=" << result.faults.churn_leaves
+        << " joins=" << result.faults.churn_joins;
+    EXPECT_EQ(result.faults.churn_leaves, result.faults.churn_joins)
+        << "seed " << seed << ": plans are fully paired";
+    total_leaves += result.faults.churn_leaves;
+    total_joins += result.faults.churn_joins;
+  }
+  EXPECT_GT(total_leaves, 0);
+  EXPECT_EQ(total_leaves, total_joins);
+}
+
+TEST(ChurnCampaign, AdversarialMassDepartureAndThunderingRejoin) {
+  // All stations but one leave at once and rejoin at once — the worst case
+  // for the quiet-period certificate (every joiner needs the same quiet
+  // streak simultaneously).
+  for (std::uint64_t seed = 40; seed < 44; ++seed) {
+    CampaignOptions options;
+    options.seed = seed;
+    options.stations = 5;
+    options.churn_events = 1;  // enables the axis
+    options.churn_adversarial = true;
+    const CampaignResult result = run_campaign(options);
+    EXPECT_TRUE(result.passed())
+        << "seed " << seed << " safety=" << result.safety_ok
+        << " drained=" << result.drained
+        << " reconverged=" << result.reconverged;
+    EXPECT_EQ(result.faults.churn_leaves, 4) << "seed " << seed;
+    EXPECT_EQ(result.faults.churn_joins, 4) << "seed " << seed;
+  }
+}
+
+TEST(ChurnCampaign, ChurnPlusCrashAndNoiseMixtures) {
+  // The axes compose: scripted crashes and receive faults keep firing while
+  // membership churns underneath them (a crash directive aimed at an
+  // offline station is skipped — a powered-off station cannot crash).
+  for (std::uint64_t seed = 60; seed < 66; ++seed) {
+    CampaignOptions options;
+    options.seed = seed;
+    options.stations = 5;
+    options.crashes = 1;
+    options.asymmetric_bursts = 2;
+    options.churn_events = 5;
+    const CampaignResult result = run_campaign(options);
+    EXPECT_TRUE(result.passed())
+        << "seed " << seed << " safety=" << result.safety_ok
+        << " drained=" << result.drained
+        << " reconverged=" << result.reconverged;
+  }
+}
+
+// --- RNG axis isolation (satellite 1) -------------------------------------
+
+TEST(AxisSeeds, AxesAreDistinctAndDecorrelatedFromTheLegacyStream) {
+  for (const std::uint64_t base : {1ULL, 7ULL, 0xDEADBEEFULL}) {
+    const std::uint64_t churn = axis_seed(base, CampaignAxis::kChurn);
+    const std::uint64_t drift = axis_seed(base, CampaignAxis::kDrift);
+    const std::uint64_t scramble = axis_seed(base, CampaignAxis::kScramble);
+    EXPECT_NE(churn, drift);
+    EXPECT_NE(churn, scramble);
+    EXPECT_NE(drift, scramble);
+    // The legacy campaign stream (plan seed = draw 1, injector seed =
+    // draw 2 of SplitMix64(seed ^ 0xFA17)) must not collide with any axis.
+    util::SplitMix64 legacy(base ^ 0xFA17ULL);
+    const std::uint64_t plan_seed = legacy.next();
+    const std::uint64_t injector_seed = legacy.next();
+    for (const std::uint64_t axis : {churn, drift, scramble}) {
+      EXPECT_NE(axis, plan_seed);
+      EXPECT_NE(axis, injector_seed);
+    }
+  }
+}
+
+TEST(AxisSeeds, EnablingChurnDoesNotPerturbTheScriptedFaultSchedule) {
+  // The regression satellite 1 exists for: a campaign's scripted fault plan
+  // (crash directives, fault windows) derives from the legacy stream only.
+  // Turning a new axis on must leave that schedule bit-identical — every
+  // scripted crash still fires, whether or not churn runs underneath.
+  CampaignOptions base;
+  base.seed = 11;
+  base.stations = 4;
+  base.crashes = 2;
+  base.symmetric_bursts = 1;
+  base.asymmetric_bursts = 2;
+  const CampaignResult plain = run_campaign(base);
+
+  CampaignOptions churned = base;
+  churned.churn_events = 5;
+  const CampaignResult with_churn = run_campaign(churned);
+
+  EXPECT_EQ(plain.faults.crashes_fired, with_churn.faults.crashes_fired);
+  EXPECT_GT(with_churn.faults.churn_leaves, 0);
+  EXPECT_EQ(plain.faults.churn_leaves, 0);
+  EXPECT_TRUE(plain.passed());
+  EXPECT_TRUE(with_churn.passed());
+}
+
+}  // namespace
+}  // namespace hrtdm::fault
